@@ -1,0 +1,48 @@
+// Command kalibench regenerates the paper's evaluation tables
+// (Figures 7–10), the §4 text numbers, and the ablations listed in
+// DESIGN.md §4, printing measured values side by side with the
+// published ones.
+//
+// Usage:
+//
+//	kalibench                  # every experiment, full size
+//	kalibench -table fig7      # one experiment
+//	kalibench -quick           # shrunken sizes (seconds, for smoke tests)
+//	kalibench -list            # show experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kali/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "experiment id (see -list) or 'all'")
+	quick := flag.Bool("quick", false, "use shrunken problem sizes")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := bench.Options{Quick: *quick}
+	if *table == "all" {
+		for _, t := range bench.All(opt) {
+			fmt.Println(t.Render())
+		}
+		return
+	}
+	gen, ok := bench.Registry[*table]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kalibench: unknown experiment %q (use -list)\n", *table)
+		os.Exit(2)
+	}
+	fmt.Println(gen(opt).Render())
+}

@@ -1,0 +1,94 @@
+// Command kalirun compiles and executes a Kali-language program on a
+// simulated distributed-memory machine.
+//
+// Usage:
+//
+//	kalirun [-machine ncube|ipsc|ideal] [-p N] [-print name,...] prog.kali
+//
+// The program's processors declaration (the "real estate agent") may
+// choose fewer processors than -p provides.  After execution the
+// timing report is printed, plus the final contents of any arrays
+// named with -print.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kali/internal/core"
+	"kali/internal/lang"
+	"kali/internal/machine"
+)
+
+func main() {
+	machineName := flag.String("machine", "ncube", "cost model: ncube, ipsc, ideal")
+	procs := flag.Int("p", 8, "available processors")
+	printArrays := flag.String("print", "", "comma-separated array/scalar names to print")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kalirun [flags] prog.kali")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kalirun:", err)
+		os.Exit(1)
+	}
+	params, ok := machine.ByName(*machineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kalirun: unknown machine %q\n", *machineName)
+		os.Exit(2)
+	}
+
+	prog, err := lang.Compile(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kalirun: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	res, err := prog.Run(core.Config{P: *procs, Params: params})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kalirun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine: %s, processors chosen: %d\n", params.Name, res.P)
+	fmt.Printf("total %.4fs  executor %.4fs  inspector %.4fs  (overhead %.1f%%)\n",
+		res.Report.Total, res.Report.Executor, res.Report.Inspector,
+		res.Report.OverheadPct())
+
+	for _, name := range strings.Split(*printArrays, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		switch {
+		case res.Arrays[name] != nil:
+			fmt.Printf("%s = %v\n", name, clip(res.Arrays[name]))
+		case res.IntArrays[name] != nil:
+			fmt.Printf("%s = %v\n", name, res.IntArrays[name][:min(len(res.IntArrays[name]), 20)])
+		default:
+			if v, ok := res.Scalars[name]; ok {
+				fmt.Printf("%s = %g\n", name, v)
+			} else {
+				fmt.Printf("%s: not found\n", name)
+			}
+		}
+	}
+}
+
+func clip(xs []float64) []float64 {
+	if len(xs) > 20 {
+		return xs[:20]
+	}
+	return xs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+// Distributions demonstrates the paper's §2.4 claim: because the
+// forall bodies use a global name space, "a variety of distribution
+// patterns can easily be tried by trivial modification of this
+// program.  Such a modification in a message passing language would
+// involve extensive rewriting of the communications statements."
+//
+// The same Figure 4 relaxation runs under four distributions — only
+// the dist clause changes — and the timing differences show why Kali
+// leaves the distribution under programmer control: it is the
+// performance-critical decision.
+//
+//	go run ./examples/distributions [-side 64] [-p 8] [-sweeps 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kali"
+	"kali/internal/mesh"
+	"kali/internal/relax"
+)
+
+func main() {
+	side := flag.Int("side", 64, "mesh side")
+	procs := flag.Int("p", 8, "processors")
+	sweeps := flag.Int("sweeps", 50, "Jacobi sweeps")
+	flag.Parse()
+
+	m := mesh.Rect(*side, *side)
+	want := mesh.SeqJacobi(m, mesh.InitValues(m), *sweeps)
+
+	fmt.Printf("Figure 4 relaxation, %s, %d sweeps, %d processors (NCUBE/7)\n", m.Desc, *sweeps, *procs)
+	fmt.Printf("the program text is IDENTICAL in every row; only the dist clause changes\n\n")
+	fmt.Printf("%-18s %10s %10s %10s %14s\n", "dist by [...]", "total", "executor", "inspector", "nonlocal iters")
+
+	cases := []struct {
+		name string
+		dim  kali.DimSpec
+	}{
+		{"block", kali.BlockDim()},
+		{"cyclic", kali.CyclicDim()},
+		{"block_cyclic(32)", kali.BlockCyclicDim(32)},
+		{"block_cyclic(4)", kali.BlockCyclicDim(4)},
+	}
+	for _, c := range cases {
+		// Correctness never varies with the distribution.
+		check := relax.Run(relax.Options{
+			Mesh: m, Sweeps: *sweeps, P: *procs, Params: kali.Ideal(),
+			Dist: c.dim, Gather: true,
+		})
+		if d := mesh.MaxDelta(check.Values, want); d != 0 {
+			fmt.Fprintf(os.Stderr, "%s: WRONG ANSWER (delta %g)\n", c.name, d)
+			os.Exit(1)
+		}
+		r := relax.Run(relax.Options{
+			Mesh: m, Sweeps: *sweeps, P: *procs, Params: kali.NCUBE7(), Dist: c.dim,
+		})
+		fmt.Printf("%-18s %9.2fs %9.2fs %9.2fs %14d\n",
+			c.name, r.Report.Total, r.Report.Executor, r.Report.Inspector, r.NonlocalIters)
+	}
+
+	fmt.Println("\nblock wins for stencils: neighbors are contiguous, so only band")
+	fmt.Println("boundaries communicate.  cyclic turns nearly every reference nonlocal.")
+	fmt.Println("block_cyclic interpolates — the granularity/balance knob of §2.2.")
+}

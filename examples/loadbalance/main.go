@@ -1,0 +1,99 @@
+// Loadbalance explores the paper's stated future work: "we also plan
+// to look at more complex example programs, including those requiring
+// dynamic load balancing."
+//
+// The workload is a relaxation mesh where only the first quarter of
+// the rows carry active (interior) points — think of an adaptively
+// refined region — so under the obvious block distribution one
+// processor owns nearly all the work while the rest idle.  Kali's
+// user-defined distributions (dist by a user map) let the program
+// re-decompose without touching the loop body: the active rows are
+// dealt evenly and the executor time drops.
+//
+// The gain is real but bounded, and the example prints why: the
+// old_a := a copy sweep costs the same per element everywhere (it is
+// already balanced), and the bulk-synchronous pipeline makes every
+// processor wait for its neighbors' messages — the Amdahl terms of
+// load balancing that the paper's future work would have had to face.
+//
+//	go run ./examples/loadbalance [-p 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kali"
+	"kali/internal/mesh"
+	"kali/internal/relax"
+)
+
+func main() {
+	procs := flag.Int("p", 4, "processors")
+	flag.Parse()
+
+	const nx, ny, sweeps = 32, 64, 50
+	m := mesh.Rect(nx, ny)
+	// Deactivate rows beyond the first quarter: count = 0 points are
+	// pinned and nearly free per sweep.
+	for i := 1; i <= m.N; i++ {
+		if (i-1)/nx >= ny/4 {
+			m.Count[i-1] = 0
+		}
+	}
+	activeRows := ny/4 - 1 // rows 2..ny/4 (row 1 is mesh boundary)
+	fmt.Printf("mesh: %dx%d, active rows: 2..%d only (%d references/sweep)\n\n",
+		nx, ny, ny/4, m.TotalRefs())
+
+	block := relax.Run(relax.Options{Mesh: m, Sweeps: sweeps, P: *procs, Params: kali.NCUBE7()})
+
+	// User map: deal active rows evenly, idle rows proportionally.
+	owners := make([]int, m.N)
+	active := 0
+	for r := 0; r < ny; r++ {
+		rowActive := false
+		for c := 0; c < nx; c++ {
+			if m.Count[r*nx+c] > 0 {
+				rowActive = true
+				break
+			}
+		}
+		var owner int
+		if rowActive {
+			owner = active * *procs / activeRows
+			if owner >= *procs {
+				owner = *procs - 1
+			}
+			active++
+		} else {
+			owner = r * *procs / ny
+		}
+		for c := 0; c < nx; c++ {
+			owners[r*nx+c] = owner
+		}
+	}
+	balanced := relax.Run(relax.Options{
+		Mesh: m, Sweeps: sweeps, P: *procs, Params: kali.NCUBE7(), Owners: owners,
+	})
+
+	// Same answer either way.
+	want := mesh.SeqJacobi(m, mesh.InitValues(m), sweeps)
+	check := relax.Run(relax.Options{
+		Mesh: m, Sweeps: sweeps, P: *procs, Params: kali.Ideal(), Owners: owners, Gather: true,
+	})
+	if d := mesh.MaxDelta(check.Values, want); d != 0 {
+		fmt.Fprintf(os.Stderr, "VALIDATION FAILED: %g\n", d)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-34s %10s %10s\n", "distribution", "total", "executor")
+	fmt.Printf("%-34s %9.2fs %9.2fs\n", "block (one proc does ~all work)",
+		block.Report.Total, block.Report.Executor)
+	fmt.Printf("%-34s %9.2fs %9.2fs\n", "user map (active rows dealt)",
+		balanced.Report.Total, balanced.Report.Executor)
+	fmt.Printf("\nexecutor speedup from rebalancing: %.2fx\n",
+		block.Report.Executor/balanced.Report.Executor)
+	fmt.Println("(bounded below the raw imbalance by the already-balanced copy sweep")
+	fmt.Println(" and the neighbor-wait pipeline — the loop body itself is unchanged)")
+}

@@ -1,0 +1,55 @@
+// Quickstart: the paper's Figure 1 in ten lines of API.
+//
+// A block-distributed array A of N reals lives across 4 simulated
+// processors; the forall shifts it left by one using the global name
+// space — the boundary element each processor needs from its neighbor
+// is fetched by the runtime, not by hand-written sends and receives.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"kali"
+)
+
+func main() {
+	const N = 16
+
+	rep := kali.Run(kali.Config{P: 4, Params: kali.NCUBE7()}, func(ctx *kali.Context) {
+		// var A : array[1..N] of real dist by [block] on Procs;
+		a := ctx.BlockArray("A", N)
+		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
+			a.Set1(i, float64(i))
+		})
+
+		// forall i in 1..N-1 on A[i].loc do A[i] := A[i+1]; end;
+		ctx.Forall(&kali.Loop{
+			Name: "shift", Lo: 1, Hi: N - 1,
+			On: a, OnF: kali.Identity,
+			Reads: []kali.ReadSpec{{Array: a, Affine: &kali.Affine{A: 1, C: 1}}},
+			Body: func(i int, e *kali.Env) {
+				e.Write(a, i, e.Read(a, i+1))
+			},
+		})
+
+		// Each processor prints its share — note the global indices.
+		for p := 0; p < ctx.P(); p++ {
+			ctx.Barrier()
+			if p != ctx.ID() {
+				continue
+			}
+			fmt.Printf("processor %d holds:", ctx.ID())
+			a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
+				fmt.Printf(" A[%d]=%g", i, a.Get1(i))
+			})
+			fmt.Println()
+		}
+	})
+
+	fmt.Printf("\nsimulated %s time: %.6fs (inspector %.6fs, executor %.6fs)\n",
+		rep.Machine, rep.Total, rep.Inspector, rep.Executor)
+	fmt.Println("the compile-time analysis found the one boundary message per processor pair;")
+	fmt.Println("run cmd/kaliinspect to see the exec/in/out sets it derived.")
+}

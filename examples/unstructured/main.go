@@ -1,0 +1,56 @@
+// Unstructured runs the workload the paper's introduction motivates:
+// relaxation on an *irregular* mesh, where the adjacency structure is
+// data (adj/coef arrays) and the communication pattern cannot be known
+// until run time.  The node numbering is randomly permuted, so block
+// distribution scatters each processor's neighbors across the whole
+// machine — the inspector discovers the pattern, the Crystal router
+// transposes it, and the schedule is reused for every sweep.
+//
+//	go run ./examples/unstructured [-side 64] [-p 16] [-sweeps 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kali"
+	"kali/internal/mesh"
+	"kali/internal/relax"
+)
+
+func main() {
+	side := flag.Int("side", 48, "mesh side")
+	procs := flag.Int("p", 16, "processors")
+	sweeps := flag.Int("sweeps", 50, "Jacobi sweeps")
+	flag.Parse()
+
+	rect := mesh.Rect(*side, *side)
+	unst := mesh.Unstructured(*side, *side, true, 1990)
+
+	fmt.Printf("comparing meshes with %d nodes on %d processors (%d sweeps, NCUBE/7):\n\n",
+		rect.N, *procs, *sweeps)
+
+	// Correctness first: distributed == sequential on the shuffled mesh.
+	want := mesh.SeqJacobi(unst, mesh.InitValues(unst), *sweeps)
+	got := relax.Run(relax.Options{
+		Mesh: unst, Sweeps: *sweeps, P: *procs, Params: kali.Ideal(), Gather: true,
+	})
+	if d := mesh.MaxDelta(got.Values, want); d != 0 {
+		fmt.Fprintf(os.Stderr, "VALIDATION FAILED: %g\n", d)
+		os.Exit(1)
+	}
+	fmt.Println("validation: shuffled unstructured mesh matches sequential solver ✓")
+
+	fmt.Printf("\n%-22s %8s %10s %10s %10s %12s\n",
+		"mesh", "avg deg", "total", "executor", "inspector", "recv/proc")
+	for _, m := range []*mesh.Mesh{rect, unst} {
+		r := relax.Run(relax.Options{Mesh: m, Sweeps: *sweeps, P: *procs, Params: kali.NCUBE7()})
+		fmt.Printf("%-22.22s %8.1f %9.2fs %9.2fs %9.2fs %12d\n",
+			m.Desc, m.AvgDegree(), r.Report.Total, r.Report.Executor,
+			r.Report.Inspector, r.NonlocalIters)
+	}
+	fmt.Println("\nas §4 predicts, the 6-neighbor unstructured grid costs more in every")
+	fmt.Println("phase — more references to inspect, more elements to communicate, and")
+	fmt.Println("more nonlocal iterations paying the O(log r) buffer search.")
+}

@@ -1,0 +1,547 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Figures 7–10 are tables; Figures 1–6 are program/code
+// artifacts exercised elsewhere), plus the ablations DESIGN.md calls
+// out.  Each generator returns a Table carrying both the measured
+// values from the simulated machines and the paper's published values,
+// so the output is a direct paper-vs-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"kali/internal/analysis"
+	"kali/internal/baseline"
+	"kali/internal/core"
+	"kali/internal/dist"
+	"kali/internal/forall"
+	"kali/internal/machine"
+	"kali/internal/mesh"
+	"kali/internal/relax"
+)
+
+// Table is one rendered experiment.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options controls experiment sizing.
+type Options struct {
+	// Quick shrinks problem sizes and processor counts so the whole
+	// suite runs in seconds (used by tests); full sizes reproduce the
+	// paper exactly.
+	Quick bool
+}
+
+// Generator produces one experiment table.
+type Generator func(Options) *Table
+
+// Registry maps experiment ids (DESIGN.md §4) to generators.
+var Registry = map[string]Generator{
+	"fig7":         Fig7,
+	"fig8":         Fig8,
+	"fig9":         Fig9,
+	"fig10":        Fig10,
+	"worstcase":    WorstCase,
+	"unstructured": Unstructured,
+	"caching":      Caching,
+	"baseline":     Baseline,
+	"ctvsrt":       CompileVsRuntime,
+	"distchoice":   DistChoice,
+	"enumeration":  Enumeration,
+	"granularity":  Granularity,
+}
+
+// Order lists the experiments in presentation order.
+var Order = []string{
+	"fig7", "fig8", "fig9", "fig10",
+	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "distchoice",
+	"enumeration", "granularity",
+}
+
+const sweeps = 100
+
+// simSweeps is how many sweeps are actually simulated before exact
+// extrapolation to 100 (see relax.RunExtrapolated).
+const simSweeps = 4
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x) }
+
+// paperFig7 holds the published NCUBE/7 table (Figure 7).
+var paperFig7 = map[int][4]float64{ // P -> total, exec, insp, ovh%
+	2: {246.07, 244.04, 2.03, 0.8}, 4: {127.46, 126.12, 1.34, 1.1},
+	8: {68.38, 67.28, 1.10, 1.6}, 16: {38.95, 37.88, 1.07, 2.7},
+	32: {24.36, 23.21, 1.15, 4.7}, 64: {17.71, 16.42, 1.29, 7.3},
+	128: {12.64, 11.19, 1.45, 11.5},
+}
+
+// paperFig8 holds the published iPSC/2 table (Figure 8).
+var paperFig8 = map[int][4]float64{
+	2: {60.69, 60.34, 0.34, 0.56}, 4: {31.20, 31.02, 0.18, 0.57},
+	8: {16.23, 16.13, 0.10, 0.60}, 16: {8.88, 8.82, 0.06, 0.64},
+	32: {5.27, 5.23, 0.04, 0.70},
+}
+
+// paperFig9 holds Figure 9 (NCUBE/7, 128 procs, varying mesh):
+// size -> total, exec, insp, ovh%, speedup.
+var paperFig9 = map[int][5]float64{
+	64: {4.97, 3.56, 1.38, 27.8, 23.9}, 128: {12.64, 11.19, 1.45, 11.5, 37.3},
+	256: {34.13, 32.52, 1.61, 4.7, 55.2}, 512: {93.78, 91.68, 2.10, 2.2, 80.4},
+	1024: {305.03, 301.31, 3.72, 1.2, 98.9},
+}
+
+// paperFig10 holds Figure 10 (iPSC/2, 32 procs, varying mesh).
+var paperFig10 = map[int][5]float64{
+	64: {1.88, 1.86, 0.02, 0.85, 15.7}, 128: {5.27, 5.23, 0.04, 0.70, 22.5},
+	256: {17.65, 17.54, 0.11, 0.62, 26.8}, 512: {65.17, 64.79, 0.38, 0.58, 29.1},
+	1024: {249.75, 248.34, 1.41, 0.56, 30.3},
+}
+
+// varyProcs renders a Figure 7/8-style table: fixed mesh, varying P.
+func varyProcs(id, title string, params machine.Params, procs []int,
+	side int, paper map[int][4]float64) *Table {
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Header: []string{"procs", "total", "executor", "inspector", "overhead",
+			"paper total", "paper insp", "paper ovh"},
+		Notes: []string{
+			fmt.Sprintf("time in seconds for %d sweeps over a %dx%d mesh (simulated %s)",
+				sweeps, side, side, params.Name),
+		},
+	}
+	m := mesh.Rect(side, side)
+	for _, p := range procs {
+		r := relax.RunExtrapolated(relax.Options{
+			Mesh: m, Sweeps: sweeps, P: p, Params: params,
+		}, simSweeps)
+		row := []string{
+			fmt.Sprint(p),
+			f2(r.Report.Total), f2(r.Report.Executor), f2(r.Report.Inspector),
+			pct(r.Report.OverheadPct()),
+			"-", "-", "-",
+		}
+		if pv, ok := paper[p]; ok {
+			row[5], row[6], row[7] = f2(pv[0]), f2(pv[2]), pct(pv[3])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig7 regenerates Figure 7: NCUBE/7, 128×128 mesh, varying processors.
+func Fig7(opt Options) *Table {
+	if opt.Quick {
+		return varyProcs("fig7", "run-time analysis, varying processors (NCUBE/7)",
+			machine.NCUBE7(), []int{2, 4, 8}, 32, nil)
+	}
+	return varyProcs("fig7", "run-time analysis, varying processors (NCUBE/7)",
+		machine.NCUBE7(), []int{2, 4, 8, 16, 32, 64, 128}, 128, paperFig7)
+}
+
+// Fig8 regenerates Figure 8: iPSC/2, 128×128 mesh, varying processors.
+func Fig8(opt Options) *Table {
+	if opt.Quick {
+		return varyProcs("fig8", "run-time analysis, varying processors (iPSC/2)",
+			machine.IPSC2(), []int{2, 4, 8}, 32, nil)
+	}
+	return varyProcs("fig8", "run-time analysis, varying processors (iPSC/2)",
+		machine.IPSC2(), []int{2, 4, 8, 16, 32}, 128, paperFig8)
+}
+
+// varySize renders a Figure 9/10-style table: fixed P, varying mesh.
+func varySize(id, title string, params machine.Params, p int,
+	sides []int, paper map[int][5]float64) *Table {
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Header: []string{"mesh", "total", "executor", "inspector", "overhead", "speedup",
+			"paper total", "paper ovh", "paper speedup"},
+		Notes: []string{
+			fmt.Sprintf("time in seconds for %d sweeps on %d processors (simulated %s); speedup vs 1-processor executor time",
+				sweeps, p, params.Name),
+		},
+	}
+	for _, side := range sides {
+		m := mesh.Rect(side, side)
+		r := relax.RunExtrapolated(relax.Options{
+			Mesh: m, Sweeps: sweeps, P: p, Params: params,
+		}, simSweeps)
+		t1 := relax.SeqExecutorTime(m, sweeps, params)
+		row := []string{
+			fmt.Sprintf("%dx%d", side, side),
+			f2(r.Report.Total), f2(r.Report.Executor), f2(r.Report.Inspector),
+			pct(r.Report.OverheadPct()),
+			fmt.Sprintf("%.1f", t1/r.Report.Total),
+			"-", "-", "-",
+		}
+		if pv, ok := paper[side]; ok {
+			row[6], row[7], row[8] = f2(pv[0]), pct(pv[3]), fmt.Sprintf("%.1f", pv[4])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig9 regenerates Figure 9: NCUBE/7, 128 processors, varying mesh.
+func Fig9(opt Options) *Table {
+	if opt.Quick {
+		return varySize("fig9", "run-time analysis, varying problem size (NCUBE/7)",
+			machine.NCUBE7(), 8, []int{16, 32}, nil)
+	}
+	return varySize("fig9", "run-time analysis, varying problem size (NCUBE/7)",
+		machine.NCUBE7(), 128, []int{64, 128, 256, 512, 1024}, paperFig9)
+}
+
+// Fig10 regenerates Figure 10: iPSC/2, 32 processors, varying mesh.
+func Fig10(opt Options) *Table {
+	if opt.Quick {
+		return varySize("fig10", "run-time analysis, varying problem size (iPSC/2)",
+			machine.IPSC2(), 8, []int{16, 32}, nil)
+	}
+	return varySize("fig10", "run-time analysis, varying problem size (iPSC/2)",
+		machine.IPSC2(), 32, []int{64, 128, 256, 512, 1024}, paperFig10)
+}
+
+// WorstCase regenerates the §4 text numbers: inspector overhead when
+// only ONE sweep is performed ("the worst case, where one performs
+// only one sweep": NCUBE 45%→93%, iPSC 35%→41%).
+func WorstCase(opt Options) *Table {
+	side := 128
+	ncubeP := []int{2, 128}
+	ipscP := []int{2, 32}
+	if opt.Quick {
+		side, ncubeP, ipscP = 32, []int{2, 8}, []int{2, 8}
+	}
+	t := &Table{
+		ID:     "worstcase",
+		Title:  "single-sweep inspector overhead (paper §4 text)",
+		Header: []string{"machine", "procs", "total", "inspector", "overhead", "paper ovh"},
+		Notes: []string{
+			fmt.Sprintf("1 sweep over a %dx%d mesh; paper: NCUBE 45%%..93%%, iPSC 35%%..41%%", side, side),
+		},
+	}
+	m := mesh.Rect(side, side)
+	paper := map[string]map[int]string{
+		"NCUBE/7": {2: "45%", 128: "93%"},
+		"iPSC/2":  {2: "35%", 32: "41%"},
+	}
+	for _, mc := range []struct {
+		params machine.Params
+		procs  []int
+	}{{machine.NCUBE7(), ncubeP}, {machine.IPSC2(), ipscP}} {
+		for _, p := range mc.procs {
+			r := relax.Run(relax.Options{Mesh: m, Sweeps: 1, P: p, Params: mc.params})
+			pv := "-"
+			if s, ok := paper[mc.params.Name][p]; ok {
+				pv = s
+			}
+			t.Rows = append(t.Rows, []string{
+				mc.params.Name, fmt.Sprint(p),
+				f2(r.Report.Total), f2(r.Report.Inspector),
+				pct(r.Report.OverheadPct()), pv,
+			})
+		}
+	}
+	return t
+}
+
+// Unstructured regenerates the §4 discussion: on a true unstructured
+// grid connectivity is ~6, so "all costs, execution, inspection, and
+// communication, would be somewhat higher".  The table compares the
+// rectangular and unstructured meshes at equal node counts.
+func Unstructured(opt Options) *Table {
+	side, procs := 128, []int{16, 64}
+	sw := sweeps
+	if opt.Quick {
+		side, procs, sw = 32, []int{4}, 10
+	}
+	t := &Table{
+		ID:     "unstructured",
+		Title:  "rectangular vs unstructured mesh (TXT2)",
+		Header: []string{"mesh", "procs", "avg deg", "total", "executor", "inspector", "overhead"},
+		Notes: []string{
+			"NCUBE/7; 'unstructured' = 6-neighbor triangular mesh in natural order (the paper's",
+			"'somewhat higher' case); 'shuffled' destroys the numbering locality entirely",
+		},
+	}
+	for _, p := range procs {
+		for _, mk := range []struct {
+			name string
+			m    *mesh.Mesh
+		}{
+			{"rect", mesh.Rect(side, side)},
+			{"unstructured", mesh.Unstructured(side, side, false, 0)},
+			{"shuffled", mesh.Unstructured(side, side, true, 1990)},
+		} {
+			r := relax.RunExtrapolated(relax.Options{
+				Mesh: mk.m, Sweeps: sw, P: p, Params: machine.NCUBE7(),
+			}, simSweeps)
+			t.Rows = append(t.Rows, []string{
+				mk.name, fmt.Sprint(p), fmt.Sprintf("%.1f", mk.m.AvgDegree()),
+				f2(r.Report.Total), f2(r.Report.Executor), f2(r.Report.Inspector),
+				pct(r.Report.OverheadPct()),
+			})
+		}
+	}
+	return t
+}
+
+// Caching regenerates ABL1: the paper's claim that saving the
+// communication sets between forall executions amortizes the
+// inspector.  Without caching the inspector runs every sweep.
+func Caching(opt Options) *Table {
+	side, p := 128, 16
+	sweepCounts := []int{1, 10, 100}
+	if opt.Quick {
+		side, p, sweepCounts = 32, 4, []int{1, 5}
+	}
+	t := &Table{
+		ID:     "caching",
+		Title:  "schedule caching ablation (ABL1, paper §3.2)",
+		Header: []string{"sweeps", "cached insp", "cached ovh", "no-cache insp", "no-cache ovh"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, %dx%d mesh, %d processors", side, side, p),
+		},
+	}
+	m := mesh.Rect(side, side)
+	for _, sw := range sweepCounts {
+		cached := relax.Run(relax.Options{Mesh: m, Sweeps: sw, P: p, Params: machine.NCUBE7()})
+		nocache := relax.Run(relax.Options{Mesh: m, Sweeps: sw, P: p, Params: machine.NCUBE7(), NoCache: true})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(sw),
+			f2(cached.Report.Inspector), pct(cached.Report.OverheadPct()),
+			f2(nocache.Report.Inspector), pct(nocache.Report.OverheadPct()),
+		})
+	}
+	return t
+}
+
+// Baseline regenerates ABL2: Kali-generated code vs hand-written
+// message passing ("virtually identical" per §1; the residual gap is
+// the search overhead of §4).
+func Baseline(opt Options) *Table {
+	side := 128
+	procs := []int{2, 8, 32, 128}
+	sw := sweeps
+	if opt.Quick {
+		side, procs, sw = 32, []int{2, 4}, 10
+	}
+	t := &Table{
+		ID:     "baseline",
+		Title:  "Kali vs hand-coded message passing (ABL2)",
+		Header: []string{"procs", "kali total", "hand total", "ratio"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, %dx%d mesh, %d sweeps; hand-coded has no inspector and no searches", side, side, sw),
+		},
+	}
+	m := mesh.Rect(side, side)
+	for _, p := range procs {
+		k := relax.RunExtrapolated(relax.Options{Mesh: m, Sweeps: sw, P: p, Params: machine.NCUBE7()}, simSweeps)
+		hb := baseline.Run(baseline.Options{NX: side, NY: side, Sweeps: simSweeps, P: p, Params: machine.NCUBE7()})
+		handTotal := hb.Report.Total / float64(simSweeps) * float64(sw)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p), f2(k.Report.Total), f2(handTotal),
+			fmt.Sprintf("%.2f", k.Report.Total/handTotal),
+		})
+	}
+	return t
+}
+
+// CompileVsRuntime regenerates ABL3: for an affine loop (the Figure 1
+// shift), compile-time analysis eliminates the inspector entirely.
+func CompileVsRuntime(opt Options) *Table {
+	n, p, reps := 1<<16, 16, 20
+	if opt.Quick {
+		n, p, reps = 1<<10, 4, 5
+	}
+	t := &Table{
+		ID:     "ctvsrt",
+		Title:  "compile-time vs run-time analysis on the Figure 1 shift (ABL3)",
+		Header: []string{"path", "schedule time", "executor time", "total"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, N=%d block-distributed, %d processors, %d executions", n, p, reps),
+		},
+	}
+	for _, force := range []bool{false, true} {
+		rep := core.Run(core.Config{P: p, Params: machine.NCUBE7()}, func(ctx *core.Context) {
+			a := ctx.BlockArray("A", n)
+			ctx.Eng.ForceInspector = force
+			ctx.Eng.NoCache = true // isolate per-execution schedule cost
+			loop := &forall.Loop{
+				Name: "shift", Lo: 1, Hi: n - 1,
+				On: a, OnF: analysis.Identity,
+				Reads: []forall.ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: 1}}},
+				Body: func(i int, e *forall.Env) {
+					e.Write(a, i, e.Read(a, i+1))
+				},
+			}
+			for r := 0; r < reps; r++ {
+				ctx.Forall(loop)
+			}
+		})
+		name := "compile-time"
+		if force {
+			name = "run-time inspector"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, f2(rep.Inspector), f2(rep.Executor), f2(rep.Total),
+		})
+	}
+	return t
+}
+
+// DistChoice regenerates ABL5: the §2.4 claim that distributions can
+// be swapped by "trivial modification" — and that the choice is what
+// performance hinges on.  Same program, same mesh, four distributions.
+func DistChoice(opt Options) *Table {
+	side, p, sw := 128, 16, sweeps
+	if opt.Quick {
+		side, p, sw = 32, 4, 10
+	}
+	t := &Table{
+		ID:     "distchoice",
+		Title:  "distribution choice on the same program (ABL5, paper §2.4)",
+		Header: []string{"distribution", "total", "executor", "inspector", "nonlocal iters"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, %dx%d mesh, %d sweeps, %d processors; the program text is identical", side, side, sw, p),
+		},
+	}
+	m := mesh.Rect(side, side)
+	blockish := (m.N + p - 1) / p
+	for _, c := range []struct {
+		name string
+		opt  relax.Options
+	}{
+		{"block", relax.Options{Dist: dist.BlockDim()}},
+		{"cyclic", relax.Options{Dist: dist.CyclicDim()}},
+		{fmt.Sprintf("block_cyclic(%d)", blockish/4), relax.Options{Dist: dist.BlockCyclicDim(blockish / 4)}},
+		{"block_cyclic(8)", relax.Options{Dist: dist.BlockCyclicDim(8)}},
+	} {
+		ro := c.opt
+		ro.Mesh, ro.Sweeps, ro.P, ro.Params = m, sw, p, machine.NCUBE7()
+		r := relax.RunExtrapolated(ro, simSweeps)
+		t.Rows = append(t.Rows, []string{
+			c.name, f2(r.Report.Total), f2(r.Report.Executor), f2(r.Report.Inspector),
+			fmt.Sprint(r.NonlocalIters),
+		})
+	}
+	return t
+}
+
+// Enumeration regenerates ABL7: the paper's §5 comparison with Saltz
+// et al., who "explicitly enumerate all array references (local and
+// nonlocal) in a 'list'.  This eliminates the overhead of checking and
+// searching for nonlocal references during the loop execution but
+// requires more storage than our implementation."
+func Enumeration(opt Options) *Table {
+	side, p, sw := 128, 64, sweeps
+	if opt.Quick {
+		side, p, sw = 32, 4, 10
+	}
+	t := &Table{
+		ID:     "enumeration",
+		Title:  "range-search executor vs Saltz-style full enumeration (ABL7, paper §5)",
+		Header: []string{"executor", "total", "executor time", "inspector", "schedule bytes/proc"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, %dx%d mesh, %d sweeps, %d processors", side, side, sw, p),
+		},
+	}
+	m := mesh.Rect(side, side)
+	for _, enum := range []bool{false, true} {
+		name := "kali (search)"
+		if enum {
+			name = "saltz (enumerate)"
+		}
+		r := relax.RunExtrapolated(relax.Options{
+			Mesh: m, Sweeps: sw, P: p, Params: machine.NCUBE7(), Enumerate: enum,
+		}, simSweeps)
+		t.Rows = append(t.Rows, []string{
+			name, f2(r.Report.Total), f2(r.Report.Executor), f2(r.Report.Inspector),
+			fmt.Sprint(r.ScheduleBytes),
+		})
+	}
+	return t
+}
+
+// Granularity regenerates TXT3: §2.1's remark that the real estate
+// agent "might use fewer processors to improve granularity".  On a
+// small mesh, total time has a minimum at an intermediate processor
+// count — beyond it, fixed per-processor costs (combine stages,
+// boundary fractions) outweigh the shrinking compute.
+func Granularity(opt Options) *Table {
+	side := 32
+	procs := []int{2, 4, 8, 16, 32, 64, 128}
+	// A short run on a small mesh: the regime where granularity
+	// matters and the log-P schedule-building cost can dominate.
+	sw := 10
+	if opt.Quick {
+		side, procs = 16, []int{2, 4, 8, 16}
+	}
+	t := &Table{
+		ID:     "granularity",
+		Title:  "why the real estate agent may choose fewer processors (TXT3, §2.1)",
+		Header: []string{"procs", "total", "executor", "inspector"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, small %dx%d mesh, short run (%d sweeps): note the interior minimum", side, side, sw),
+		},
+	}
+	m := mesh.Rect(side, side)
+	for _, p := range procs {
+		if p > m.N {
+			continue
+		}
+		r := relax.RunExtrapolated(relax.Options{
+			Mesh: m, Sweeps: sw, P: p, Params: machine.NCUBE7(),
+		}, simSweeps)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p), f2(r.Report.Total), f2(r.Report.Executor), f2(r.Report.Inspector),
+		})
+	}
+	return t
+}
+
+// All renders every experiment in order.
+func All(opt Options) []*Table {
+	out := make([]*Table, 0, len(Order))
+	for _, id := range Order {
+		out = append(out, Registry[id](opt))
+	}
+	return out
+}

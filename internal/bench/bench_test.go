@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse pulls a float out of a rendered cell.
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Fatalf("missing generator %q", id)
+		}
+	}
+}
+
+func TestAllQuickTablesRender(t *testing.T) {
+	for _, tab := range All(Options{Quick: true}) {
+		out := tab.Render()
+		if !strings.Contains(out, tab.ID) || len(tab.Rows) == 0 {
+			t.Fatalf("table %s rendered badly:\n%s", tab.ID, out)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("table %s: row width %d != header %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+	}
+}
+
+// TestFig7QuickShape: executor time decreases with processors and
+// overhead increases — the table's qualitative content.
+func TestFig7QuickShape(t *testing.T) {
+	tab := Fig7(Options{Quick: true})
+	var prevExec, prevOvh float64
+	for i, row := range tab.Rows {
+		exec := parse(t, row[2])
+		ovh := parse(t, row[4])
+		if i > 0 {
+			if exec >= prevExec {
+				t.Fatalf("executor did not shrink: %v", tab.Rows)
+			}
+			if ovh <= prevOvh {
+				t.Fatalf("overhead did not grow: %v", tab.Rows)
+			}
+		}
+		prevExec, prevOvh = exec, ovh
+	}
+}
+
+// TestFig9QuickShape: overhead falls and speedup rises with size.
+func TestFig9QuickShape(t *testing.T) {
+	for _, gen := range []Generator{Fig9, Fig10} {
+		tab := gen(Options{Quick: true})
+		o0, o1 := parse(t, tab.Rows[0][4]), parse(t, tab.Rows[1][4])
+		s0, s1 := parse(t, tab.Rows[0][5]), parse(t, tab.Rows[1][5])
+		if o1 >= o0 {
+			t.Fatalf("%s: overhead did not fall: %v", tab.ID, tab.Rows)
+		}
+		if s1 <= s0 {
+			t.Fatalf("%s: speedup did not rise: %v", tab.ID, tab.Rows)
+		}
+	}
+}
+
+// TestWorstCaseQuickDominates: with a single sweep the inspector is a
+// large fraction of total time.
+func TestWorstCaseQuickDominates(t *testing.T) {
+	tab := WorstCase(Options{Quick: true})
+	for _, row := range tab.Rows {
+		if ovh := parse(t, row[4]); ovh < 10 {
+			t.Fatalf("single-sweep overhead suspiciously low: %v", row)
+		}
+	}
+}
+
+// TestCachingQuickAmortizes: cached inspector time is constant in
+// sweeps; no-cache scales with sweeps.
+func TestCachingQuickAmortizes(t *testing.T) {
+	tab := Caching(Options{Quick: true})
+	c0 := parse(t, tab.Rows[0][1])
+	cN := parse(t, tab.Rows[len(tab.Rows)-1][1])
+	n0 := parse(t, tab.Rows[0][3])
+	nN := parse(t, tab.Rows[len(tab.Rows)-1][3])
+	if cN > c0*1.01 {
+		t.Fatalf("cached inspector grew: %v", tab.Rows)
+	}
+	if nN < 3*n0 {
+		t.Fatalf("no-cache inspector did not scale: %v", tab.Rows)
+	}
+}
+
+// TestBaselineQuickNearParity: Kali within 2x of hand-coded and never
+// faster.
+func TestBaselineQuickNearParity(t *testing.T) {
+	tab := Baseline(Options{Quick: true})
+	for _, row := range tab.Rows {
+		ratio := parse(t, row[3])
+		if ratio < 1.0 || ratio > 2.0 {
+			t.Fatalf("implausible kali/hand ratio: %v", row)
+		}
+	}
+}
+
+// TestCompileVsRuntimeQuick: compile-time schedule cost must be far
+// below the inspector's.
+func TestCompileVsRuntimeQuick(t *testing.T) {
+	tab := CompileVsRuntime(Options{Quick: true})
+	ct := parse(t, tab.Rows[0][1])
+	rt := parse(t, tab.Rows[1][1])
+	if ct >= rt {
+		t.Fatalf("compile-time schedule cost %g not below run-time %g", ct, rt)
+	}
+}
+
+// TestEnumerationQuickTradeoff: the Saltz-style executor is faster but
+// stores a bigger schedule (ABL7).
+func TestEnumerationQuickTradeoff(t *testing.T) {
+	tab := Enumeration(Options{Quick: true})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	search, enum := tab.Rows[0], tab.Rows[1]
+	if parse(t, enum[2]) >= parse(t, search[2]) {
+		t.Fatalf("enumerated executor not faster: %v vs %v", enum, search)
+	}
+	if parse(t, enum[4]) <= parse(t, search[4]) {
+		t.Fatalf("enumerated schedule not bigger: %v vs %v", enum, search)
+	}
+}
+
+// TestDistChoiceQuickBlockWins: block is the fastest distribution for
+// the stencil (ABL5).
+func TestDistChoiceQuickBlockWins(t *testing.T) {
+	tab := DistChoice(Options{Quick: true})
+	block := parse(t, tab.Rows[0][1])
+	for _, row := range tab.Rows[1:] {
+		if parse(t, row[1]) < block {
+			t.Fatalf("distribution %s beat block: %v", row[0], tab.Rows)
+		}
+	}
+}
+
+// TestUnstructuredQuickCostsHigher: the 6-neighbor mesh costs more in
+// every column, as the paper predicts, and the shuffled numbering
+// costs yet more.
+func TestUnstructuredQuickCostsHigher(t *testing.T) {
+	tab := Unstructured(Options{Quick: true})
+	for i := 0; i+2 < len(tab.Rows); i += 3 {
+		rect, unst, shuf := tab.Rows[i], tab.Rows[i+1], tab.Rows[i+2]
+		if parse(t, unst[3]) <= parse(t, rect[3]) {
+			t.Fatalf("unstructured total not higher: %v vs %v", unst, rect)
+		}
+		if parse(t, unst[5]) <= parse(t, rect[5]) {
+			t.Fatalf("unstructured inspector not higher: %v vs %v", unst, rect)
+		}
+		if parse(t, shuf[3]) <= parse(t, unst[3]) {
+			t.Fatalf("shuffled total not higher than natural: %v vs %v", shuf, unst)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package core is the Kali runtime facade: it ties the simulated
+// machine, processor grids, distributed arrays and the forall engine
+// into a single programming context, and collects the per-phase timing
+// report the paper's tables are built from.
+//
+// A Kali program is an SPMD function over a Context:
+//
+//	rep := core.Run(core.Config{P: 16, Params: machine.NCUBE7()},
+//	    func(ctx *core.Context) {
+//	        a := ctx.BlockArray("A", n)
+//	        ctx.Forall(&forall.Loop{...})
+//	    })
+//
+// Run executes the function on every simulated node and returns the
+// aggregated Report.
+package core
+
+import (
+	"fmt"
+
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/forall"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// Config describes the machine a program runs on.
+type Config struct {
+	// P is the number of processors.
+	P int
+	// Params is the machine cost model (machine.NCUBE7(), machine.IPSC2(),
+	// machine.Ideal()).
+	Params machine.Params
+}
+
+// Context is one node's view of a running Kali program.
+type Context struct {
+	Node *machine.Node
+	Eng  *forall.Engine
+	Grid *topology.Grid
+}
+
+// P returns the processor count.
+func (c *Context) P() int { return c.Node.P() }
+
+// ID returns this node's processor id.
+func (c *Context) ID() int { return c.Node.ID() }
+
+// BlockArray declares a 1-D block-distributed real array[1..n].
+func (c *Context) BlockArray(name string, n int) *darray.Array {
+	return darray.New(name, dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, c.Grid), c.Node)
+}
+
+// CyclicArray declares a 1-D cyclically distributed real array[1..n].
+func (c *Context) CyclicArray(name string, n int) *darray.Array {
+	return darray.New(name, dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, c.Grid), c.Node)
+}
+
+// Array declares an array with an explicit shape and dist clause.
+func (c *Context) Array(name string, shape []int, specs []dist.DimSpec) *darray.Array {
+	return darray.New(name, dist.Must(shape, specs, c.Grid), c.Node)
+}
+
+// ReplicatedArray declares an array without a dist clause: one copy
+// per node.
+func (c *Context) ReplicatedArray(name string, shape ...int) *darray.Array {
+	return darray.New(name, dist.NewReplicated(shape, c.Grid), c.Node)
+}
+
+// IntArray declares an integer array with an explicit dist clause.
+func (c *Context) IntArray(name string, shape []int, specs []dist.DimSpec) *darray.IntArray {
+	return darray.NewInt(name, dist.Must(shape, specs, c.Grid), c.Node)
+}
+
+// BlockIntArray declares a 1-D block-distributed integer array.
+func (c *Context) BlockIntArray(name string, n int) *darray.IntArray {
+	return darray.NewInt(name, dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, c.Grid), c.Node)
+}
+
+// Forall executes a forall loop (inspector/executor pipeline).
+func (c *Context) Forall(l *forall.Loop) { c.Eng.Run(l) }
+
+// AllReduce combines one value from every node ("sum", "max", "min",
+// "and") — Kali's convergence-test primitive.
+func (c *Context) AllReduce(x float64, op string) float64 {
+	return c.Node.AllReduce(x, op)
+}
+
+// Barrier synchronizes all nodes.
+func (c *Context) Barrier() { c.Node.Barrier() }
+
+// Report aggregates a program run: virtual times in seconds, maxima
+// over all processors, as the paper reports them.
+type Report struct {
+	P       int
+	Machine string
+
+	// Total is exec+inspector, matching the paper's "total time"
+	// column (its measured regions were exactly those two phases).
+	Total float64
+	// Inspector is the max accumulated inspector-phase time.
+	Inspector float64
+	// Executor is the max accumulated executor-phase time.
+	Executor float64
+	// Elapsed is the full simulated wall time including setup,
+	// reductions and barriers.
+	Elapsed float64
+
+	MsgsSent  int
+	BytesSent int
+}
+
+// OverheadPct returns the paper's "inspector overhead" column:
+// inspector time as a percentage of total time.
+func (r Report) OverheadPct() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * r.Inspector / r.Total
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s P=%d total=%.2fs exec=%.2fs insp=%.2fs (%.1f%%)",
+		r.Machine, r.P, r.Total, r.Executor, r.Inspector, r.OverheadPct())
+}
+
+// Run executes prog as an SPMD program on a fresh P-node machine and
+// returns the timing report.
+func Run(cfg Config, prog func(ctx *Context)) Report {
+	m := machine.MustNew(cfg.P, cfg.Params)
+	return RunOn(m, prog)
+}
+
+// RunOn executes prog on an existing machine (reset first), allowing
+// reuse across experiments.
+func RunOn(m *machine.Machine, prog func(ctx *Context)) Report {
+	m.Reset()
+	grid := topology.MustGrid(m.P())
+	m.Run(func(n *machine.Node) {
+		ctx := &Context{
+			Node: n,
+			Eng:  forall.NewEngine(n),
+			Grid: grid,
+		}
+		prog(ctx)
+	})
+	rep := Report{
+		P:         m.P(),
+		Machine:   m.Params().Name,
+		Inspector: m.MaxPhase(forall.PhaseInspector),
+		Executor:  m.MaxPhase(forall.PhaseExecutor),
+		Elapsed:   m.MaxClock(),
+	}
+	rep.Total = rep.Inspector + rep.Executor
+	for i := 0; i < m.P(); i++ {
+		st := m.Node(i).Stats()
+		rep.MsgsSent += st.MsgsSent
+		rep.BytesSent += st.BytesSent
+	}
+	return rep
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kali/internal/dist"
+	"kali/internal/machine"
+)
+
+func TestRedistributeBlockToCyclic(t *testing.T) {
+	const n, p = 23, 4
+	Run(Config{P: p, Params: machine.Ideal()}, func(ctx *Context) {
+		a := ctx.BlockArray("a", n)
+		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, float64(i)*10) })
+		b := ctx.Redistribute(a, "b", dist.CyclicDim())
+		b.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
+			if b.Get1(i) != float64(i)*10 {
+				t.Errorf("b[%d] = %g, want %g", i, b.Get1(i), float64(i)*10)
+			}
+		})
+	})
+}
+
+func TestRedistributeRoundTrip(t *testing.T) {
+	const n, p = 40, 8
+	Run(Config{P: p, Params: machine.Ideal()}, func(ctx *Context) {
+		a := ctx.CyclicArray("a", n)
+		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, float64(i*i)) })
+		b := ctx.Redistribute(a, "b", dist.BlockCyclicDim(3))
+		c := ctx.Redistribute(b, "c", dist.CyclicDim())
+		c.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
+			if c.Get1(i) != float64(i*i) {
+				t.Errorf("round trip lost c[%d] = %g", i, c.Get1(i))
+			}
+		})
+	})
+}
+
+func TestRedistributeSameDistIsLocal(t *testing.T) {
+	const n, p = 16, 4
+	rep := Run(Config{P: p, Params: machine.NCUBE7()}, func(ctx *Context) {
+		a := ctx.BlockArray("a", n)
+		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, 1) })
+		ctx.Redistribute(a, "b", dist.BlockDim())
+	})
+	if rep.MsgsSent != 0 {
+		t.Fatalf("identity redistribution sent %d messages", rep.MsgsSent)
+	}
+}
+
+func TestRedistributePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(Config{P: 2, Params: machine.Ideal()}, func(ctx *Context) {
+		r := ctx.ReplicatedArray("r", 8)
+		ctx.Redistribute(r, "x", dist.BlockDim())
+	})
+}
+
+// TestQuickRedistributePreservesContents: random source/target
+// distributions over random sizes always preserve every element.
+func TestQuickRedistributePreservesContents(t *testing.T) {
+	specs := func(r *rand.Rand) dist.DimSpec {
+		switch r.Intn(3) {
+		case 0:
+			return dist.BlockDim()
+		case 1:
+			return dist.CyclicDim()
+		default:
+			return dist.BlockCyclicDim(1 + r.Intn(4))
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		p := []int{1, 2, 3, 4, 8}[r.Intn(5)]
+		from, to := specs(r), specs(r)
+		ok := true
+		Run(Config{P: p, Params: machine.Ideal()}, func(ctx *Context) {
+			a := ctx.Array("a", []int{n}, []dist.DimSpec{from})
+			a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, float64(i)*3) })
+			b := ctx.Redistribute(a, "b", to)
+			b.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
+				if b.Get1(i) != float64(i)*3 {
+					ok = false
+				}
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package crystal implements Fox's Crystal router: all-to-all
+// personalized communication on a hypercube in log₂P dimension-exchange
+// stages.
+//
+// The paper uses "a variant of Fox's Crystal router" to route each
+// processor's in(p,q) records to their home processors q "without
+// creating bottlenecks".  At stage d every node exchanges with its
+// neighbor across hypercube dimension d all parcels whose destination
+// address differs from its own in bit d; after all stages every parcel
+// has reached its destination.  The inspector's global combine charges
+// the per-stage software overhead (Params.CombineStage) that the
+// paper's measurements show dominating on the NCUBE/7.
+package crystal
+
+import (
+	"fmt"
+	"sort"
+
+	"kali/internal/machine"
+)
+
+// Parcel is one routed item: opaque data bound for a destination node.
+type Parcel struct {
+	Dest  int
+	Data  any
+	Bytes int
+}
+
+// stageMsg is the payload exchanged between partners at one stage.
+type stageMsg struct {
+	parcels []Parcel
+}
+
+// Route performs the all-to-all exchange.  Every node calls Route with
+// its outgoing parcels; the call returns the parcels destined for the
+// calling node, sorted by original destination-insertion order of the
+// senders (deterministic: sorted by nothing observable — callers should
+// not rely on order beyond grouping, and typically re-sort).
+//
+// P must be a power of two (hypercube); for P == 1 the parcels are
+// returned immediately (minus none, since Dest must be 0).
+func Route(n *machine.Node, parcels []Parcel) []Parcel {
+	p := n.P()
+	if p&(p-1) != 0 {
+		panic(fmt.Sprintf("crystal: P=%d is not a power of two", p))
+	}
+	for _, pc := range parcels {
+		if pc.Dest < 0 || pc.Dest >= p {
+			panic(fmt.Sprintf("crystal: destination %d out of [0,%d)", pc.Dest, p))
+		}
+	}
+	dim := n.Machine().Dim()
+	held := append([]Parcel(nil), parcels...)
+	for d := 0; d < dim; d++ {
+		bit := 1 << uint(d)
+		partner := n.ID() ^ bit
+		// Split held parcels: those whose destination differs from us in
+		// bit d travel across this dimension now.
+		var keep, send []Parcel
+		bytes := 0
+		for _, pc := range held {
+			if (pc.Dest^n.ID())&bit != 0 {
+				send = append(send, pc)
+				bytes += pc.Bytes
+			} else {
+				keep = append(keep, pc)
+			}
+		}
+		// Per-stage software overhead of the combine (sorting, buffer
+		// management); this is the cost the paper identifies as the
+		// growing term of the inspector on the NCUBE.
+		n.Advance(n.Machine().Params().CombineStage)
+		n.Send(partner, machine.TagCrystal, stageMsg{parcels: send}, bytes+8)
+		msg := n.Recv(partner, machine.TagCrystal)
+		held = append(keep, msg.Payload.(stageMsg).parcels...)
+	}
+	// Everything we hold is now ours.
+	for _, pc := range held {
+		if pc.Dest != n.ID() {
+			panic(fmt.Sprintf("crystal: node %d ended with parcel for %d", n.ID(), pc.Dest))
+		}
+	}
+	return held
+}
+
+// RouteSorted is Route followed by a deterministic sort using the
+// provided less function over the parcel data.
+func RouteSorted(n *machine.Node, parcels []Parcel, less func(a, b Parcel) bool) []Parcel {
+	out := Route(n, parcels)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}

@@ -1,0 +1,238 @@
+package crystal
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kali/internal/machine"
+)
+
+// routeAll runs Route on every node of a P-node ideal machine, with
+// each node sending the parcels produced by mk(sender), and returns
+// what each node received.
+func routeAll(t *testing.T, p int, mk func(me int) []Parcel) [][]Parcel {
+	t.Helper()
+	m := machine.MustNew(p, machine.Ideal())
+	out := make([][]Parcel, p)
+	var mu sync.Mutex
+	m.Run(func(n *machine.Node) {
+		got := Route(n, mk(n.ID()))
+		mu.Lock()
+		out[n.ID()] = got
+		mu.Unlock()
+	})
+	return out
+}
+
+func TestRouteAllToAll(t *testing.T) {
+	const p = 8
+	// Every node sends one parcel to every other node, labeled
+	// "from->to"; every node must receive exactly p-1 parcels with the
+	// right labels.
+	got := routeAll(t, p, func(me int) []Parcel {
+		var ps []Parcel
+		for to := 0; to < p; to++ {
+			if to == me {
+				continue
+			}
+			ps = append(ps, Parcel{Dest: to, Data: fmt.Sprintf("%d->%d", me, to), Bytes: 8})
+		}
+		return ps
+	})
+	for me := 0; me < p; me++ {
+		if len(got[me]) != p-1 {
+			t.Fatalf("node %d received %d parcels", me, len(got[me]))
+		}
+		labels := map[string]bool{}
+		for _, pc := range got[me] {
+			labels[pc.Data.(string)] = true
+		}
+		for from := 0; from < p; from++ {
+			if from == me {
+				continue
+			}
+			if !labels[fmt.Sprintf("%d->%d", from, me)] {
+				t.Fatalf("node %d missing parcel from %d; has %v", me, from, labels)
+			}
+		}
+	}
+}
+
+func TestRouteSelfParcels(t *testing.T) {
+	// Parcels addressed to the sender stay put.
+	got := routeAll(t, 4, func(me int) []Parcel {
+		return []Parcel{{Dest: me, Data: me, Bytes: 4}}
+	})
+	for me := 0; me < 4; me++ {
+		if len(got[me]) != 1 || got[me][0].Data.(int) != me {
+			t.Fatalf("node %d: %v", me, got[me])
+		}
+	}
+}
+
+func TestRouteEmpty(t *testing.T) {
+	got := routeAll(t, 8, func(me int) []Parcel { return nil })
+	for me, g := range got {
+		if len(g) != 0 {
+			t.Fatalf("node %d received %d parcels from nothing", me, len(g))
+		}
+	}
+}
+
+func TestRouteSingleNode(t *testing.T) {
+	got := routeAll(t, 1, func(me int) []Parcel {
+		return []Parcel{{Dest: 0, Data: "x", Bytes: 1}}
+	})
+	if len(got[0]) != 1 || got[0][0].Data.(string) != "x" {
+		t.Fatalf("single node route: %v", got[0])
+	}
+}
+
+func TestRouteSkewedTraffic(t *testing.T) {
+	// All nodes send everything to node 0 — the hot-spot pattern the
+	// router must still complete.
+	const p = 16
+	got := routeAll(t, p, func(me int) []Parcel {
+		if me == 0 {
+			return nil
+		}
+		return []Parcel{
+			{Dest: 0, Data: me * 10, Bytes: 8},
+			{Dest: 0, Data: me*10 + 1, Bytes: 8},
+		}
+	})
+	if len(got[0]) != 2*(p-1) {
+		t.Fatalf("hot spot received %d parcels, want %d", len(got[0]), 2*(p-1))
+	}
+	for me := 1; me < p; me++ {
+		if len(got[me]) != 0 {
+			t.Fatalf("node %d should receive nothing", me)
+		}
+	}
+}
+
+func TestRouteBadDestPanics(t *testing.T) {
+	m := machine.MustNew(2, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(n *machine.Node) {
+		Route(n, []Parcel{{Dest: 7, Data: nil}})
+	})
+}
+
+func TestRouteNonPowerOfTwoPanics(t *testing.T) {
+	m := machine.MustNew(3, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(n *machine.Node) {
+		Route(n, nil)
+	})
+}
+
+func TestRouteSorted(t *testing.T) {
+	const p = 4
+	m := machine.MustNew(p, machine.Ideal())
+	var mu sync.Mutex
+	got := make([][]int, p)
+	m.Run(func(n *machine.Node) {
+		var ps []Parcel
+		for to := 0; to < p; to++ {
+			if to != n.ID() {
+				ps = append(ps, Parcel{Dest: to, Data: n.ID(), Bytes: 4})
+			}
+		}
+		out := RouteSorted(n, ps, func(a, b Parcel) bool { return a.Data.(int) < b.Data.(int) })
+		vals := make([]int, len(out))
+		for i, pc := range out {
+			vals[i] = pc.Data.(int)
+		}
+		mu.Lock()
+		got[n.ID()] = vals
+		mu.Unlock()
+	})
+	for me := 0; me < p; me++ {
+		if !sort.IntsAreSorted(got[me]) {
+			t.Fatalf("node %d unsorted: %v", me, got[me])
+		}
+	}
+}
+
+func TestRouteChargesStageCosts(t *testing.T) {
+	// With P=8 (3 stages) each node's clock must include at least
+	// 3 × CombineStage.
+	params := machine.NCUBE7()
+	m := machine.MustNew(8, params)
+	var mu sync.Mutex
+	minClock := -1.0
+	m.Run(func(n *machine.Node) {
+		Route(n, nil)
+		mu.Lock()
+		if minClock < 0 || n.Clock() < minClock {
+			minClock = n.Clock()
+		}
+		mu.Unlock()
+	})
+	if want := 3 * params.CombineStage; minClock < want {
+		t.Fatalf("clock %g < 3 combine stages %g", minClock, want)
+	}
+}
+
+// TestQuickRoutePermutation: random sparse traffic is delivered
+// exactly (no loss, no duplication) for random machine sizes.
+func TestQuickRoutePermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 << uint(1+r.Intn(4)) // 2..16
+		// Build the traffic matrix up front so all nodes agree.
+		traffic := make([][]Parcel, p)
+		expect := make([]map[string]int, p)
+		for i := range expect {
+			expect[i] = map[string]int{}
+		}
+		for from := 0; from < p; from++ {
+			for k := 0; k < r.Intn(4); k++ {
+				to := r.Intn(p)
+				label := fmt.Sprintf("%d:%d:%d", from, to, k)
+				traffic[from] = append(traffic[from], Parcel{Dest: to, Data: label, Bytes: 8})
+				expect[to][label]++
+			}
+		}
+		m := machine.MustNew(p, machine.Ideal())
+		got := make([]map[string]int, p)
+		var mu sync.Mutex
+		m.Run(func(n *machine.Node) {
+			out := Route(n, traffic[n.ID()])
+			g := map[string]int{}
+			for _, pc := range out {
+				g[pc.Data.(string)]++
+			}
+			mu.Lock()
+			got[n.ID()] = g
+			mu.Unlock()
+		})
+		for i := 0; i < p; i++ {
+			if len(got[i]) != len(expect[i]) {
+				return false
+			}
+			for k, v := range expect[i] {
+				if got[i][k] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

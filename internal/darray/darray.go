@@ -1,0 +1,464 @@
+// Package darray implements distributed arrays with a global name
+// space — the shared data structures of the paper's title.
+//
+// An Array is declared once, collectively, with a distribution; each
+// simulated node then holds a handle that stores only its local
+// partition (or a full copy, for replicated arrays).  All indexing at
+// this layer is by *global* 1-based coordinates; the handle translates
+// to local storage and refuses direct access to elements it does not
+// own.  Nonlocal access is the business of the inspector/executor
+// machinery built on top (internal/inspector, internal/forall), which
+// moves remote values into communication buffers.
+//
+// Multi-dimensional arrays are supported; for communication purposes an
+// element is identified by its linearized row-major global index, so
+// the comm package's interval machinery applies unchanged.
+//
+// The accessors come in two flavours: general variadic methods
+// (Get/Set/Owner) and allocation-free fixed-rank methods (Get1, Get2,
+// Owner1, ...) used by the executor's hot loops.
+package darray
+
+import (
+	"fmt"
+
+	"kali/internal/dist"
+	"kali/internal/machine"
+)
+
+// header carries the per-node translation state shared by Array and
+// IntArray: precomputed local shape, strides, patterns and expected
+// grid coordinates, so that element access needs no allocation.
+type header struct {
+	name  string
+	d     *dist.Dist
+	node  *machine.Node
+	shape []int
+
+	repl    bool
+	pats    []dist.Pattern // per array dim; nil when collapsed/replicated
+	myCoord []int          // per array dim; my grid coordinate in that dim (-1 if collapsed)
+	lshape  []int          // local extents
+	version int
+}
+
+func newHeader(name string, d *dist.Dist, n *machine.Node) header {
+	h := header{
+		name:  name,
+		d:     d,
+		node:  n,
+		shape: d.Shape(),
+		repl:  d.Replicated(),
+	}
+	rank := len(h.shape)
+	h.pats = make([]dist.Pattern, rank)
+	h.myCoord = make([]int, rank)
+	if h.repl {
+		h.lshape = d.Shape()
+		for i := range h.myCoord {
+			h.myCoord[i] = -1
+		}
+		return h
+	}
+	h.lshape = d.LocalShape(n.ID())
+	gcoord := d.Grid().Coord(n.ID())
+	gdim := 0
+	for dim := 0; dim < rank; dim++ {
+		h.pats[dim] = d.Pattern(dim)
+		if h.pats[dim] == nil {
+			h.myCoord[dim] = -1
+			continue
+		}
+		h.myCoord[dim] = gcoord[gdim]
+		gdim++
+	}
+	return h
+}
+
+// localCount returns the node's element count.
+func (h *header) localCount() int {
+	c := 1
+	for _, e := range h.lshape {
+		c *= e
+	}
+	return c
+}
+
+// isLocal reports ownership without allocating.
+func (h *header) isLocal(coord []int) bool {
+	if h.repl {
+		for dim, c := range coord {
+			if c < 1 || c > h.shape[dim] {
+				panic(fmt.Sprintf("darray: coordinate %d out of [1..%d] in dim %d of %s",
+					c, h.shape[dim], dim, h.name))
+			}
+		}
+		return true
+	}
+	for dim, c := range coord {
+		p := h.pats[dim]
+		if p == nil {
+			if c < 1 || c > h.shape[dim] {
+				panic(fmt.Sprintf("darray: coordinate %d out of [1..%d] in dim %d of %s",
+					c, h.shape[dim], dim, h.name))
+			}
+			continue
+		}
+		if p.Owner(c) != h.myCoord[dim] {
+			return false
+		}
+	}
+	return true
+}
+
+// offset computes the local row-major offset; the element must be
+// local (checked).
+func (h *header) offset(coord []int) int {
+	if len(coord) != len(h.shape) {
+		panic(fmt.Sprintf("darray: coordinate rank %d != array rank %d of %s",
+			len(coord), len(h.shape), h.name))
+	}
+	if !h.isLocal(coord) {
+		panic(fmt.Sprintf("darray: node %d accessed nonlocal element %s%v",
+			h.node.ID(), h.name, coord))
+	}
+	off := 0
+	for dim, c := range coord {
+		var li int
+		if h.pats[dim] == nil || h.repl {
+			li = c - 1
+		} else {
+			li = h.pats[dim].LocalIndex(c)
+		}
+		off = off*h.lshape[dim] + li
+	}
+	return off
+}
+
+// ownerLinear returns the owner of linearized global index g without
+// allocating (replicated: -1).
+func (h *header) ownerLinear(g int) int {
+	if h.repl {
+		return -1
+	}
+	// Decompose g and fold distributed dims into the grid id.
+	total := 1
+	for _, e := range h.shape {
+		total *= e
+	}
+	if g < 1 || g > total {
+		panic(fmt.Sprintf("darray: linear index %d out of [1..%d] of %s", g, total, h.name))
+	}
+	g--
+	id := 0
+	// Row-major: leftmost dim is most significant.  The grid linearizes
+	// distributed dims in order, also row-major.
+	div := total
+	for dim := 0; dim < len(h.shape); dim++ {
+		div /= h.shape[dim]
+		c := g/div + 1
+		g %= div
+		if p := h.pats[dim]; p != nil {
+			id = id*p.P() + p.Owner(c)
+		}
+	}
+	return id
+}
+
+// Array is one node's handle on a distributed array of float64 — the
+// "real" arrays of Kali.
+type Array struct {
+	header
+	local []float64
+}
+
+// IntArray is one node's handle on a distributed array of integers —
+// used for adjacency structures and counts (adj, count in the paper's
+// Figure 4).  IntArrays may only be accessed where they are stored (or
+// everywhere, when replicated): in the paper's programs subscript
+// arrays are always aligned with the loop's on clause.
+type IntArray struct {
+	header
+	local []int
+}
+
+// New allocates this node's partition of a distributed float64 array.
+// Every node of the machine must call New with an equivalent dist.
+func New(name string, d *dist.Dist, n *machine.Node) *Array {
+	h := newHeader(name, d, n)
+	return &Array{header: h, local: make([]float64, h.localCount())}
+}
+
+// NewInt allocates this node's partition of a distributed int array.
+func NewInt(name string, d *dist.Dist, n *machine.Node) *IntArray {
+	h := newHeader(name, d, n)
+	return &IntArray{header: h, local: make([]int, h.localCount())}
+}
+
+// Name returns the declaration name, used in diagnostics and as part
+// of schedule cache keys.
+func (h *header) Name() string { return h.name }
+
+// Dist returns the distribution.
+func (h *header) Dist() *dist.Dist { return h.d }
+
+// Node returns the owning simulated node.
+func (h *header) Node() *machine.Node { return h.node }
+
+// Version returns the mutation version used by schedule caching.
+func (h *header) Version() int { return h.version }
+
+// Bump increments the version, invalidating cached schedules whose
+// communication pattern depends on this array's contents.
+func (h *header) Bump() { h.version++ }
+
+// Rank returns the number of dimensions.
+func (h *header) Rank() int { return len(h.shape) }
+
+// Shape returns the global extents.
+func (h *header) Shape() []int { return append([]int(nil), h.shape...) }
+
+// Size returns the total number of elements ∏shape.
+func (h *header) Size() int {
+	t := 1
+	for _, e := range h.shape {
+		t *= e
+	}
+	return t
+}
+
+// Replicated reports whether every node stores the whole array.
+func (h *header) Replicated() bool { return h.repl }
+
+// Linear converts global coordinates to the linearized row-major
+// global index in [1 .. ∏shape].
+func (h *header) Linear(coord ...int) int { return linearize(h.shape, coord) }
+
+// Delinear inverts Linear.
+func (h *header) Delinear(g int) []int { return delinearize(h.shape, g) }
+
+// Owner returns the owner of the element at the given coordinates
+// (-1 when replicated).
+func (h *header) Owner(coord ...int) int { return h.d.Owner(coord...) }
+
+// OwnerLinear returns the owner of linearized global index g without
+// allocating (-1 when replicated).
+func (h *header) OwnerLinear(g int) int { return h.ownerLinear(g) }
+
+// Owner1 returns the owner of element i of a rank-1 array.
+func (h *header) Owner1(i int) int {
+	if h.repl {
+		return -1
+	}
+	return h.pats[0].Owner(i)
+}
+
+// IsLocal reports whether this node stores the element.
+func (h *header) IsLocal(coord ...int) bool { return h.isLocal(coord) }
+
+// IsLocal1 is the allocation-free rank-1 ownership test.
+func (h *header) IsLocal1(i int) bool {
+	if h.repl {
+		if i < 1 || i > h.shape[0] {
+			panic(fmt.Sprintf("darray: index %d out of [1..%d] of %s", i, h.shape[0], h.name))
+		}
+		return true
+	}
+	return h.pats[0].Owner(i) == h.myCoord[0]
+}
+
+// Get returns the element at global coordinates, which must be local.
+func (a *Array) Get(coord ...int) float64 { return a.local[a.offset(coord)] }
+
+// Set stores v at global coordinates, which must be local.
+func (a *Array) Set(v float64, coord ...int) { a.local[a.offset(coord)] = v }
+
+// Get1 is the allocation-free accessor for rank-1 arrays.
+func (a *Array) Get1(i int) float64 { return a.local[a.offset1(i)] }
+
+// Set1 is the allocation-free mutator for rank-1 arrays.
+func (a *Array) Set1(i int, v float64) { a.local[a.offset1(i)] = v }
+
+// Get2 is the allocation-free accessor for rank-2 arrays.
+func (a *Array) Get2(i, j int) float64 { return a.local[a.offset2(i, j)] }
+
+// Set2 is the allocation-free mutator for rank-2 arrays.
+func (a *Array) Set2(i, j int, v float64) { a.local[a.offset2(i, j)] = v }
+
+// GetLinear returns the element with linearized global index g, which
+// must be local.
+func (a *Array) GetLinear(g int) float64 { return a.local[a.offsetLinear(g)] }
+
+// SetLinear stores v at linearized global index g, which must be local.
+func (a *Array) SetLinear(g int, v float64) { a.local[a.offsetLinear(g)] = v }
+
+// LocalValues exposes the raw local partition (replicated arrays: the
+// whole array).  Mutating it directly bypasses ownership checks; it is
+// intended for initialization and the executor's commit step.
+func (a *Array) LocalValues() []float64 { return a.local }
+
+// LocalCount returns the number of locally stored elements.
+func (a *Array) LocalCount() int { return len(a.local) }
+
+// Fill sets every local element to v.
+func (a *Array) Fill(v float64) {
+	for i := range a.local {
+		a.local[i] = v
+	}
+}
+
+// Get returns the element at global coordinates, which must be local.
+func (ia *IntArray) Get(coord ...int) int { return ia.local[ia.offset(coord)] }
+
+// Set stores v at global coordinates, which must be local.
+func (ia *IntArray) Set(v int, coord ...int) { ia.local[ia.offset(coord)] = v }
+
+// Get1 is the allocation-free accessor for rank-1 arrays.
+func (ia *IntArray) Get1(i int) int { return ia.local[ia.offset1(i)] }
+
+// Set1 is the allocation-free mutator for rank-1 arrays.
+func (ia *IntArray) Set1(i, v int) { ia.local[ia.offset1(i)] = v }
+
+// Get2 is the allocation-free accessor for rank-2 arrays.
+func (ia *IntArray) Get2(i, j int) int { return ia.local[ia.offset2(i, j)] }
+
+// Set2 is the allocation-free mutator for rank-2 arrays.
+func (ia *IntArray) Set2(i, j, v int) { ia.local[ia.offset2(i, j)] = v }
+
+// LocalValues exposes the raw local partition.
+func (ia *IntArray) LocalValues() []int { return ia.local }
+
+// LocalCount returns the number of locally stored elements.
+func (ia *IntArray) LocalCount() int { return len(ia.local) }
+
+// offset1 computes the local offset of rank-1 element i.
+func (h *header) offset1(i int) int {
+	if len(h.shape) != 1 {
+		panic(fmt.Sprintf("darray: rank-1 access to rank-%d array %s", len(h.shape), h.name))
+	}
+	if h.repl {
+		if i < 1 || i > h.shape[0] {
+			panic(fmt.Sprintf("darray: index %d out of [1..%d] of %s", i, h.shape[0], h.name))
+		}
+		return i - 1
+	}
+	p := h.pats[0]
+	if p.Owner(i) != h.myCoord[0] {
+		panic(fmt.Sprintf("darray: node %d accessed nonlocal element %s[%d]", h.node.ID(), h.name, i))
+	}
+	return p.LocalIndex(i)
+}
+
+// offset2 computes the local offset of rank-2 element (i, j).
+func (h *header) offset2(i, j int) int {
+	if len(h.shape) != 2 {
+		panic(fmt.Sprintf("darray: rank-2 access to rank-%d array %s", len(h.shape), h.name))
+	}
+	var li, lj int
+	if h.repl {
+		if i < 1 || i > h.shape[0] || j < 1 || j > h.shape[1] {
+			panic(fmt.Sprintf("darray: (%d,%d) out of %v of %s", i, j, h.shape, h.name))
+		}
+		return (i-1)*h.shape[1] + (j - 1)
+	}
+	if p := h.pats[0]; p == nil {
+		if i < 1 || i > h.shape[0] {
+			panic(fmt.Sprintf("darray: index %d out of [1..%d] of %s", i, h.shape[0], h.name))
+		}
+		li = i - 1
+	} else {
+		if p.Owner(i) != h.myCoord[0] {
+			panic(fmt.Sprintf("darray: node %d accessed nonlocal row %s[%d,%d]", h.node.ID(), h.name, i, j))
+		}
+		li = p.LocalIndex(i)
+	}
+	if p := h.pats[1]; p == nil {
+		if j < 1 || j > h.shape[1] {
+			panic(fmt.Sprintf("darray: index %d out of [1..%d] of %s", j, h.shape[1], h.name))
+		}
+		lj = j - 1
+	} else {
+		if p.Owner(j) != h.myCoord[1] {
+			panic(fmt.Sprintf("darray: node %d accessed nonlocal col %s[%d,%d]", h.node.ID(), h.name, i, j))
+		}
+		lj = p.LocalIndex(j)
+	}
+	return li*h.lshape[1] + lj
+}
+
+// offsetLinear computes the local offset of linearized global index g
+// without allocating.
+func (h *header) offsetLinear(g int) int {
+	switch len(h.shape) {
+	case 1:
+		return h.offset1(g)
+	case 2:
+		j := (g-1)%h.shape[1] + 1
+		i := (g-1)/h.shape[1] + 1
+		return h.offset2(i, j)
+	default:
+		coord := delinearize(h.shape, g)
+		return h.offset(coord)
+	}
+}
+
+// EachLocal calls f for every locally stored element's linearized
+// global index, in increasing order.  For replicated arrays it visits
+// the whole index space.
+func (h *header) EachLocal(f func(g int)) {
+	rank := len(h.shape)
+	coord := make([]int, rank)
+	for i := range coord {
+		coord[i] = 1
+	}
+	for {
+		if h.repl || h.isLocal(coord) {
+			f(linearize(h.shape, coord))
+		}
+		k := rank - 1
+		for k >= 0 {
+			coord[k]++
+			if coord[k] <= h.shape[k] {
+				break
+			}
+			coord[k] = 1
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// linearize maps 1-based coordinates to a 1-based row-major index.
+func linearize(shape, coord []int) int {
+	if len(coord) != len(shape) {
+		panic(fmt.Sprintf("darray: coordinate rank %d != array rank %d", len(coord), len(shape)))
+	}
+	g := 0
+	for d, c := range coord {
+		if c < 1 || c > shape[d] {
+			panic(fmt.Sprintf("darray: coordinate %d out of [1..%d] in dim %d", c, shape[d], d))
+		}
+		g = g*shape[d] + (c - 1)
+	}
+	return g + 1
+}
+
+// delinearize inverts linearize.
+func delinearize(shape []int, g int) []int {
+	total := 1
+	for _, e := range shape {
+		total *= e
+	}
+	if g < 1 || g > total {
+		panic(fmt.Sprintf("darray: linear index %d out of [1..%d]", g, total))
+	}
+	g--
+	out := make([]int, len(shape))
+	for d := len(shape) - 1; d >= 0; d-- {
+		out[d] = g%shape[d] + 1
+		g /= shape[d]
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package darray
+
+import (
+	"testing"
+
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+func TestHeaderAccessors(t *testing.T) {
+	d := blockDist(10, 2)
+	onEachNode(2, func(n *machine.Node) {
+		a := New("alpha", d, n)
+		if a.Name() != "alpha" || a.Dist() != d || a.Node() != n {
+			t.Error("accessors wrong")
+		}
+		if s := a.Shape(); len(s) != 1 || s[0] != 10 {
+			t.Errorf("Shape = %v", s)
+		}
+		// Shape must be a defensive copy.
+		a.Shape()[0] = 999
+		if a.Shape()[0] != 10 {
+			t.Error("Shape aliased internal state")
+		}
+		if a.Size() != 10 {
+			t.Errorf("Size = %d", a.Size())
+		}
+	})
+}
+
+func TestIntArrayRank1Accessors(t *testing.T) {
+	d := blockDist(8, 2)
+	onEachNode(2, func(n *machine.Node) {
+		ia := NewInt("k", d, n)
+		if ia.Name() != "k" || ia.Rank() != 1 || ia.LocalCount() != 4 {
+			t.Error("int array metadata")
+		}
+		for i := 1; i <= 8; i++ {
+			if !ia.IsLocal1(i) {
+				continue
+			}
+			ia.Set1(i, i*7)
+			if ia.Get1(i) != i*7 || ia.Get(i) != i*7 {
+				t.Errorf("int get/set at %d", i)
+			}
+		}
+		if len(ia.LocalValues()) != 4 {
+			t.Error("LocalValues")
+		}
+		// Variadic set on int arrays.
+		lo := ia.Dist().Pattern(0).Local(n.ID()).Min()
+		ia.Set(lo*100, lo)
+		if ia.Get1(lo) != lo*100 {
+			t.Error("variadic Set")
+		}
+	})
+}
+
+func TestIsLocal1AndOwner1(t *testing.T) {
+	d := blockDist(8, 2)
+	onEachNode(2, func(n *machine.Node) {
+		a := New("a", d, n)
+		for i := 1; i <= 8; i++ {
+			wantOwner := (i - 1) / 4
+			if a.Owner1(i) != wantOwner {
+				t.Errorf("Owner1(%d) = %d", i, a.Owner1(i))
+			}
+			if a.IsLocal1(i) != (wantOwner == n.ID()) {
+				t.Errorf("IsLocal1(%d) wrong on node %d", i, n.ID())
+			}
+		}
+	})
+	// Replicated + out-of-range panic paths.
+	g := topology.MustGrid(2)
+	rep := dist.NewReplicated([]int{4}, g)
+	onEachNode(2, func(n *machine.Node) {
+		r := New("r", rep, n)
+		if !r.IsLocal1(2) || r.Owner1(2) != -1 {
+			t.Error("replicated IsLocal1/Owner1")
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range IsLocal1 on replicated")
+			}
+		}()
+		r.IsLocal1(9)
+	})
+}
+
+func TestFloatLocalValuesAndVariadic(t *testing.T) {
+	d := blockDist(6, 2)
+	onEachNode(2, func(n *machine.Node) {
+		a := New("a", d, n)
+		vals := a.LocalValues()
+		if len(vals) != 3 {
+			t.Fatalf("local values len %d", len(vals))
+		}
+		lo := a.Dist().Pattern(0).Local(n.ID()).Min()
+		a.Set(2.5, lo) // variadic setter
+		if a.Get(lo) != 2.5 || vals[0] != 2.5 {
+			t.Error("variadic get/set or aliasing")
+		}
+	})
+}
+
+// TestSecondDimDistributed exercises offset2 with [*, block] layout —
+// columns distributed, rows whole.
+func TestSecondDimDistributed(t *testing.T) {
+	g := topology.MustGrid(2)
+	d := dist.Must([]int{3, 8}, []dist.DimSpec{dist.CollapsedDim(), dist.BlockDim()}, g)
+	onEachNode(2, func(n *machine.Node) {
+		a := New("a", d, n)
+		if a.LocalCount() != 12 {
+			t.Fatalf("local count %d", a.LocalCount())
+		}
+		for i := 1; i <= 3; i++ {
+			for j := 1; j <= 8; j++ {
+				if !a.IsLocal(i, j) {
+					continue
+				}
+				a.Set2(i, j, float64(i*10+j))
+			}
+		}
+		for i := 1; i <= 3; i++ {
+			for j := 1; j <= 8; j++ {
+				if a.IsLocal(i, j) && a.Get2(i, j) != float64(i*10+j) {
+					t.Errorf("a[%d,%d] wrong", i, j)
+				}
+			}
+		}
+		// Column ownership: cols 1-4 on node 0.
+		if a.IsLocal(1, 2) != (n.ID() == 0) {
+			t.Error("column ownership wrong")
+		}
+		// Out-of-range second dim panics.
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		a.Get2(1, 9)
+	})
+}
+
+// TestRank3Linear exercises the generic (rank > 2) offsetLinear path.
+func TestRank3Linear(t *testing.T) {
+	g := topology.MustGrid(2)
+	d := dist.Must([]int{4, 3, 2},
+		[]dist.DimSpec{dist.BlockDim(), dist.CollapsedDim(), dist.CollapsedDim()}, g)
+	onEachNode(2, func(n *machine.Node) {
+		a := New("a", d, n)
+		if a.Rank() != 3 || a.Size() != 24 {
+			t.Fatal("rank-3 metadata")
+		}
+		for gl := 1; gl <= 24; gl++ {
+			if a.OwnerLinear(gl) != n.ID() {
+				continue
+			}
+			a.SetLinear(gl, float64(gl))
+		}
+		for gl := 1; gl <= 24; gl++ {
+			if a.OwnerLinear(gl) == n.ID() && a.GetLinear(gl) != float64(gl) {
+				t.Errorf("rank-3 linear access at %d", gl)
+			}
+		}
+		// Coordinate and linear access agree.
+		if a.OwnerLinear(a.Linear(2, 3, 1)) == n.ID() {
+			if a.Get(2, 3, 1) != float64(a.Linear(2, 3, 1)) {
+				t.Error("coordinate/linear mismatch")
+			}
+		}
+	})
+}
+
+func TestIntArray2DMetadata(t *testing.T) {
+	g := topology.MustGrid(2)
+	d := dist.Must([]int{4, 3}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
+	onEachNode(2, func(n *machine.Node) {
+		ia := NewInt("adj", d, n)
+		if s := ia.Shape(); s[0] != 4 || s[1] != 3 {
+			t.Errorf("Shape = %v", s)
+		}
+		if ia.Dist() != d {
+			t.Error("Dist")
+		}
+	})
+}

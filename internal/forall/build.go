@@ -1,0 +1,376 @@
+package forall
+
+import (
+	"fmt"
+	"sort"
+
+	"kali/internal/analysis"
+	"kali/internal/comm"
+	"kali/internal/crystal"
+	"kali/internal/darray"
+	"kali/internal/index"
+	"kali/internal/machine"
+)
+
+// buildCompileTime derives the schedule from closed-form set algebra
+// (paper §3.1/[3]): no inspector pass, no global exchange.  Both ends
+// of every transfer compute the same sets independently, so the send
+// and receive schedules agree by construction.
+func (e *Engine) buildCompileTime(l *Loop) *Schedule {
+	me := e.node.ID()
+	onPat := l.On.Dist().Pattern(0)
+
+	reads := make([]analysis.Read, len(l.Reads))
+	for i, r := range l.Reads {
+		reads[i] = analysis.Read{Pat: r.Array.Dist().Pattern(0), G: *r.Affine}
+	}
+	sets := analysis.Compute(onPat, l.OnF, l.Lo, l.Hi, reads, me)
+	// Symbolic evaluation: a handful of closed-form evaluations.
+	e.node.Charge(machine.Cost{Calls: 2 + len(l.Reads)})
+
+	s := &Schedule{
+		kind:         BuildCompileTime,
+		execLocal:    sets.ExecLocal.Slice(),
+		execNonlocal: sets.ExecNonlocal.Slice(),
+	}
+
+	arrays := distinctArrays(l)
+	for _, arr := range arrays {
+		// Union the per-read in/out sets of this array.
+		inByQ := map[int]index.Set{}
+		outByQ := map[int]index.Set{}
+		for k, r := range l.Reads {
+			if r.Array != arr {
+				continue
+			}
+			for q, set := range sets.In[k] {
+				inByQ[q] = inByQ[q].Union(set)
+			}
+			for q, set := range sets.Out[k] {
+				outByQ[q] = outByQ[q].Union(set)
+			}
+		}
+		as := &arraySched{arr: arr, in: inSetFromSets(me, inByQ), out: outSetFromSets(me, outByQ)}
+		as.buf = make([]float64, as.in.Total)
+		s.arrays = append(s.arrays, as)
+	}
+	return s
+}
+
+// inSetFromSets builds a receive schedule from per-sender index sets.
+func inSetFromSets(me int, byQ map[int]index.Set) *comm.InSet {
+	qs := sortedKeys(byQ)
+	in := &comm.InSet{}
+	off := 0
+	for _, q := range qs {
+		for _, iv := range byQ[q].Intervals() {
+			r := comm.Range{FromProc: q, ToProc: me, Low: iv.Lo, High: iv.Hi, Buf: off}
+			off += r.Len()
+			in.Ranges = append(in.Ranges, r)
+		}
+	}
+	in.Total = off
+	return in
+}
+
+// outSetFromSets builds a send schedule from per-receiver index sets.
+func outSetFromSets(me int, byQ map[int]index.Set) *comm.OutSet {
+	var recs []comm.Range
+	for q, set := range byQ {
+		for _, iv := range set.Intervals() {
+			recs = append(recs, comm.Range{FromProc: me, ToProc: q, Low: iv.Lo, High: iv.Hi})
+		}
+	}
+	return comm.BuildOut(me, recs)
+}
+
+func sortedKeys(m map[int]index.Set) []int {
+	out := make([]int, 0, len(m))
+	for q := range m {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sendPeers returns the ascending union of all arrays' receivers.
+func sendPeers(s *Schedule) []int {
+	return peerUnion(s, func(as *arraySched) []int { return as.out.Receivers() })
+}
+
+// recvPeers returns the ascending union of all arrays' senders.
+func recvPeers(s *Schedule) []int {
+	return peerUnion(s, func(as *arraySched) []int { return as.in.Senders() })
+}
+
+func peerUnion(s *Schedule, get func(*arraySched) []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, as := range s.arrays {
+		for _, q := range get(as) {
+			if !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// routedRecs is the crystal-router payload: the in-records of array
+// slot k whose home is the destination node.
+type routedRecs struct {
+	slot int
+	recs []comm.Range
+}
+
+// buildInspector performs the paper's run-time analysis (Figure 6):
+// a recording pass over the loop body classifies every iteration and
+// collects the in sets; a Crystal-router exchange then delivers each
+// record to its home processor, whose received records form its out
+// set.
+func (e *Engine) buildInspector(l *Loop) *Schedule {
+	me := e.node.ID()
+	exec := e.execSet(l)
+	arrays := distinctArrays(l)
+
+	s := &Schedule{kind: BuildInspector}
+	builders := make([]*comm.Builder, len(arrays))
+	for i := range builders {
+		builders[i] = comm.NewBuilder(me)
+	}
+
+	// Recording pass: run the body with an inspecting Env.
+	env := &Env{
+		mode:     modeInspect,
+		eng:      e,
+		node:     e.node,
+		loop:     l,
+		arrays:   arrays,
+		builders: builders,
+	}
+	for _, i := range exec {
+		e.node.Charge(machine.Cost{LoopIters: 1})
+		env.iterNonlocal = false
+		if l.Enumerate {
+			env.enumRecord = env.enumRecord[:0]
+		}
+		l.Body(i, env)
+		if env.iterNonlocal {
+			s.execNonlocal = append(s.execNonlocal, i)
+			if l.Enumerate {
+				// Saltz-style: keep the full per-reference list for this
+				// iteration; list construction costs one insert per
+				// reference ("relatively high" preprocessing, §5).
+				refs := make([]enumRef, len(env.enumRecord))
+				copy(refs, env.enumRecord)
+				s.enum = append(s.enum, refs)
+				e.node.Charge(machine.Cost{ListInserts: len(refs)})
+			}
+		} else {
+			s.execLocal = append(s.execLocal, i)
+		}
+	}
+
+	// Finalize in sets and ship each record to its home processor.
+	var parcels []crystal.Parcel
+	for k, b := range builders {
+		in := b.Finalize()
+		as := &arraySched{arr: arrays[k], in: in}
+		as.buf = make([]float64, in.Total)
+		s.arrays = append(s.arrays, as)
+		for _, q := range in.Senders() {
+			rf := in.RangesFrom(q)
+			recs := make([]comm.Range, len(rf))
+			copy(recs, rf)
+			parcels = append(parcels, crystal.Parcel{
+				Dest:  q,
+				Data:  routedRecs{slot: k, recs: recs},
+				Bytes: recBytes * len(recs),
+			})
+		}
+	}
+
+	received := e.exchange(parcels)
+
+	// Assemble out sets from the records that arrived for each slot.
+	bySlot := make([][]comm.Range, len(arrays))
+	for _, pc := range received {
+		rr := pc.Data.(routedRecs)
+		if rr.slot < 0 || rr.slot >= len(arrays) {
+			panic(fmt.Sprintf("forall %s: routed records for unknown slot %d", l.Name, rr.slot))
+		}
+		// Records arrive as the *receiver's* in-records: FromProc is us.
+		bySlot[rr.slot] = append(bySlot[rr.slot], rr.recs...)
+	}
+	for k, as := range s.arrays {
+		as.out = comm.BuildOut(me, bySlot[k])
+	}
+
+	// Enumerated schedules resolve buffer slots now that the in sets
+	// are final.
+	if l.Enumerate {
+		for _, refs := range s.enum {
+			for r := range refs {
+				ref := &refs[r]
+				if ref.Buf != -1 {
+					as := s.arrays[ref.Slot]
+					buf, ok := as.in.Find(ref.Buf, ref.G) // Buf held the owner during recording
+					if !ok {
+						panic(fmt.Sprintf("forall %s: enumerated element %d missing from schedule", l.Name, ref.G))
+					}
+					ref.Buf = buf
+				}
+			}
+		}
+	}
+	return s
+}
+
+// exchange routes parcels to their destinations: via the Crystal
+// router on power-of-two machines (the paper's method), or by a direct
+// all-to-all on other sizes.  Every node must call exchange exactly
+// once per schedule build.
+func (e *Engine) exchange(parcels []crystal.Parcel) []crystal.Parcel {
+	p := e.node.P()
+	if p == 1 {
+		return parcels
+	}
+	if p&(p-1) == 0 {
+		return crystal.RouteSorted(e.node, parcels, func(a, b crystal.Parcel) bool {
+			ra, rb := a.Data.(routedRecs), b.Data.(routedRecs)
+			if ra.slot != rb.slot {
+				return ra.slot < rb.slot
+			}
+			if len(ra.recs) == 0 || len(rb.recs) == 0 {
+				return len(ra.recs) < len(rb.recs)
+			}
+			if ra.recs[0].ToProc != rb.recs[0].ToProc {
+				return ra.recs[0].ToProc < rb.recs[0].ToProc
+			}
+			return ra.recs[0].Low < rb.recs[0].Low
+		})
+	}
+	// Direct all-to-all fallback: one (possibly empty) message to every
+	// peer, so receive counts are static.
+	me := e.node.ID()
+	byDest := make([][]crystal.Parcel, p)
+	for _, pc := range parcels {
+		if pc.Dest == me {
+			byDest[me] = append(byDest[me], pc)
+			continue
+		}
+		byDest[pc.Dest] = append(byDest[pc.Dest], pc)
+	}
+	var out []crystal.Parcel
+	out = append(out, byDest[me]...)
+	for q := 0; q < p; q++ {
+		if q == me {
+			continue
+		}
+		bytes := 8
+		for _, pc := range byDest[q] {
+			bytes += pc.Bytes
+		}
+		e.node.Send(q, machine.TagCrystal, byDest[q], bytes)
+	}
+	for q := 0; q < p; q++ {
+		if q == me {
+			continue
+		}
+		msg := e.node.Recv(q, machine.TagCrystal)
+		if got, ok := msg.Payload.([]crystal.Parcel); ok {
+			out = append(out, got...)
+		}
+	}
+	return out
+}
+
+// execute runs the paper's Figure 3 pipeline with a prepared schedule.
+func (e *Engine) execute(l *Loop, s *Schedule) {
+	// Send messages to other processors.  The per-byte message charge
+	// (paid at both ends by Send/Recv) covers the pack/unpack copies.
+	// By default all arrays' data for one destination travel in a
+	// single combined message (the paper's message-combining).
+	if e.NoCombine {
+		for k, as := range s.arrays {
+			arr := as.arr
+			for _, q := range as.out.Receivers() {
+				payload := as.out.Pack(q, arr.GetLinear)
+				e.node.Send(q, tagFor(k), payload, 8*len(payload))
+			}
+		}
+	} else {
+		for _, q := range sendPeers(s) {
+			var combined []float64
+			for _, as := range s.arrays {
+				combined = append(combined, as.out.Pack(q, as.arr.GetLinear)...)
+			}
+			e.node.Send(q, machine.TagData, combined, 8*len(combined))
+		}
+	}
+
+	env := &Env{
+		mode:   modeExecLocal,
+		eng:    e,
+		node:   e.node,
+		loop:   l,
+		sched:  s,
+		arrays: make([]*darray.Array, len(s.arrays)),
+	}
+	for k, as := range s.arrays {
+		env.arrays[k] = as.arr
+	}
+
+	// Do local iterations.
+	for _, i := range s.execLocal {
+		e.node.Charge(machine.Cost{LoopIters: 1})
+		l.Body(i, env)
+	}
+
+	// Receive messages from other processors.
+	if e.NoCombine {
+		for k, as := range s.arrays {
+			for _, q := range as.in.Senders() {
+				msg := e.node.Recv(q, tagFor(k))
+				payload := msg.Payload.([]float64)
+				as.in.Unpack(q, payload, as.buf)
+			}
+		}
+	} else {
+		for _, q := range recvPeers(s) {
+			msg := e.node.Recv(q, machine.TagData)
+			payload := msg.Payload.([]float64)
+			off := 0
+			for _, as := range s.arrays {
+				n := as.in.BytesFrom(q) / 8
+				if n == 0 {
+					continue
+				}
+				as.in.Unpack(q, payload[off:off+n], as.buf)
+				off += n
+			}
+			if off != len(payload) {
+				panic(fmt.Sprintf("forall %s: combined message from %d has %d values, schedules expect %d",
+					l.Name, q, len(payload), off))
+			}
+		}
+	}
+
+	// Do nonlocal iterations.
+	env.mode = modeExecNonlocal
+	for k, i := range s.execNonlocal {
+		e.node.Charge(machine.Cost{LoopIters: 1})
+		if l.Enumerate {
+			env.enumList = s.enum[k]
+			env.enumPos = 0
+		}
+		l.Body(i, env)
+	}
+
+	// Commit buffered writes: copy-in/copy-out semantics.
+	for _, w := range env.writes {
+		w.a.SetLinear(w.g, w.v)
+	}
+}

@@ -1,0 +1,115 @@
+package forall
+
+import (
+	"sync"
+	"testing"
+
+	"kali/internal/analysis"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// runTwoArrayStencil executes a loop reading two arrays across the
+// same boundaries, with or without message combining, and returns the
+// results plus the total data-message count (crystal traffic excluded
+// by running the loop a second time from the cache and counting only
+// that execution).
+func runTwoArrayStencil(t *testing.T, noCombine bool) ([]float64, int) {
+	t.Helper()
+	const n, p = 24, 4
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	result := make([]float64, n+1)
+	var mu sync.Mutex
+	msgs := 0
+	mach.Run(func(nd *machine.Node) {
+		out := darray.New("out", d, nd)
+		u := darray.New("u", d, nd)
+		v := darray.New("v", d, nd)
+		for i := 1; i <= n; i++ {
+			if u.IsLocal1(i) {
+				u.Set1(i, float64(i))
+				v.Set1(i, float64(i)*100)
+			}
+		}
+		eng := NewEngine(nd)
+		eng.NoCombine = noCombine
+		loop := &Loop{
+			Name: "two-array", Lo: 1, Hi: n - 1,
+			On: out, OnF: analysis.Identity,
+			Reads: []ReadSpec{
+				{Array: u, Affine: &analysis.Affine{A: 1, C: 1}},
+				{Array: v, Affine: &analysis.Affine{A: 1, C: 1}},
+			},
+			Body: func(i int, e *Env) {
+				e.Write(out, i, e.Read(u, i+1)+e.Read(v, i+1))
+			},
+		}
+		eng.Run(loop)
+		before := nd.Stats().MsgsSent
+		eng.Run(loop) // cached: pure executor traffic
+		after := nd.Stats().MsgsSent
+		mu.Lock()
+		msgs += after - before
+		out.Dist().Pattern(0).Local(nd.ID()).Each(func(i int) { result[i] = out.Get1(i) })
+		mu.Unlock()
+	})
+	return result, msgs
+}
+
+// TestCombineHalvesMessages: with two arrays crossing each boundary,
+// combining halves the message count (the paper's "saving on the
+// number of messages") without changing results.
+func TestCombineHalvesMessages(t *testing.T) {
+	combined, mc := runTwoArrayStencil(t, false)
+	separate, ms := runTwoArrayStencil(t, true)
+	for i := 1; i < 24; i++ {
+		want := float64(i+1) * 101
+		if combined[i] != want || separate[i] != want {
+			t.Fatalf("i=%d: combined=%g separate=%g want=%g", i, combined[i], separate[i], want)
+		}
+	}
+	// 3 boundary pairs, one direction each: combined = 3, separate = 6.
+	if mc != 3 || ms != 6 {
+		t.Fatalf("messages per execution: combined=%d separate=%d, want 3/6", mc, ms)
+	}
+}
+
+// TestCombineSavesStartupTime: per-execution message time drops by the
+// saved startups.
+func TestCombineSavesStartupTime(t *testing.T) {
+	run := func(noCombine bool) float64 {
+		const n, p = 24, 4
+		g := topology.MustGrid(p)
+		d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+		mach := machine.MustNew(p, machine.NCUBE7())
+		mach.Run(func(nd *machine.Node) {
+			out := darray.New("out", d, nd)
+			u := darray.New("u", d, nd)
+			v := darray.New("v", d, nd)
+			eng := NewEngine(nd)
+			eng.NoCombine = noCombine
+			loop := &Loop{
+				Name: "two-array", Lo: 1, Hi: n - 1,
+				On: out, OnF: analysis.Identity,
+				Reads: []ReadSpec{
+					{Array: u, Affine: &analysis.Affine{A: 1, C: 1}},
+					{Array: v, Affine: &analysis.Affine{A: 1, C: 1}},
+				},
+				Body: func(i int, e *Env) {
+					e.Write(out, i, e.Read(u, i+1)+e.Read(v, i+1))
+				},
+			}
+			for k := 0; k < 10; k++ {
+				eng.Run(loop)
+			}
+		})
+		return mach.MaxPhase(PhaseExecutor)
+	}
+	if c, s := run(false), run(true); c >= s {
+		t.Fatalf("combined executor %.6f not faster than separate %.6f", c, s)
+	}
+}

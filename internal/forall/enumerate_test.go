@@ -1,0 +1,144 @@
+package forall
+
+import (
+	"sync"
+	"testing"
+
+	"kali/internal/analysis"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// runEnumGather runs a permutation gather with or without Saltz-style
+// enumeration and returns the result plus the per-node schedule bytes
+// and executor times.
+func runEnumGather(t *testing.T, enumerate bool, params machine.Params) ([]float64, int, float64) {
+	t.Helper()
+	const n, p = 32, 4
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := machine.MustNew(p, params)
+	result := make([]float64, n+1)
+	memMax := 0
+	var mu sync.Mutex
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		b := darray.New("b", d, nd)
+		idx := darray.NewInt("idx", d, nd)
+		for i := 1; i <= n; i++ {
+			if b.IsLocal1(i) {
+				b.Set1(i, float64(i)*2)
+			}
+			if idx.IsLocal1(i) {
+				idx.Set1(i, n+1-i)
+			}
+		}
+		eng := NewEngine(nd)
+		loop := &Loop{
+			Name: "gather", Lo: 1, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Reads:     []ReadSpec{{Array: b}},
+			DependsOn: []Dep{idx},
+			Enumerate: enumerate,
+			Body: func(i int, e *Env) {
+				e.Write(a, i, e.Read(b, e.ReadInt(idx, i)))
+			},
+		}
+		for k := 0; k < 3; k++ { // exercise cached reuse too
+			eng.Run(loop)
+		}
+		mu.Lock()
+		if mb := eng.Schedule("gather").MemBytes(); mb > memMax {
+			memMax = mb
+		}
+		a.Dist().Pattern(0).Local(nd.ID()).Each(func(i int) { result[i] = a.Get1(i) })
+		mu.Unlock()
+	})
+	return result, memMax, mach.MaxPhase(PhaseExecutor)
+}
+
+// TestEnumerateMatchesSearch: both executor strategies compute the
+// same values.
+func TestEnumerateMatchesSearch(t *testing.T) {
+	search, _, _ := runEnumGather(t, false, machine.Ideal())
+	enum, _, _ := runEnumGather(t, true, machine.Ideal())
+	for i := 1; i <= 32; i++ {
+		want := float64(32+1-i) * 2
+		if search[i] != want || enum[i] != want {
+			t.Fatalf("i=%d: search=%g enum=%g want=%g", i, search[i], enum[i], want)
+		}
+	}
+}
+
+// TestEnumerateTradeoff reproduces the §5 characterization: the
+// enumerated executor is faster per sweep (no locality tests or
+// searches) but its schedule needs more storage.
+func TestEnumerateTradeoff(t *testing.T) {
+	_, memSearch, execSearch := runEnumGather(t, false, machine.NCUBE7())
+	_, memEnum, execEnum := runEnumGather(t, true, machine.NCUBE7())
+	if execEnum >= execSearch {
+		t.Fatalf("enumerated executor (%.4f) should beat search (%.4f)", execEnum, execSearch)
+	}
+	if memEnum <= memSearch {
+		t.Fatalf("enumerated schedule (%d B) should need more storage than search (%d B)",
+			memEnum, memSearch)
+	}
+}
+
+// TestEnumerateForcesInspector: enumeration cannot use the
+// compile-time path (the list must be built by a recording pass).
+func TestEnumerateForcesInspector(t *testing.T) {
+	const n, p = 16, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "affine-enum", Lo: 1, Hi: n - 1,
+			On: a, OnF: analysis.Identity,
+			Reads:     []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: 1}}},
+			Enumerate: true,
+			Body:      func(i int, e *Env) { e.Write(a, i, e.Read(a, i+1)) },
+		})
+		if eng.LastBuildKind() != BuildInspector {
+			t.Errorf("enumerate used %v", eng.LastBuildKind())
+		}
+	})
+}
+
+// TestEnumerateDivergentBodyPanics: a body whose reference sequence
+// changes between inspection and execution is detected.
+func TestEnumerateDivergentBodyPanics(t *testing.T) {
+	const n, p = 8, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for divergent body")
+		}
+	}()
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		b := darray.New("b", d, nd)
+		NewEngine(nd).Run(&Loop{
+			Name: "diverge", Lo: 1, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Reads:     []ReadSpec{{Array: b}},
+			Enumerate: true,
+			Body: func(i int, e *Env) {
+				// Different subscript on the execution pass — the body
+				// violates the fixed-reference-pattern contract.
+				j := (i % n) + 1
+				if !e.Inspecting() {
+					j = ((i + 1) % n) + 1
+				}
+				e.Write(a, i, e.Read(b, j))
+			},
+		})
+	})
+}

@@ -1,0 +1,222 @@
+package forall
+
+import (
+	"fmt"
+
+	"kali/internal/comm"
+	"kali/internal/darray"
+	"kali/internal/machine"
+)
+
+// Env mode: the same body runs under three regimes.
+const (
+	// modeInspect: the recording pass.  Reads are classified and
+	// logged, writes are suppressed, arithmetic is free (the paper's
+	// inspector "only checks whether references ... are local").
+	modeInspect = iota
+	// modeExecLocal: executor local loop — every declared read is
+	// known local, accesses go straight to local storage.
+	modeExecLocal
+	// modeExecNonlocal: executor nonlocal loop — every read tests
+	// locality and may search the communication buffer (the paper's
+	// "locality test ... is necessary because even within the same
+	// iteration the reference may be sometimes local and sometimes
+	// nonlocal").
+	modeExecNonlocal
+)
+
+// Env is the loop body's window onto the global name space.  The body
+// must perform reads of potentially-nonlocal distributed elements
+// through Read/ReadAt (declared in Loop.Reads), reads the compiler
+// could prove local/aligned through the *Local and *Int accessors, and
+// all writes through Write/WriteAt.
+type Env struct {
+	mode  int
+	eng   *Engine
+	node  *machine.Node
+	loop  *Loop
+	sched *Schedule
+
+	arrays   []*darray.Array // distinct read arrays, schedule slot order
+	builders []*comm.Builder // inspect mode only
+
+	iterNonlocal bool
+	writes       []write
+
+	// Saltz-style enumeration (Loop.Enumerate): during inspection,
+	// enumRecord collects every reference of the current iteration
+	// (Buf holds the owner, or -1 when local); during execution,
+	// enumList/enumPos replay the resolved references in order.
+	enumRecord []enumRef
+	enumList   []enumRef
+	enumPos    int
+}
+
+type write struct {
+	a *darray.Array
+	g int
+	v float64
+}
+
+func (e *Env) slotOf(a *darray.Array) int {
+	for k, arr := range e.arrays {
+		if arr == a {
+			return k
+		}
+	}
+	panic(fmt.Sprintf("forall %s: Read of array %q not declared in Loop.Reads", e.loop.Name, a.Name()))
+}
+
+// Read fetches element g (linearized global index; plain index for
+// 1-D arrays) of a distributed array declared in Loop.Reads.  It is
+// the potentially-nonlocal access path.
+func (e *Env) Read(a *darray.Array, g int) float64 {
+	switch e.mode {
+	case modeInspect:
+		e.node.Charge(machine.Cost{RefChecks: 1})
+		owner := a.OwnerLinear(g)
+		if owner == -1 || owner == e.node.ID() {
+			if e.loop.Enumerate {
+				e.enumRecord = append(e.enumRecord, enumRef{Slot: e.slotOf(a), G: g, Buf: -1})
+			}
+			return a.GetLinear(g)
+		}
+		e.iterNonlocal = true
+		if e.loop.Enumerate {
+			e.enumRecord = append(e.enumRecord, enumRef{Slot: e.slotOf(a), G: g, Buf: owner})
+		}
+		if e.builders[e.slotOf(a)].Add(g, owner) {
+			e.node.Charge(machine.Cost{ListInserts: 1})
+		}
+		return 0 // value unused by a well-formed inspector pass
+
+	case modeExecLocal:
+		e.node.Charge(machine.Cost{MemRefs: 1})
+		return a.GetLinear(g)
+
+	default: // modeExecNonlocal
+		if e.loop.Enumerate {
+			// Saltz-style replay: no locality test, no search — one list
+			// lookup plus the data access.
+			if e.enumPos >= len(e.enumList) {
+				panic(fmt.Sprintf("forall %s: body made more reads than enumerated", e.loop.Name))
+			}
+			ref := e.enumList[e.enumPos]
+			e.enumPos++
+			if e.arrays[ref.Slot] != a || ref.G != g {
+				panic(fmt.Sprintf("forall %s: body reference sequence diverged from inspection (%s[%d] vs slot %d[%d])",
+					e.loop.Name, a.Name(), g, ref.Slot, ref.G))
+			}
+			e.node.Charge(machine.Cost{MemRefs: 2})
+			if ref.Buf == -1 {
+				return a.GetLinear(g)
+			}
+			return e.sched.arrays[ref.Slot].buf[ref.Buf]
+		}
+		e.node.Charge(machine.Cost{LocTests: 1})
+		owner := a.OwnerLinear(g)
+		if owner == -1 || owner == e.node.ID() {
+			e.node.Charge(machine.Cost{MemRefs: 1})
+			return a.GetLinear(g)
+		}
+		as := e.sched.arrays[e.slotOf(a)]
+		e.node.ChargeSearch(as.in.NumRanges())
+		slot, ok := as.in.Find(owner, g)
+		if !ok {
+			panic(fmt.Sprintf("forall %s: element %s[%d] not in communication schedule — body references changed since inspection (add the driving array to DependsOn)",
+				e.loop.Name, a.Name(), g))
+		}
+		e.node.Charge(machine.Cost{MemRefs: 1})
+		return as.buf[slot]
+	}
+}
+
+// ReadAt is Read for multi-dimensional arrays, addressed by
+// coordinates.
+func (e *Env) ReadAt(a *darray.Array, coord ...int) float64 {
+	return e.Read(a, a.Linear(coord...))
+}
+
+// ReadLocal fetches element i of a 1-D array through an access the
+// compiler proved local (subscript aligned with the on clause, or
+// replicated array).  It panics if the element is in fact nonlocal —
+// that is a program bug, not a run-time condition.
+func (e *Env) ReadLocal(a *darray.Array, i int) float64 {
+	if e.mode != modeInspect {
+		e.node.Charge(machine.Cost{MemRefs: 1})
+	}
+	return a.Get1(i)
+}
+
+// ReadLocal2 is ReadLocal for rank-2 arrays.
+func (e *Env) ReadLocal2(a *darray.Array, i, j int) float64 {
+	if e.mode != modeInspect {
+		e.node.Charge(machine.Cost{MemRefs: 1})
+	}
+	return a.Get2(i, j)
+}
+
+// ReadInt fetches element i of a 1-D integer array (always
+// local/aligned — subscript arrays travel with their loop).
+func (e *Env) ReadInt(a *darray.IntArray, i int) int {
+	if e.mode != modeInspect {
+		e.node.Charge(machine.Cost{MemRefs: 1})
+	}
+	return a.Get1(i)
+}
+
+// ReadInt2 is ReadInt for rank-2 arrays.
+func (e *Env) ReadInt2(a *darray.IntArray, i, j int) int {
+	if e.mode != modeInspect {
+		e.node.Charge(machine.Cost{MemRefs: 1})
+	}
+	return a.Get2(i, j)
+}
+
+// Write stores v into element g (linearized global index) of a
+// distributed array.  The on clause guarantees writes are local
+// (owner-computes); Write panics otherwise.  Writes are buffered and
+// committed when the loop completes — forall's copy-in/copy-out
+// semantics: every read in the loop sees pre-loop values.
+func (e *Env) Write(a *darray.Array, g int, v float64) {
+	if e.mode == modeInspect {
+		// The inspector suppresses side effects; it also verifies the
+		// owner-computes property early.
+		if a.Replicated() {
+			panic(fmt.Sprintf("forall %s: write to replicated array %q", e.loop.Name, a.Name()))
+		}
+		if a.OwnerLinear(g) != e.node.ID() {
+			panic(fmt.Sprintf("forall %s: non-owner write to %s[%d] on node %d",
+				e.loop.Name, a.Name(), g, e.node.ID()))
+		}
+		return
+	}
+	e.node.Charge(machine.Cost{MemRefs: 1})
+	if a.Replicated() {
+		panic(fmt.Sprintf("forall %s: write to replicated array %q", e.loop.Name, a.Name()))
+	}
+	if a.OwnerLinear(g) != e.node.ID() {
+		panic(fmt.Sprintf("forall %s: non-owner write to %s[%d] on node %d",
+			e.loop.Name, a.Name(), g, e.node.ID()))
+	}
+	e.writes = append(e.writes, write{a: a, g: g, v: v})
+}
+
+// WriteAt is Write addressed by coordinates.
+func (e *Env) WriteAt(a *darray.Array, v float64, coord ...int) {
+	e.Write(a, a.Linear(coord...), v)
+}
+
+// Flops charges k floating-point operations of body arithmetic.  Free
+// during inspection (the recording pass skips the computation).
+func (e *Env) Flops(k int) {
+	if e.mode != modeInspect {
+		e.node.Charge(machine.Cost{Flops: k})
+	}
+}
+
+// Inspecting reports whether the body is running under the recording
+// pass; bodies whose control flow would diverge on unavailable remote
+// values can consult it (the paper requires reference patterns not to
+// depend on remote data).
+func (e *Env) Inspecting() bool { return e.mode == modeInspect }

@@ -1,0 +1,270 @@
+package forall
+
+import (
+	"sync"
+	"testing"
+
+	"kali/internal/analysis"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// TestRank2NonlocalReads: a loop gathering whole rows of a 2-D
+// block-by-rows matrix through data-dependent row indices — ReadAt and
+// the linearized communication path.
+func TestRank2NonlocalReads(t *testing.T) {
+	const n, m, p = 8, 3, 4
+	g := topology.MustGrid(p)
+	d1 := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	d2 := dist.Must([]int{n, m}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	result := make([]float64, n+1)
+	var mu sync.Mutex
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d1, nd)
+		b := darray.New("b", d2, nd)
+		rowOf := darray.NewInt("rowOf", d1, nd)
+		for i := 1; i <= n; i++ {
+			if rowOf.IsLocal1(i) {
+				rowOf.Set1(i, n+1-i) // reversed row gather
+			}
+			for j := 1; j <= m; j++ {
+				if b.IsLocal(i, j) {
+					b.Set2(i, j, float64(i*100+j))
+				}
+			}
+		}
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "rowgather", Lo: 1, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Reads:     []ReadSpec{{Array: b}}, // rank-2, indirect
+			DependsOn: []Dep{rowOf},
+			Body: func(i int, e *Env) {
+				r := e.ReadInt(rowOf, i)
+				sum := 0.0
+				for j := 1; j <= m; j++ {
+					sum += e.ReadAt(b, r, j)
+					e.Flops(1)
+				}
+				e.Write(a, i, sum)
+			},
+		})
+		if eng.LastBuildKind() != BuildInspector {
+			t.Errorf("rank-2 indirect read should force the inspector, got %v", eng.LastBuildKind())
+		}
+		mu.Lock()
+		a.Dist().Pattern(0).Local(nd.ID()).Each(func(i int) { result[i] = a.Get1(i) })
+		mu.Unlock()
+	})
+	for i := 1; i <= n; i++ {
+		r := n + 1 - i
+		want := float64(r*100+1) + float64(r*100+2) + float64(r*100+3)
+		if result[i] != want {
+			t.Fatalf("a[%d] = %g, want %g", i, result[i], want)
+		}
+	}
+}
+
+// TestWriteAtAndAlignedReads exercises WriteAt, ReadLocal, ReadLocal2
+// and ReadInt2 together: a rank-2 owner-computed update fed by aligned
+// reads (the Figure 4 access shapes).
+func TestWriteAtAndAlignedReads(t *testing.T) {
+	const n, m, p = 6, 2, 2
+	g := topology.MustGrid(p)
+	d1 := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	d2 := dist.Must([]int{n, m}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d1, nd)
+		w := darray.New("w", d2, nd)
+		ki := darray.NewInt("ki", d2, nd)
+		a.Dist().Pattern(0).Local(nd.ID()).Each(func(i int) {
+			a.Set1(i, float64(i))
+			for j := 1; j <= m; j++ {
+				w.Set2(i, j, float64(j))
+				ki.Set2(i, j, j*10)
+			}
+		})
+		out := darray.New("out", d2, nd)
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "writeat", Lo: 1, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Body: func(i int, e *Env) {
+				if e.Inspecting() {
+					// Bodies may consult Inspecting(); behaviour must not
+					// change, but the call itself is exercised here.
+					_ = i
+				}
+				base := e.ReadLocal(a, i)
+				for j := 1; j <= m; j++ {
+					v := base*e.ReadLocal2(w, i, j) + float64(e.ReadInt2(ki, i, j))
+					e.WriteAt(out, v, i, j)
+				}
+			},
+		})
+		out.Dist().Pattern(0).Local(nd.ID()).Each(func(i int) {
+			for j := 1; j <= m; j++ {
+				want := float64(i)*float64(j) + float64(j*10)
+				if out.Get2(i, j) != want {
+					t.Errorf("out[%d,%d] = %g, want %g", i, j, out.Get2(i, j), want)
+				}
+			}
+		})
+	})
+}
+
+// TestEngineUtilities covers Node, Schedule, Invalidate, InvalidateAll
+// and the BuildKind strings.
+func TestEngineUtilities(t *testing.T) {
+	const n, p = 8, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		eng := NewEngine(nd)
+		if eng.Node() != nd {
+			t.Error("Node accessor")
+		}
+		loop := &Loop{
+			Name: "u", Lo: 1, Hi: n - 1,
+			On: a, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: 1}}},
+			Body:  func(i int, e *Env) { e.Write(a, i, e.Read(a, i+1)) },
+		}
+		eng.Run(loop)
+		s := eng.Schedule("u")
+		if s == nil || s.Kind() != BuildCompileTime {
+			t.Fatalf("Schedule: %+v", s)
+		}
+		eng.Invalidate("u")
+		if eng.Schedule("u") != nil {
+			t.Error("Invalidate failed")
+		}
+		eng.Run(loop)
+		eng.InvalidateAll()
+		if eng.Schedule("u") != nil {
+			t.Error("InvalidateAll failed")
+		}
+	})
+	for k, want := range map[BuildKind]string{
+		BuildCached: "cached", BuildCompileTime: "compile-time",
+		BuildInspector: "inspector", BuildKind(9): "BuildKind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("BuildKind(%d).String() = %q", int(k), k.String())
+		}
+	}
+}
+
+// TestMultipleIndirectArrays: two independently distributed arrays
+// read indirectly in one loop; each gets its own schedule and both
+// resolve correctly.
+func TestMultipleIndirectArrays(t *testing.T) {
+	const n, p = 16, 4
+	g := topology.MustGrid(p)
+	dBlk := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	dCyc := dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	result := make([]float64, n+1)
+	var mu sync.Mutex
+	mach.Run(func(nd *machine.Node) {
+		out := darray.New("out", dBlk, nd)
+		u := darray.New("u", dBlk, nd)
+		v := darray.New("v", dCyc, nd)
+		idx := darray.NewInt("idx", dBlk, nd)
+		for i := 1; i <= n; i++ {
+			if u.IsLocal1(i) {
+				u.Set1(i, float64(i))
+			}
+			if v.IsLocal1(i) {
+				v.Set1(i, float64(i)*1000)
+			}
+			if idx.IsLocal1(i) {
+				idx.Set1(i, (i*5)%n+1)
+			}
+		}
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "two", Lo: 1, Hi: n,
+			On: out, OnF: analysis.Identity,
+			Reads:     []ReadSpec{{Array: u}, {Array: v}},
+			DependsOn: []Dep{idx},
+			Body: func(i int, e *Env) {
+				j := e.ReadInt(idx, i)
+				e.Write(out, i, e.Read(u, j)+e.Read(v, j))
+			},
+		})
+		mu.Lock()
+		out.Dist().Pattern(0).Local(nd.ID()).Each(func(i int) { result[i] = out.Get1(i) })
+		mu.Unlock()
+	})
+	for i := 1; i <= n; i++ {
+		j := (i*5)%n + 1
+		if want := float64(j) + float64(j)*1000; result[i] != want {
+			t.Fatalf("out[%d] = %g, want %g", i, result[i], want)
+		}
+	}
+}
+
+// TestOnFNonIdentity: an on clause with a shifted affine subscript
+// places iterations on the owner of A[i+2].
+func TestOnFNonIdentity(t *testing.T) {
+	const n, p = 12, 3
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	owners := make([]int, n+1)
+	var mu sync.Mutex
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "shifted-on", Lo: 1, Hi: n - 2,
+			On: a, OnF: analysis.Affine{A: 1, C: 2},
+			Body: func(i int, e *Env) {
+				mu.Lock()
+				owners[i] = nd.ID()
+				mu.Unlock()
+				// Owner-computes holds for A[i+2].
+				e.Write(a, i+2, float64(i))
+			},
+		})
+	})
+	blk := dist.NewBlock(n, p)
+	for i := 1; i <= n-2; i++ {
+		if owners[i] != blk.Owner(i+2) {
+			t.Fatalf("iteration %d ran on %d, want owner of %d = %d",
+				i, owners[i], i+2, blk.Owner(i+2))
+		}
+	}
+}
+
+// TestPhaseOverride: a loop with Phase set accrues time under that
+// name, not under "executor".
+func TestPhaseOverride(t *testing.T) {
+	const n, p = 8, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := machine.MustNew(p, machine.NCUBE7())
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "aux", Lo: 1, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Phase: "copy",
+			Body:  func(i int, e *Env) { e.Write(a, i, 1) },
+		})
+		if nd.PhaseTime("copy") <= 0 {
+			t.Error("copy phase not recorded")
+		}
+		if nd.PhaseTime(PhaseExecutor) != 0 {
+			t.Error("executor phase should be empty")
+		}
+	})
+}

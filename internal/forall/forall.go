@@ -1,0 +1,377 @@
+// Package forall implements Kali's forall loops on the simulated
+// distributed-memory machine: the paper's central contribution.
+//
+// A Loop describes one forall statement: its iteration range, its on
+// clause (owner-computes placement), the distributed-array references
+// its body makes, and the body itself.  The Engine executes loops in
+// the paper's pipeline:
+//
+//  1. Determine exec(p), the iterations this node runs.
+//  2. Obtain a communication Schedule: from the cache if the loop has
+//     run before and its pattern-driving arrays are unchanged
+//     (paper §3.2, "saving them for later loop executions"); else by
+//     compile-time analysis when every subscript is affine (paper
+//     §3.1/[3]); else by the run-time inspector — a recording pass over
+//     the body followed by a Crystal-router exchange that turns each
+//     node's in sets into the senders' out sets (paper §3.3, Fig. 6).
+//  3. Run the executor: send all messages, run the local iterations,
+//     receive all messages, run the nonlocal iterations (Fig. 3),
+//     then commit buffered writes (copy-in/copy-out semantics).
+package forall
+
+import (
+	"fmt"
+
+	"kali/internal/analysis"
+	"kali/internal/comm"
+	"kali/internal/darray"
+	"kali/internal/machine"
+)
+
+// Phase names used for the timing breakdown the paper reports.
+const (
+	PhaseInspector = "inspector"
+	PhaseExecutor  = "executor"
+)
+
+// ReadSpec declares one distributed-array reference the body may make
+// through Env.Read.  When Affine is non-nil the subscript is the
+// static form a*i+c and the reference is a candidate for compile-time
+// analysis; a nil Affine marks a data-dependent (indirect) reference
+// that forces the run-time inspector.
+type ReadSpec struct {
+	Array  *darray.Array
+	Affine *analysis.Affine
+}
+
+// Dep names an array whose *contents* determine the loop's reference
+// pattern (the adj array in the paper's Figure 4).  A cached schedule
+// is invalidated when any dependency's version changes.
+type Dep interface {
+	Name() string
+	Version() int
+}
+
+// Loop is one forall statement.
+type Loop struct {
+	// Name identifies the loop for schedule caching; loops at
+	// different source locations must use different names.
+	Name string
+	// Lo, Hi is the iteration range (inclusive, 1-based).
+	Lo, Hi int
+	// On is the owner-computes placement array: iteration i runs on
+	// the owner of On[OnF(i)].  On must be 1-D and distributed over a
+	// 1-D processor grid.
+	On *darray.Array
+	// OnF is the on-clause subscript f; use analysis.Identity for
+	// "on A[i].loc".
+	OnF analysis.Affine
+	// OnProc, when non-nil, overrides On/OnF and places iteration i on
+	// processor OnProc(i) directly ("it is also possible to name the
+	// processor directly by indexing into the processor array").
+	OnProc func(i int) int
+	// Reads declares every Env.Read the body performs.
+	Reads []ReadSpec
+	// DependsOn lists pattern-driving arrays for cache invalidation.
+	DependsOn []Dep
+	// Body is the loop body, executed once per iteration.
+	Body func(i int, e *Env)
+	// Phase overrides the timing phase the execution is attributed to
+	// (default PhaseExecutor).  The paper's measurements time only the
+	// computational-core forall; auxiliary loops (the old_a := a copy)
+	// use a separate phase so the reported executor column matches.
+	Phase string
+	// Enumerate selects the Saltz-style executor the paper contrasts
+	// with in §5: the inspector explicitly enumerates *every* reference
+	// of every nonlocal iteration into a resolved list, which
+	// "eliminates the overhead of checking and searching for nonlocal
+	// references during the loop execution but requires more storage".
+	// It forces the run-time inspector.
+	Enumerate bool
+}
+
+// allAffine reports whether compile-time analysis applies.
+func (l *Loop) allAffine() bool {
+	if l.OnProc != nil || l.Enumerate {
+		return false
+	}
+	for _, r := range l.Reads {
+		if r.Affine == nil || r.Array.Rank() != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildKind says how a schedule was obtained, for tests and reports.
+type BuildKind int
+
+// Schedule provenance values.
+const (
+	BuildCached BuildKind = iota
+	BuildCompileTime
+	BuildInspector
+)
+
+func (k BuildKind) String() string {
+	switch k {
+	case BuildCached:
+		return "cached"
+	case BuildCompileTime:
+		return "compile-time"
+	case BuildInspector:
+		return "inspector"
+	default:
+		return fmt.Sprintf("BuildKind(%d)", int(k))
+	}
+}
+
+// arraySched is the communication schedule for one distributed array.
+type arraySched struct {
+	arr *darray.Array
+	in  *comm.InSet
+	out *comm.OutSet
+	buf []float64
+}
+
+// enumRef is one resolved reference of a Saltz-style enumerated
+// schedule: the value lives either in the communication buffer of
+// array slot (Buf >= 0) or locally at global index G (Buf == -1).
+type enumRef struct {
+	Slot int
+	G    int
+	Buf  int
+}
+
+// Schedule is the cached result of inspecting/analyzing one loop on
+// one node.
+type Schedule struct {
+	execLocal    []int
+	execNonlocal []int
+	arrays       []*arraySched
+	kind         BuildKind
+	lo, hi       int
+	depVersions  []int
+	// enum[k] lists every resolved reference of nonlocal iteration
+	// execNonlocal[k], in body order (Loop.Enumerate only).
+	enum [][]enumRef
+}
+
+// LocalIters returns the number of iterations with only local
+// references (paper's local_list).
+func (s *Schedule) LocalIters() int { return len(s.execLocal) }
+
+// NonlocalIters returns the number of iterations needing communicated
+// data (paper's nonlocal_list).
+func (s *Schedule) NonlocalIters() int { return len(s.execNonlocal) }
+
+// Kind reports how the schedule was built.
+func (s *Schedule) Kind() BuildKind { return s.kind }
+
+// RecvCount returns the total number of elements this node receives
+// per execution.
+func (s *Schedule) RecvCount() int {
+	n := 0
+	for _, as := range s.arrays {
+		n += as.in.Total
+	}
+	return n
+}
+
+// MemBytes estimates the schedule's storage: iteration lists, range
+// records (Figure 5: ~20 bytes each), buffers, and — for enumerated
+// schedules — the per-reference list the paper's §5 identifies as the
+// storage cost of Saltz's approach.
+func (s *Schedule) MemBytes() int {
+	n := 8 * (len(s.execLocal) + len(s.execNonlocal))
+	for _, as := range s.arrays {
+		n += recBytes * (len(as.in.Ranges) + len(as.out.Ranges))
+		n += 8 * len(as.buf)
+	}
+	for _, refs := range s.enum {
+		n += 12 * len(refs)
+	}
+	return n
+}
+
+// Engine executes forall loops on one node and caches their schedules.
+type Engine struct {
+	node   *machine.Node
+	cache  map[string]*Schedule
+	cache2 map[string]*pairSchedule // Loop2 schedules
+	// NoCache disables schedule reuse (benchmark ABL1 measures the
+	// cost of re-inspecting on every execution).
+	NoCache bool
+	// ForceInspector disables the compile-time path (ABL3).
+	ForceInspector bool
+	// NoCombine sends each array's data to a peer as a separate
+	// message.  By default the executor combines all arrays' data for
+	// the same destination into one message, as the paper's
+	// implementation does ("sorting by processor id also allowed us to
+	// combine messages between the same two processors, thus saving on
+	// the number of messages").
+	NoCombine bool
+
+	lastKind BuildKind
+}
+
+// NewEngine creates the per-node forall engine.
+func NewEngine(n *machine.Node) *Engine {
+	return &Engine{node: n, cache: map[string]*Schedule{}}
+}
+
+// Node returns the engine's node.
+func (e *Engine) Node() *machine.Node { return e.node }
+
+// LastBuildKind reports how the most recent Run obtained its schedule.
+func (e *Engine) LastBuildKind() BuildKind { return e.lastKind }
+
+// Schedule returns the cached schedule of a loop, or nil if the loop
+// has not run (or caching is disabled).
+func (e *Engine) Schedule(name string) *Schedule { return e.cache[name] }
+
+// Invalidate drops the cached schedule of one loop.
+func (e *Engine) Invalidate(name string) { delete(e.cache, name) }
+
+// InvalidateAll drops all cached schedules (1-D and 2-D).
+func (e *Engine) InvalidateAll() {
+	e.cache = map[string]*Schedule{}
+	e.cache2 = nil
+}
+
+// Run executes one forall: schedule acquisition is timed under the
+// "inspector" phase (zero-cost when cached or compile-time analyzed),
+// execution under "executor".
+func (e *Engine) Run(l *Loop) {
+	e.validate(l)
+	s := e.schedule(l)
+	phase := l.Phase
+	if phase == "" {
+		phase = PhaseExecutor
+	}
+	e.node.StartPhase(phase)
+	e.execute(l, s)
+	e.node.StopPhase(phase)
+}
+
+// validate checks the loop specification once per Run.
+func (e *Engine) validate(l *Loop) {
+	if l.Name == "" {
+		panic("forall: loop needs a Name for schedule caching")
+	}
+	if l.Body == nil {
+		panic("forall: loop has no Body")
+	}
+	if l.OnProc == nil {
+		if l.On == nil {
+			panic(fmt.Sprintf("forall %s: needs On array or OnProc", l.Name))
+		}
+		if l.On.Replicated() {
+			panic(fmt.Sprintf("forall %s: on clause over replicated array", l.Name))
+		}
+		if l.On.Rank() != 1 || l.On.Dist().Grid().Rank() != 1 {
+			panic(fmt.Sprintf("forall %s: on clause requires a 1-D array over a 1-D processor grid", l.Name))
+		}
+		if l.OnF.A == 0 {
+			panic(fmt.Sprintf("forall %s: OnF.A must be nonzero (use analysis.Identity)", l.Name))
+		}
+	}
+	for _, r := range l.Reads {
+		if r.Array == nil {
+			panic(fmt.Sprintf("forall %s: nil read array", l.Name))
+		}
+	}
+}
+
+// schedule returns a valid Schedule, consulting the cache first.
+func (e *Engine) schedule(l *Loop) *Schedule {
+	if !e.NoCache {
+		if s, ok := e.cache[l.Name]; ok && s.lo == l.Lo && s.hi == l.Hi && depsFresh(l, s) {
+			e.lastKind = BuildCached
+			return s
+		}
+	}
+	e.node.StartPhase(PhaseInspector)
+	var s *Schedule
+	if l.allAffine() && !e.ForceInspector {
+		s = e.buildCompileTime(l)
+	} else {
+		s = e.buildInspector(l)
+	}
+	e.node.StopPhase(PhaseInspector)
+	s.lo, s.hi = l.Lo, l.Hi
+	s.depVersions = depVersions(l)
+	if !e.NoCache {
+		e.cache[l.Name] = s
+	}
+	e.lastKind = s.kind
+	return s
+}
+
+func depVersions(l *Loop) []int {
+	out := make([]int, len(l.DependsOn))
+	for i, d := range l.DependsOn {
+		out[i] = d.Version()
+	}
+	return out
+}
+
+func depsFresh(l *Loop, s *Schedule) bool {
+	if len(l.DependsOn) != len(s.depVersions) {
+		return false
+	}
+	for i, d := range l.DependsOn {
+		if d.Version() != s.depVersions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// distinctArrays returns the distinct arrays referenced by l.Reads, in
+// first-appearance order, and a lookup from array to slot.
+func distinctArrays(l *Loop) []*darray.Array {
+	var out []*darray.Array
+	for _, r := range l.Reads {
+		found := false
+		for _, a := range out {
+			if a == r.Array {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, r.Array)
+		}
+	}
+	return out
+}
+
+// execSet computes exec(p) for this node as a sorted slice.
+func (e *Engine) execSet(l *Loop) []int {
+	me := e.node.ID()
+	if l.OnProc != nil {
+		// Run-time placement scan: evaluate the on expression for every
+		// iteration in range.
+		var out []int
+		for i := l.Lo; i <= l.Hi; i++ {
+			e.node.Charge(machine.Cost{LoopIters: 1})
+			if l.OnProc(i) == me {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	pat := l.On.Dist().Pattern(0)
+	set := analysis.Exec(pat, l.OnF, l.Lo, l.Hi, me)
+	// Symbolic evaluation cost: one call's worth.
+	e.node.Charge(machine.Cost{Calls: 1})
+	return set.Slice()
+}
+
+// tagFor returns the message tag for array slot k of a loop.
+func tagFor(k int) machine.Tag { return machine.TagUser + machine.Tag(k) }
+
+// recBytes is the modeled wire size of one in/out record (Figure 5:
+// two processor ids, two bounds, one pointer).
+const recBytes = 20

@@ -1,0 +1,659 @@
+package forall
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kali/internal/analysis"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// runShift executes the paper's Figure 1 loop —
+// forall i in 1..N-1 on A[i].loc do A[i] := A[i+1] end —
+// on a P-node machine with the given distribution spec, optionally
+// forcing the inspector, and returns the gathered array and the build
+// kind observed.
+func runShift(t *testing.T, n, p int, spec dist.DimSpec, forceInspector bool) ([]float64, BuildKind) {
+	t.Helper()
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{spec}, g)
+	m := machine.MustNew(p, machine.Ideal())
+	result := make([]float64, n+1)
+	var kind BuildKind
+	var mu sync.Mutex
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)) })
+		eng := NewEngine(nd)
+		eng.ForceInspector = forceInspector
+		loop := &Loop{
+			Name: "shift", Lo: 1, Hi: n - 1,
+			On: a, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: 1}}},
+			Body: func(i int, e *Env) {
+				e.Write(a, i, e.Read(a, i+1))
+			},
+		}
+		eng.Run(loop)
+		mu.Lock()
+		kind = eng.LastBuildKind()
+		a.EachLocal(func(gl int) { result[gl] = a.Get1(gl) })
+		mu.Unlock()
+	})
+	return result, kind
+}
+
+func checkShift(t *testing.T, got []float64, n int) {
+	t.Helper()
+	for i := 1; i < n; i++ {
+		if got[i] != float64(i+1) {
+			t.Fatalf("A[%d] = %g, want %d", i, got[i], i+1)
+		}
+	}
+	if got[n] != float64(n) {
+		t.Fatalf("A[%d] = %g, want %d (unwritten)", n, got[n], n)
+	}
+}
+
+func TestShiftBlockCompileTime(t *testing.T) {
+	got, kind := runShift(t, 24, 4, dist.BlockDim(), false)
+	if kind != BuildCompileTime {
+		t.Fatalf("kind = %v, want compile-time", kind)
+	}
+	checkShift(t, got, 24)
+}
+
+func TestShiftBlockInspector(t *testing.T) {
+	got, kind := runShift(t, 24, 4, dist.BlockDim(), true)
+	if kind != BuildInspector {
+		t.Fatalf("kind = %v, want inspector", kind)
+	}
+	checkShift(t, got, 24)
+}
+
+func TestShiftCyclic(t *testing.T) {
+	// Cyclic: every iteration communicates; both paths must agree.
+	for _, force := range []bool{false, true} {
+		got, _ := runShift(t, 20, 4, dist.CyclicDim(), force)
+		checkShift(t, got, 20)
+	}
+}
+
+func TestShiftBlockCyclic(t *testing.T) {
+	for _, force := range []bool{false, true} {
+		got, _ := runShift(t, 30, 4, dist.BlockCyclicDim(3), force)
+		checkShift(t, got, 30)
+	}
+}
+
+func TestShiftNonPowerOfTwoProcs(t *testing.T) {
+	// Exercises the direct all-to-all exchange fallback.
+	got, _ := runShift(t, 22, 3, dist.BlockDim(), true)
+	checkShift(t, got, 22)
+}
+
+func TestShiftSingleProc(t *testing.T) {
+	for _, force := range []bool{false, true} {
+		got, _ := runShift(t, 10, 1, dist.BlockDim(), force)
+		checkShift(t, got, 10)
+	}
+}
+
+// TestCopyInCopyOut: the negative shift A[i] := A[i-1] would see
+// partially-updated values under in-place execution; copy-in/copy-out
+// must preserve the old values.
+func TestCopyInCopyOut(t *testing.T) {
+	const n, p = 16, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(p, machine.Ideal())
+	result := make([]float64, n+1)
+	var mu sync.Mutex
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)) })
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "shiftdown", Lo: 2, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: -1}}},
+			Body: func(i int, e *Env) {
+				e.Write(a, i, e.Read(a, i-1))
+			},
+		})
+		mu.Lock()
+		a.EachLocal(func(gl int) { result[gl] = a.Get1(gl) })
+		mu.Unlock()
+	})
+	for i := 2; i <= n; i++ {
+		if result[i] != float64(i-1) {
+			t.Fatalf("A[%d] = %g, want %d (copy-in/copy-out violated)", i, result[i], i-1)
+		}
+	}
+}
+
+// runIndirect runs a gather through an index array:
+// forall i on B[i].loc do B[i] := A[perm[i]] end — the data-dependent
+// subscript that forces the inspector.
+func runIndirect(t *testing.T, n, p int, perm []int) []float64 {
+	t.Helper()
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	dperm := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(p, machine.Ideal())
+	result := make([]float64, n+1)
+	var mu sync.Mutex
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		b := darray.New("B", d, nd)
+		ip := darray.NewInt("perm", dperm, nd)
+		a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)*100) })
+		ip.EachLocal(func(gl int) { ip.Set1(gl, perm[gl-1]) })
+		eng := NewEngine(nd)
+		loop := &Loop{
+			Name: "gather", Lo: 1, Hi: n,
+			On: b, OnF: analysis.Identity,
+			Reads:     []ReadSpec{{Array: a}}, // indirect
+			DependsOn: []Dep{ip},
+			Body: func(i int, e *Env) {
+				j := e.ReadInt(ip, i)
+				e.Write(b, i, e.Read(a, j))
+			},
+		}
+		eng.Run(loop)
+		if eng.LastBuildKind() != BuildInspector {
+			t.Errorf("indirect loop used %v", eng.LastBuildKind())
+		}
+		mu.Lock()
+		b.EachLocal(func(gl int) { result[gl] = b.Get1(gl) })
+		mu.Unlock()
+	})
+	return result
+}
+
+func TestIndirectGather(t *testing.T) {
+	const n = 32
+	perm := make([]int, n)
+	r := rand.New(rand.NewSource(42))
+	for i := range perm {
+		perm[i] = r.Intn(n) + 1
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		got := runIndirect(t, n, p, perm)
+		for i := 1; i <= n; i++ {
+			want := float64(perm[i-1]) * 100
+			if got[i] != want {
+				t.Fatalf("P=%d: B[%d] = %g, want %g", p, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestIndirectGatherReversal(t *testing.T) {
+	const n = 24
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = n - i // full reversal: heavy all-to-all pattern
+	}
+	got := runIndirect(t, n, 4, perm)
+	for i := 1; i <= n; i++ {
+		if got[i] != float64(n-i+1)*100 {
+			t.Fatalf("B[%d] = %g", i, got[i])
+		}
+	}
+}
+
+// TestScheduleCaching: the second run of the same loop must hit the
+// cache and perform no inspector work (zero additional inspector
+// phase time).
+func TestScheduleCaching(t *testing.T) {
+	const n, p = 16, 4
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(p, machine.NCUBE7())
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		b := darray.New("B", d, nd)
+		ip := darray.NewInt("perm", d, nd)
+		ip.EachLocal(func(gl int) { ip.Set1(gl, (gl%n)+1) })
+		eng := NewEngine(nd)
+		loop := &Loop{
+			Name: "cached", Lo: 1, Hi: n,
+			On: b, OnF: analysis.Identity,
+			Reads:     []ReadSpec{{Array: a}},
+			DependsOn: []Dep{ip},
+			Body: func(i int, e *Env) {
+				e.Write(b, i, e.Read(a, e.ReadInt(ip, i)))
+			},
+		}
+		eng.Run(loop)
+		if eng.LastBuildKind() != BuildInspector {
+			t.Errorf("first run: %v", eng.LastBuildKind())
+		}
+		t1 := nd.PhaseTime(PhaseInspector)
+		eng.Run(loop)
+		if eng.LastBuildKind() != BuildCached {
+			t.Errorf("second run: %v", eng.LastBuildKind())
+		}
+		if t2 := nd.PhaseTime(PhaseInspector); t2 != t1 {
+			t.Errorf("cached run added inspector time: %g -> %g", t1, t2)
+		}
+	})
+}
+
+// TestCacheInvalidationOnDepChange: bumping a DependsOn array version
+// forces re-inspection; the new pattern must be used.
+func TestCacheInvalidationOnDepChange(t *testing.T) {
+	const n, p = 16, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(p, machine.Ideal())
+	result := make([]float64, n+1)
+	var mu sync.Mutex
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		b := darray.New("B", d, nd)
+		ip := darray.NewInt("perm", d, nd)
+		a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)) })
+		ip.EachLocal(func(gl int) { ip.Set1(gl, gl) }) // identity
+		eng := NewEngine(nd)
+		loop := &Loop{
+			Name: "inval", Lo: 1, Hi: n,
+			On: b, OnF: analysis.Identity,
+			Reads:     []ReadSpec{{Array: a}},
+			DependsOn: []Dep{ip},
+			Body: func(i int, e *Env) {
+				e.Write(b, i, e.Read(a, e.ReadInt(ip, i)))
+			},
+		}
+		eng.Run(loop)
+		// Change the permutation to a reversal; without invalidation the
+		// stale schedule would miss the new remote elements.
+		ip.EachLocal(func(gl int) { ip.Set1(gl, n-gl+1) })
+		ip.Bump()
+		eng.Run(loop)
+		if eng.LastBuildKind() != BuildInspector {
+			t.Errorf("after Bump: %v, want inspector rebuild", eng.LastBuildKind())
+		}
+		mu.Lock()
+		b.EachLocal(func(gl int) { result[gl] = b.Get1(gl) })
+		mu.Unlock()
+	})
+	for i := 1; i <= n; i++ {
+		if result[i] != float64(n-i+1) {
+			t.Fatalf("B[%d] = %g, want %d", i, result[i], n-i+1)
+		}
+	}
+}
+
+// TestStaleScheduleDetected: changing the pattern WITHOUT declaring the
+// dependency must panic with a helpful message rather than compute
+// garbage.
+func TestStaleScheduleDetected(t *testing.T) {
+	const n, p = 8, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(p, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from stale schedule")
+		}
+	}()
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		b := darray.New("B", d, nd)
+		ip := darray.NewInt("perm", d, nd)
+		ip.EachLocal(func(gl int) { ip.Set1(gl, gl) })
+		eng := NewEngine(nd)
+		loop := &Loop{
+			Name: "stale", Lo: 1, Hi: n,
+			On: b, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: a}},
+			// note: no DependsOn
+			Body: func(i int, e *Env) {
+				e.Write(b, i, e.Read(a, e.ReadInt(ip, i)))
+			},
+		}
+		eng.Run(loop)
+		ip.EachLocal(func(gl int) { ip.Set1(gl, n-gl+1) })
+		eng.Run(loop) // must panic: schedule lacks remote elements
+	})
+}
+
+// TestOnProcPlacement: direct processor placement via OnProc.
+func TestOnProcPlacement(t *testing.T) {
+	const n, p = 12, 4
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(p, machine.Ideal())
+	owners := make([]int, n+1)
+	var mu sync.Mutex
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		_ = a
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "onproc", Lo: 1, Hi: n,
+			OnProc: func(i int) int { return (i * 7) % p },
+			Body: func(i int, e *Env) {
+				mu.Lock()
+				owners[i] = nd.ID()
+				mu.Unlock()
+			},
+		})
+	})
+	for i := 1; i <= n; i++ {
+		if owners[i] != (i*7)%p {
+			t.Fatalf("iteration %d ran on %d, want %d", i, owners[i], (i*7)%p)
+		}
+	}
+}
+
+// TestValidationPanics exercises the loop-spec checks.
+func TestValidationPanics(t *testing.T) {
+	g := topology.MustGrid(2)
+	d := dist.Must([]int{8}, []dist.DimSpec{dist.BlockDim()}, g)
+	rep := dist.NewReplicated([]int{8}, g)
+	cases := []func(a, r *darray.Array) *Loop{
+		func(a, r *darray.Array) *Loop { // no name
+			return &Loop{Lo: 1, Hi: 8, On: a, OnF: analysis.Identity, Body: func(int, *Env) {}}
+		},
+		func(a, r *darray.Array) *Loop { // no body
+			return &Loop{Name: "x", Lo: 1, Hi: 8, On: a, OnF: analysis.Identity}
+		},
+		func(a, r *darray.Array) *Loop { // no placement
+			return &Loop{Name: "x", Lo: 1, Hi: 8, Body: func(int, *Env) {}}
+		},
+		func(a, r *darray.Array) *Loop { // replicated on clause
+			return &Loop{Name: "x", Lo: 1, Hi: 8, On: r, OnF: analysis.Identity, Body: func(int, *Env) {}}
+		},
+		func(a, r *darray.Array) *Loop { // zero OnF
+			return &Loop{Name: "x", Lo: 1, Hi: 8, On: a, Body: func(int, *Env) {}}
+		},
+	}
+	for ci, mk := range cases {
+		m := machine.MustNew(2, machine.Ideal())
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", ci)
+				}
+			}()
+			m.Run(func(nd *machine.Node) {
+				a := darray.New("A", d, nd)
+				r := darray.New("R", rep, nd)
+				NewEngine(nd).Run(mk(a, r))
+			})
+		}()
+	}
+}
+
+// TestUndeclaredReadPanics: Env.Read of an array not in Loop.Reads is
+// a spec violation.
+func TestUndeclaredReadPanics(t *testing.T) {
+	g := topology.MustGrid(2)
+	d := dist.Must([]int{8}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(2, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		b := darray.New("B", d, nd)
+		NewEngine(nd).Run(&Loop{
+			Name: "x", Lo: 1, Hi: 8, On: a, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: a}},
+			Body: func(i int, e *Env) {
+				e.Read(b, (i%8)+1) // undeclared, crosses the partition
+			},
+		})
+	})
+}
+
+// TestNonOwnerWritePanics: writes must be owner-computed.
+func TestNonOwnerWritePanics(t *testing.T) {
+	g := topology.MustGrid(2)
+	d := dist.Must([]int{8}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(2, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		NewEngine(nd).Run(&Loop{
+			Name: "x", Lo: 1, Hi: 8, On: a, OnF: analysis.Identity,
+			Body: func(i int, e *Env) {
+				e.Write(a, (i%8)+1, 1) // wrong element for most i
+			},
+		})
+	})
+}
+
+// TestReplicatedReadIsFree: reads of replicated arrays are always
+// local and need no schedule entries.
+func TestReplicatedReadIsFree(t *testing.T) {
+	const n, p = 8, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	rep := dist.NewReplicated([]int{n}, g)
+	m := machine.MustNew(p, machine.Ideal())
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		r := darray.New("R", rep, nd)
+		for i := 1; i <= n; i++ {
+			r.Set1(i, float64(i)*3)
+		}
+		eng := NewEngine(nd)
+		eng.ForceInspector = true
+		eng.Run(&Loop{
+			Name: "repread", Lo: 1, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: r}},
+			Body: func(i int, e *Env) {
+				e.Write(a, i, e.Read(r, ((i*5)%n)+1))
+			},
+		})
+		// No communication should have happened for the replicated array.
+		if st := nd.Stats(); st.MsgsSent > 2 { // crystal stage messages only
+			// crystal on 2 nodes sends 1 msg per node; any more means
+			// data messages existed.
+			t.Errorf("unexpected data messages: %+v", st)
+		}
+		for i := 1; i <= n; i++ {
+			if a.IsLocal1(i) {
+				want := float64(((i*5)%n)+1) * 3
+				if a.Get1(i) != want {
+					t.Errorf("A[%d] = %g, want %g", i, a.Get1(i), want)
+				}
+			}
+		}
+	})
+}
+
+// TestCompileTimeEqualsInspector: both paths must produce identical
+// results and identical communication volume for affine loops.
+func TestCompileTimeEqualsInspector(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(24)
+		p := []int{1, 2, 4}[r.Intn(3)]
+		c := r.Intn(3) - 1 // shift in {-1,0,1}
+		lo, hi := 1, n
+		if c > 0 {
+			hi = n - c
+		} else {
+			lo = 1 - c
+		}
+		var specs []dist.DimSpec
+		switch r.Intn(3) {
+		case 0:
+			specs = []dist.DimSpec{dist.BlockDim()}
+		case 1:
+			specs = []dist.DimSpec{dist.CyclicDim()}
+		default:
+			specs = []dist.DimSpec{dist.BlockCyclicDim(1 + r.Intn(3))}
+		}
+		d := dist.Must([]int{n}, specs, topology.MustGrid(p))
+
+		run := func(force bool) []float64 {
+			m := machine.MustNew(p, machine.Ideal())
+			out := make([]float64, n+1)
+			var mu sync.Mutex
+			m.Run(func(nd *machine.Node) {
+				a := darray.New("A", d, nd)
+				b := darray.New("B", d, nd)
+				a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)*7) })
+				eng := NewEngine(nd)
+				eng.ForceInspector = force
+				eng.Run(&Loop{
+					Name: "affine", Lo: lo, Hi: hi,
+					On: b, OnF: analysis.Identity,
+					Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: c}}},
+					Body: func(i int, e *Env) {
+						e.Write(b, i, e.Read(a, i+c))
+					},
+				})
+				mu.Lock()
+				b.EachLocal(func(gl int) { out[gl] = b.Get1(gl) })
+				mu.Unlock()
+			})
+			return out
+		}
+		x, y := run(false), run(true)
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		for i := lo; i <= hi; i++ {
+			if x[i] != float64(i+c)*7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicVirtualTime: the same program yields bit-identical
+// clocks across runs despite goroutine scheduling.
+func TestDeterministicVirtualTime(t *testing.T) {
+	run := func() (float64, float64, float64) {
+		const n, p = 64, 8
+		g := topology.MustGrid(p)
+		d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+		m := machine.MustNew(p, machine.NCUBE7())
+		m.Run(func(nd *machine.Node) {
+			a := darray.New("A", d, nd)
+			b := darray.New("B", d, nd)
+			ip := darray.NewInt("perm", d, nd)
+			a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)) })
+			ip.EachLocal(func(gl int) { ip.Set1(gl, ((gl*13)%n)+1) })
+			eng := NewEngine(nd)
+			loop := &Loop{
+				Name: "det", Lo: 1, Hi: n,
+				On: b, OnF: analysis.Identity,
+				Reads:     []ReadSpec{{Array: a}},
+				DependsOn: []Dep{ip},
+				Body: func(i int, e *Env) {
+					e.Flops(2)
+					e.Write(b, i, e.Read(a, e.ReadInt(ip, i))*2)
+				},
+			}
+			for k := 0; k < 3; k++ {
+				eng.Run(loop)
+			}
+			nd.Barrier()
+		})
+		return m.MaxClock(), m.MaxPhase(PhaseInspector), m.MaxPhase(PhaseExecutor)
+	}
+	c0, i0, e0 := run()
+	for k := 0; k < 5; k++ {
+		c, i, e := run()
+		if c != c0 || i != i0 || e != e0 {
+			t.Fatalf("nondeterministic times: (%g,%g,%g) vs (%g,%g,%g)", c, i, e, c0, i0, e0)
+		}
+	}
+	if i0 <= 0 || e0 <= 0 || math.Abs(c0) == 0 {
+		t.Fatalf("phases not recorded: clock=%g insp=%g exec=%g", c0, i0, e0)
+	}
+}
+
+// TestNoCacheReinspects: with NoCache every run pays the inspector.
+func TestNoCacheReinspects(t *testing.T) {
+	const n, p = 16, 2
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(p, machine.NCUBE7())
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		b := darray.New("B", d, nd)
+		ip := darray.NewInt("perm", d, nd)
+		ip.EachLocal(func(gl int) { ip.Set1(gl, (gl%n)+1) })
+		eng := NewEngine(nd)
+		eng.NoCache = true
+		loop := &Loop{
+			Name: "nocache", Lo: 1, Hi: n,
+			On: b, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: a}},
+			Body: func(i int, e *Env) {
+				e.Write(b, i, e.Read(a, e.ReadInt(ip, i)))
+			},
+		}
+		eng.Run(loop)
+		t1 := nd.PhaseTime(PhaseInspector)
+		eng.Run(loop)
+		t2 := nd.PhaseTime(PhaseInspector)
+		if !(t2 > t1 && t1 > 0) {
+			t.Errorf("NoCache inspector times: %g then %g", t1, t2)
+		}
+		if eng.LastBuildKind() != BuildInspector {
+			t.Errorf("kind = %v", eng.LastBuildKind())
+		}
+	})
+}
+
+// TestScheduleCounts: LocalIters/NonlocalIters/RecvCount are coherent
+// for the block shift.
+func TestScheduleCounts(t *testing.T) {
+	const n, p = 20, 4
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := machine.MustNew(p, machine.Ideal())
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		eng := NewEngine(nd)
+		loop := &Loop{
+			Name: "counts", Lo: 1, Hi: n - 1,
+			On: a, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: 1}}},
+			Body:  func(i int, e *Env) { e.Write(a, i, e.Read(a, i+1)) },
+		}
+		eng.Run(loop)
+		s := eng.cache["counts"]
+		// Procs 0..2 have one boundary iteration; proc 3 has none.
+		wantNonlocal := 1
+		if nd.ID() == p-1 {
+			wantNonlocal = 0
+		}
+		if s.NonlocalIters() != wantNonlocal || s.RecvCount() != wantNonlocal {
+			t.Errorf("node %d: nonlocal=%d recv=%d want %d",
+				nd.ID(), s.NonlocalIters(), s.RecvCount(), wantNonlocal)
+		}
+		if s.LocalIters()+s.NonlocalIters() == 0 {
+			t.Errorf("node %d: no iterations at all", nd.ID())
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package forall
+
+import (
+	"fmt"
+
+	"kali/internal/comm"
+	"kali/internal/crystal"
+	"kali/internal/darray"
+	"kali/internal/index"
+	"kali/internal/machine"
+)
+
+// Loop2 is a two-dimensional forall over a rank-2 array distributed on
+// a rank-2 processor grid — the paper's "multi-dimensional processor
+// arrays can be declared similarly" taken at its word:
+//
+//	forall i in LoI..HiI, j in LoJ..HiJ on A[i,j].loc do ... end
+//
+// Placement is owner-computes on A[i,j] directly (identity subscripts;
+// that is the only form the paper's examples would need).  Reads go
+// through the same Env as 1-D loops — aligned accesses via ReadLocal2,
+// potentially-nonlocal ones via Read/ReadAt on linearized indices —
+// and schedules are always built by the run-time inspector (the
+// closed-form path is 1-D only).
+type Loop2 struct {
+	Name               string
+	LoI, HiI, LoJ, HiJ int
+	// On must be rank-2 with both dimensions distributed over a rank-2
+	// grid.
+	On        *darray.Array
+	Reads     []ReadSpec
+	DependsOn []Dep
+	Body      func(i, j int, e *Env)
+	Phase     string
+}
+
+// pairSchedule is the cached schedule of a Loop2.
+type pairSchedule struct {
+	execLocal    [][2]int
+	execNonlocal [][2]int
+	arrays       []*arraySched
+	bounds       [4]int
+	depVersions  []int
+}
+
+// Run2 executes a two-dimensional forall.
+func (e *Engine) Run2(l *Loop2) {
+	e.validate2(l)
+	s := e.schedule2(l)
+	phase := l.Phase
+	if phase == "" {
+		phase = PhaseExecutor
+	}
+	e.node.StartPhase(phase)
+	e.execute2(l, s)
+	e.node.StopPhase(phase)
+}
+
+func (e *Engine) validate2(l *Loop2) {
+	if l.Name == "" {
+		panic("forall: Loop2 needs a Name")
+	}
+	if l.Body == nil {
+		panic(fmt.Sprintf("forall %s: Loop2 has no Body", l.Name))
+	}
+	on := l.On
+	if on == nil || on.Rank() != 2 || on.Replicated() {
+		panic(fmt.Sprintf("forall %s: Loop2 needs a rank-2 distributed on array", l.Name))
+	}
+	if on.Dist().Grid().Rank() != 2 || on.Dist().Pattern(0) == nil || on.Dist().Pattern(1) == nil {
+		panic(fmt.Sprintf("forall %s: Loop2 on array must distribute both dimensions over a rank-2 grid", l.Name))
+	}
+}
+
+// cache2 piggybacks on the engine's schedule cache with a distinct
+// key space.
+func (e *Engine) schedule2(l *Loop2) *pairSchedule {
+	key := "2d:" + l.Name
+	if !e.NoCache {
+		if c, ok := e.cache2[key]; ok &&
+			c.bounds == [4]int{l.LoI, l.HiI, l.LoJ, l.HiJ} && deps2Fresh(l, c) {
+			e.lastKind = BuildCached
+			return c
+		}
+	}
+	e.node.StartPhase(PhaseInspector)
+	s := e.buildInspector2(l)
+	e.node.StopPhase(PhaseInspector)
+	s.bounds = [4]int{l.LoI, l.HiI, l.LoJ, l.HiJ}
+	s.depVersions = make([]int, len(l.DependsOn))
+	for i, d := range l.DependsOn {
+		s.depVersions[i] = d.Version()
+	}
+	if !e.NoCache {
+		if e.cache2 == nil {
+			e.cache2 = map[string]*pairSchedule{}
+		}
+		e.cache2[key] = s
+	}
+	e.lastKind = BuildInspector
+	return s
+}
+
+func deps2Fresh(l *Loop2, s *pairSchedule) bool {
+	if len(l.DependsOn) != len(s.depVersions) {
+		return false
+	}
+	for i, d := range l.DependsOn {
+		if d.Version() != s.depVersions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// exec2 computes this node's iteration set: the cross product of the
+// per-dimension local sets clipped to the loop bounds (block/cyclic
+// distributions are separable by construction).
+func (e *Engine) exec2(l *Loop2) (index.Set, index.Set) {
+	me := e.node.ID()
+	d := l.On.Dist()
+	gcoord := d.Grid().Coord(me)
+	rows := d.Pattern(0).Local(gcoord[0]).Intersect(index.Range(l.LoI, l.HiI))
+	cols := d.Pattern(1).Local(gcoord[1]).Intersect(index.Range(l.LoJ, l.HiJ))
+	e.node.Charge(machine.Cost{Calls: 1})
+	return rows, cols
+}
+
+func distinctArrays2(l *Loop2) []*darray.Array {
+	var out []*darray.Array
+	for _, r := range l.Reads {
+		found := false
+		for _, a := range out {
+			if a == r.Array {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, r.Array)
+		}
+	}
+	return out
+}
+
+// buildInspector2 is the 2-D recording pass + global exchange.
+func (e *Engine) buildInspector2(l *Loop2) *pairSchedule {
+	me := e.node.ID()
+	rows, cols := e.exec2(l)
+	arrays := distinctArrays2(l)
+
+	s := &pairSchedule{}
+	builders := make([]*comm.Builder, len(arrays))
+	for i := range builders {
+		builders[i] = comm.NewBuilder(me)
+	}
+	env := &Env{
+		mode:     modeInspect,
+		eng:      e,
+		node:     e.node,
+		loop:     &Loop{Name: l.Name, Reads: l.Reads},
+		arrays:   arrays,
+		builders: builders,
+	}
+	rows.Each(func(i int) {
+		cols.Each(func(j int) {
+			e.node.Charge(machine.Cost{LoopIters: 1})
+			env.iterNonlocal = false
+			l.Body(i, j, env)
+			if env.iterNonlocal {
+				s.execNonlocal = append(s.execNonlocal, [2]int{i, j})
+			} else {
+				s.execLocal = append(s.execLocal, [2]int{i, j})
+			}
+		})
+	})
+
+	var parcels []crystal.Parcel
+	for k, b := range builders {
+		in := b.Finalize()
+		as := &arraySched{arr: arrays[k], in: in, buf: make([]float64, in.Total)}
+		s.arrays = append(s.arrays, as)
+		for _, q := range in.Senders() {
+			rf := in.RangesFrom(q)
+			recs := make([]comm.Range, len(rf))
+			copy(recs, rf)
+			parcels = append(parcels, crystal.Parcel{
+				Dest:  q,
+				Data:  routedRecs{slot: k, recs: recs},
+				Bytes: recBytes * len(recs),
+			})
+		}
+	}
+	received := e.exchange(parcels)
+	bySlot := make([][]comm.Range, len(arrays))
+	for _, pc := range received {
+		rr := pc.Data.(routedRecs)
+		bySlot[rr.slot] = append(bySlot[rr.slot], rr.recs...)
+	}
+	for k, as := range s.arrays {
+		as.out = comm.BuildOut(me, bySlot[k])
+	}
+	return s
+}
+
+// execute2 runs the Figure 3 pipeline for a 2-D loop.
+func (e *Engine) execute2(l *Loop2, s *pairSchedule) {
+	for k, as := range s.arrays {
+		arr := as.arr
+		for _, q := range as.out.Receivers() {
+			payload := as.out.Pack(q, arr.GetLinear)
+			e.node.Send(q, tagFor(k), payload, 8*len(payload))
+		}
+	}
+	env := &Env{
+		mode:   modeExecLocal,
+		eng:    e,
+		node:   e.node,
+		loop:   &Loop{Name: l.Name, Reads: l.Reads},
+		sched:  &Schedule{arrays: s.arrays},
+		arrays: make([]*darray.Array, len(s.arrays)),
+	}
+	for k, as := range s.arrays {
+		env.arrays[k] = as.arr
+	}
+	for _, ij := range s.execLocal {
+		e.node.Charge(machine.Cost{LoopIters: 1})
+		l.Body(ij[0], ij[1], env)
+	}
+	for k, as := range s.arrays {
+		for _, q := range as.in.Senders() {
+			msg := e.node.Recv(q, tagFor(k))
+			as.in.Unpack(q, msg.Payload.([]float64), as.buf)
+		}
+	}
+	env.mode = modeExecNonlocal
+	for _, ij := range s.execNonlocal {
+		e.node.Charge(machine.Cost{LoopIters: 1})
+		l.Body(ij[0], ij[1], env)
+	}
+	for _, w := range env.writes {
+		w.a.SetLinear(w.g, w.v)
+	}
+}

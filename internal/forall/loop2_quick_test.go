@@ -1,0 +1,87 @@
+package forall
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// TestQuickLoop2RandomGather: random 2-D transposing gathers over
+// random grid shapes and distributions always match the sequential
+// model.
+func TestQuickLoop2RandomGather(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ny, nx := 2+r.Intn(8), 2+r.Intn(8)
+		grids := [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {2, 4}}
+		gr := grids[r.Intn(len(grids))]
+		pick := func() dist.DimSpec {
+			switch r.Intn(3) {
+			case 0:
+				return dist.BlockDim()
+			case 1:
+				return dist.CyclicDim()
+			default:
+				return dist.BlockCyclicDim(1 + r.Intn(3))
+			}
+		}
+		g := topology.MustGrid(gr[0], gr[1])
+		dOn := dist.Must([]int{ny, nx}, []dist.DimSpec{pick(), pick()}, g)
+		dSrc := dist.Must([]int{ny, nx}, []dist.DimSpec{pick(), pick()}, g)
+
+		// Random source permutation of cells.
+		srcOf := make([][2]int, ny*nx)
+		for k := range srcOf {
+			srcOf[k] = [2]int{1 + r.Intn(ny), 1 + r.Intn(nx)}
+		}
+
+		mach := machine.MustNew(gr[0]*gr[1], machine.Ideal())
+		got := make([]float64, ny*nx)
+		var mu sync.Mutex
+		mach.Run(func(nd *machine.Node) {
+			dst := darray.New("dst", dOn, nd)
+			src := darray.New("src", dSrc, nd)
+			for i := 1; i <= ny; i++ {
+				for j := 1; j <= nx; j++ {
+					if src.IsLocal(i, j) {
+						src.Set2(i, j, float64(i*100+j))
+					}
+				}
+			}
+			eng := NewEngine(nd)
+			eng.Run2(&Loop2{
+				Name: "qgather", LoI: 1, HiI: ny, LoJ: 1, HiJ: nx,
+				On:    dst,
+				Reads: []ReadSpec{{Array: src}},
+				Body: func(i, j int, e *Env) {
+					s := srcOf[(i-1)*nx+(j-1)]
+					e.WriteAt(dst, e.ReadAt(src, s[0], s[1]), i, j)
+				},
+			})
+			mu.Lock()
+			for i := 1; i <= ny; i++ {
+				for j := 1; j <= nx; j++ {
+					if dst.IsLocal(i, j) {
+						got[(i-1)*nx+(j-1)] = dst.Get2(i, j)
+					}
+				}
+			}
+			mu.Unlock()
+		})
+		for k, s := range srcOf {
+			if got[k] != float64(s[0]*100+s[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

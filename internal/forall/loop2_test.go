@@ -1,0 +1,213 @@
+package forall
+
+import (
+	"sync"
+	"testing"
+
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/mesh"
+	"kali/internal/topology"
+)
+
+// run2DJacobi executes the five-point Laplacian directly as a 2-D
+// forall over a [block, block] distribution on a pr×pc grid.
+func run2DJacobi(t *testing.T, nx, ny, pr, pc, sweeps int, params machine.Params) ([]float64, float64, float64) {
+	t.Helper()
+	g := topology.MustGrid(pr, pc)
+	d := dist.Must([]int{ny, nx}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
+	mach := machine.MustNew(pr*pc, params)
+	out := make([]float64, nx*ny)
+	var mu sync.Mutex
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		old := darray.New("old", d, nd)
+		// Boundary profile matching mesh.InitValues' numbering.
+		for r := 1; r <= ny; r++ {
+			for c := 1; c <= nx; c++ {
+				if !a.IsLocal(r, c) {
+					continue
+				}
+				if r == 1 || r == ny || c == 1 || c == nx {
+					i := (r-1)*nx + c
+					a.Set2(r, c, 1.0+float64(i%7))
+				}
+			}
+		}
+		eng := NewEngine(nd)
+		copyLoop := &Loop2{
+			Name: "copy2d", LoI: 1, HiI: ny, LoJ: 1, HiJ: nx,
+			On:    old,
+			Reads: []ReadSpec{{Array: a}},
+			Phase: "copy",
+			Body: func(i, j int, e *Env) {
+				e.WriteAt(old, e.ReadAt(a, i, j), i, j)
+			},
+		}
+		relaxLoop := &Loop2{
+			Name: "relax2d", LoI: 2, HiI: ny - 1, LoJ: 2, HiJ: nx - 1,
+			On:    a,
+			Reads: []ReadSpec{{Array: old}},
+			Body: func(i, j int, e *Env) {
+				x := 0.25 * (e.ReadAt(old, i-1, j) + e.ReadAt(old, i+1, j) +
+					e.ReadAt(old, i, j-1) + e.ReadAt(old, i, j+1))
+				e.Flops(9)
+				e.WriteAt(a, x, i, j)
+			},
+		}
+		for s := 0; s < sweeps; s++ {
+			eng.Run2(copyLoop)
+			eng.Run2(relaxLoop)
+		}
+		mu.Lock()
+		for r := 1; r <= ny; r++ {
+			for c := 1; c <= nx; c++ {
+				if a.IsLocal(r, c) {
+					out[(r-1)*nx+c-1] = a.Get2(r, c)
+				}
+			}
+		}
+		mu.Unlock()
+	})
+	return out, mach.MaxPhase(PhaseExecutor), mach.MaxPhase(PhaseInspector)
+}
+
+// Test2DForallMatchesSequential: the 2-D decomposition computes the
+// same answer as the sequential oracle.
+func Test2DForallMatchesSequential(t *testing.T) {
+	const nx, ny, sweeps = 16, 12, 8
+	m := mesh.Rect(nx, ny)
+	want := mesh.SeqJacobi(m, mesh.InitValues(m), sweeps)
+	for _, grid := range [][2]int{{1, 1}, {2, 2}, {2, 4}, {4, 2}} {
+		got, _, _ := run2DJacobi(t, nx, ny, grid[0], grid[1], sweeps, machine.Ideal())
+		if d := mesh.MaxDelta(got, want); d != 0 {
+			t.Fatalf("grid %v: differs from oracle by %g", grid, d)
+		}
+	}
+}
+
+// Test2DBeatsRowsAtScale: the surface-to-volume argument — at equal
+// processor counts the 2-D block decomposition communicates fewer
+// elements than 1-D rows and runs faster on the simulated NCUBE.
+func Test2DBeatsRowsAtScale(t *testing.T) {
+	const nx, ny, p, sweeps = 64, 64, 16, 6
+	_, exec2d, _ := run2DJacobi(t, nx, ny, 4, 4, sweeps, machine.NCUBE7())
+	_, execRows, _ := run2DJacobi(t, nx, ny, 16, 1, sweeps, machine.NCUBE7())
+	if exec2d >= execRows {
+		t.Fatalf("4x4 grid (%.3fs) should beat 16x1 rows (%.3fs): surface-to-volume", exec2d, execRows)
+	}
+	_ = p
+}
+
+// Test2DScheduleCached: the second sweep reuses the schedule (no
+// additional inspector time).
+func Test2DScheduleCached(t *testing.T) {
+	_, _, insp1 := run2DJacobi(t, 16, 16, 2, 2, 1, machine.NCUBE7())
+	_, _, insp8 := run2DJacobi(t, 16, 16, 2, 2, 8, machine.NCUBE7())
+	if insp1 != insp8 {
+		t.Fatalf("2-D inspector grew with sweeps: %g vs %g", insp1, insp8)
+	}
+	if insp1 <= 0 {
+		t.Fatal("no inspector time recorded")
+	}
+}
+
+// Test2DValidation: spec errors panic.
+func Test2DValidation(t *testing.T) {
+	g2 := topology.MustGrid(2, 2)
+	g1 := topology.MustGrid(4)
+	d2 := dist.Must([]int{8, 8}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g2)
+	d1 := dist.Must([]int{8}, []dist.DimSpec{dist.BlockDim()}, g1)
+	dHalf := dist.Must([]int{8, 8}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g1)
+
+	cases := []func(nd *machine.Node) *Loop2{
+		func(nd *machine.Node) *Loop2 { // no name
+			a := darray.New("a", d2, nd)
+			return &Loop2{On: a, LoI: 1, HiI: 8, LoJ: 1, HiJ: 8, Body: func(int, int, *Env) {}}
+		},
+		func(nd *machine.Node) *Loop2 { // no body
+			a := darray.New("a", d2, nd)
+			return &Loop2{Name: "x", On: a, LoI: 1, HiI: 8, LoJ: 1, HiJ: 8}
+		},
+		func(nd *machine.Node) *Loop2 { // rank-1 on array
+			a := darray.New("a", d1, nd)
+			return &Loop2{Name: "x", On: a, LoI: 1, HiI: 8, LoJ: 1, HiJ: 8, Body: func(int, int, *Env) {}}
+		},
+		func(nd *machine.Node) *Loop2 { // collapsed second dim
+			a := darray.New("a", dHalf, nd)
+			return &Loop2{Name: "x", On: a, LoI: 1, HiI: 8, LoJ: 1, HiJ: 8, Body: func(int, int, *Env) {}}
+		},
+	}
+	for ci, mk := range cases {
+		p := 4
+		mach := machine.MustNew(p, machine.Ideal())
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", ci)
+				}
+			}()
+			mach.Run(func(nd *machine.Node) {
+				NewEngine(nd).Run2(mk(nd))
+			})
+		}()
+	}
+}
+
+// Test2DDependsOnInvalidation: bumping a Loop2 dependency forces a
+// rebuild and the new pattern takes effect.
+func Test2DDependsOnInvalidation(t *testing.T) {
+	const n, p = 8, 4
+	g := topology.MustGrid(2, 2)
+	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		dst := darray.New("dst", d, nd)
+		src := darray.New("src", d, nd)
+		rowOf := darray.NewInt("rowOf", d, nd)
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if src.IsLocal(i, j) {
+					src.Set2(i, j, float64(i*100+j))
+				}
+				if rowOf.IsLocal(i, j) {
+					rowOf.Set2(i, j, i) // identity rows initially
+				}
+			}
+		}
+		eng := NewEngine(nd)
+		loop := &Loop2{
+			Name: "dep2d", LoI: 1, HiI: n, LoJ: 1, HiJ: n,
+			On:        dst,
+			Reads:     []ReadSpec{{Array: src}},
+			DependsOn: []Dep{rowOf},
+			Body: func(i, j int, e *Env) {
+				r := e.ReadInt2(rowOf, i, j)
+				e.WriteAt(dst, e.ReadAt(src, r, j), i, j)
+			},
+		}
+		eng.Run2(loop)
+		// Flip to reversed rows; without Bump the stale schedule would
+		// miss remote elements.
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if rowOf.IsLocal(i, j) {
+					rowOf.Set2(i, j, n+1-i)
+				}
+			}
+		}
+		rowOf.Bump()
+		eng.Run2(loop)
+		if eng.LastBuildKind() != BuildInspector {
+			t.Errorf("expected rebuild, got %v", eng.LastBuildKind())
+		}
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if dst.IsLocal(i, j) && dst.Get2(i, j) != float64((n+1-i)*100+j) {
+					t.Errorf("dst[%d,%d] = %g", i, j, dst.Get2(i, j))
+				}
+			}
+		}
+	})
+}

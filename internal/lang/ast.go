@@ -1,0 +1,241 @@
+package lang
+
+// BaseType is a scalar type.
+type BaseType int
+
+// Scalar types.
+const (
+	TInt BaseType = iota
+	TReal
+	TBool
+)
+
+func (t BaseType) String() string {
+	switch t {
+	case TInt:
+		return "integer"
+	case TReal:
+		return "real"
+	default:
+		return "boolean"
+	}
+}
+
+// File is a parsed program.
+type File struct {
+	Procs  *ProcsDecl
+	Consts []*ConstDecl
+	Vars   []*VarDecl
+	Main   []Stmt
+}
+
+// ProcsDecl is "processors Procs : array[1..P] with P in lo..hi;" or,
+// for two-dimensional processor arrays ("multi-dimensional processor
+// arrays can be declared similarly", §2.1),
+// "processors Procs : array[1..p1, 1..p2];" with constant extents.
+type ProcsDecl struct {
+	Name    string
+	SizeVar string // the P identifier ("" when the bound is a constant)
+	Size    Expr   // used when SizeVar is ""
+	Size2   Expr   // second dimension extent (nil for 1-D)
+	MinP    Expr   // with-clause bounds (nil when absent)
+	MaxP    Expr
+	Line    int
+}
+
+// Rank2 reports whether the processor array is two-dimensional.
+func (d *ProcsDecl) Rank2() bool { return d.Size2 != nil }
+
+// ConstDecl is one "name = expr" binding.
+type ConstDecl struct {
+	Name string
+	X    Expr
+	Line int
+}
+
+// DistItem is one entry of a dist clause.
+type DistItem struct {
+	Kind  Kind // KWBlock, KWCyclic, KWBlockCyclic, STAR
+	Block Expr // block size for block_cyclic
+}
+
+// VarDecl declares one or more names of a common type.
+type VarDecl struct {
+	Names []string
+	Elem  BaseType
+	Dims  []ArrayDim // empty for scalars
+	Dist  []DistItem // nil when replicated / scalar
+	OnTo  string     // processor array name ("" defaults)
+	Line  int
+}
+
+// ArrayDim is one "lo..hi" bound pair.
+type ArrayDim struct {
+	Lo, Hi Expr
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Assign is "lvalue := expr".
+type Assign struct {
+	Name    string
+	Indexes []Expr // nil for scalars
+	X       Expr
+	Line    int
+}
+
+// Forall is the parallel loop with an on clause.  Two-dimensional
+// foralls (Var2 != "") iterate over an index pair and place iterations
+// by the owner of OnArray[i, j].
+type Forall struct {
+	Var      string
+	Lo, Hi   Expr
+	Var2     string // "" for 1-D foralls
+	Lo2, Hi2 Expr
+	OnArray  string
+	OnIndex  Expr
+	OnIndex2 Expr // second on-clause subscript (2-D only)
+	Decls    []*LocalDecl
+	Body     []Stmt
+	Line     int
+
+	// set by the checker:
+	reads []*readInfo
+	deps  []string // int arrays the reference pattern depends on
+}
+
+// LocalDecl is a per-iteration variable inside a forall.
+type LocalDecl struct {
+	Name string
+	Type BaseType
+	Line int
+}
+
+// ForLoop is a sequential for.
+type ForLoop struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+	Line   int
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// Reduce is "reduce op(args) into name" — the language's global
+// reduction (convergence tests).  Ops: maxdiff(a, b), sum(a), max(a).
+type Reduce struct {
+	Op   string
+	Args []string // array names
+	Into string
+	Line int
+}
+
+func (*Assign) stmtNode()  {}
+func (*Forall) stmtNode()  {}
+func (*ForLoop) stmtNode() {}
+func (*While) stmtNode()   {}
+func (*If) stmtNode()      {}
+func (*Reduce) stmtNode()  {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V    int
+	Line int
+}
+
+// RealLit is a real literal.
+type RealLit struct {
+	V    float64
+	Line int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	V    bool
+	Line int
+}
+
+// Ident is a scalar/const/loop-variable reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// ArrayRef is "name[indexes]".
+type ArrayRef struct {
+	Name    string
+	Indexes []Expr
+	Line    int
+
+	// set by the checker for refs inside foralls:
+	access accessMode
+	slot   int // read slot for indirect/affine reads
+}
+
+// Unary is "-x" or "not x".
+type Unary struct {
+	Op   Kind
+	X    Expr
+	Line int
+}
+
+// Binary is "x op y".
+type Binary struct {
+	Op   Kind
+	L, R Expr
+	Line int
+}
+
+// Call is a builtin call: abs, min, max, sqrt, float, trunc.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) exprNode()   {}
+func (*RealLit) exprNode()  {}
+func (*BoolLit) exprNode()  {}
+func (*Ident) exprNode()    {}
+func (*ArrayRef) exprNode() {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Call) exprNode()     {}
+
+// accessMode classifies an array reference inside a forall.
+type accessMode int
+
+const (
+	accNone       accessMode = iota
+	accReplicated            // replicated array: plain local read
+	accAligned               // compiler-proven local (subscript aligned with on clause)
+	accAffine                // affine subscript: compile-time schedule, Env.Read
+	accIndirect              // data-dependent subscript: inspector, Env.Read
+)
+
+// readInfo describes one distinct distributed-array read slot of a
+// forall (feeds forall.Loop.Reads).
+type readInfo struct {
+	array  string
+	affine bool
+	a, c   int // filled at elaboration for affine reads
+	aExpr  Expr
+	cExpr  Expr
+}

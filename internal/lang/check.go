@@ -1,0 +1,810 @@
+package lang
+
+import "fmt"
+
+// symKind classifies a declared name.
+type symKind int
+
+const (
+	symConst symKind = iota
+	symScalar
+	symArray
+	symProcSize // the P of the processors declaration
+)
+
+// symbol is a checker-level binding.
+type symbol struct {
+	kind symKind
+	typ  BaseType
+	decl *VarDecl // for arrays
+}
+
+// checker performs semantic analysis and the subscript classification
+// of paper §3: each distributed-array reference in a forall is proved
+// affine (compile-time analyzable) or marked indirect (inspector).
+type checker struct {
+	syms  map[string]*symbol
+	procs *ProcsDecl
+}
+
+// Check validates a parsed File and annotates its foralls.
+func Check(f *File) error {
+	c := &checker{syms: map[string]*symbol{}}
+	if f.Procs == nil {
+		return errf(1, 1, "program lacks a processors declaration")
+	}
+	c.procs = f.Procs
+	if f.Procs.SizeVar != "" {
+		c.syms[f.Procs.SizeVar] = &symbol{kind: symProcSize, typ: TInt}
+	}
+	for _, d := range f.Consts {
+		if _, dup := c.syms[d.Name]; dup {
+			return errf(d.Line, 1, "duplicate declaration of %q", d.Name)
+		}
+		t, err := c.exprType(d.X, nil, "")
+		if err != nil {
+			return err
+		}
+		if t == TBool {
+			return errf(d.Line, 1, "boolean constants are not supported")
+		}
+		if !c.isConstExpr(d.X) {
+			return errf(d.Line, 1, "const %q is not a constant expression", d.Name)
+		}
+		c.syms[d.Name] = &symbol{kind: symConst, typ: t}
+	}
+	for _, d := range f.Vars {
+		for _, name := range d.Names {
+			if _, dup := c.syms[name]; dup {
+				return errf(d.Line, 1, "duplicate declaration of %q", name)
+			}
+			if len(d.Dims) == 0 {
+				c.syms[name] = &symbol{kind: symScalar, typ: d.Elem}
+				continue
+			}
+			if d.Dist != nil {
+				if len(d.Dist) != len(d.Dims) {
+					return errf(d.Line, 1, "%q: %d dist items for %d dimensions", name, len(d.Dist), len(d.Dims))
+				}
+				if d.OnTo != "" && d.OnTo != c.procs.Name {
+					return errf(d.Line, 1, "%q: unknown processor array %q", name, d.OnTo)
+				}
+				if d.Elem == TBool {
+					return errf(d.Line, 1, "%q: distributed boolean arrays are not supported", name)
+				}
+			}
+			for _, dim := range d.Dims {
+				for _, b := range []Expr{dim.Lo, dim.Hi} {
+					if !c.isConstExpr(b) {
+						return errf(d.Line, 1, "%q: array bounds must be constant expressions", name)
+					}
+				}
+			}
+			// The number of distributed dimensions must match the
+			// processor array's rank (§2.2).
+			if d.Dist != nil {
+				nd := 0
+				for _, item := range d.Dist {
+					if item.Kind != STAR {
+						nd++
+					}
+				}
+				procRank := 1
+				if c.procs.Rank2() {
+					procRank = 2
+				}
+				if nd != procRank {
+					return errf(d.Line, 1, "%q: %d distributed dimensions but processor array has rank %d",
+						name, nd, procRank)
+				}
+			}
+			c.syms[name] = &symbol{kind: symArray, typ: d.Elem, decl: d}
+		}
+	}
+	return c.stmts(f.Main, nil, "")
+}
+
+// distributed reports whether an array declaration has a dist clause.
+func distributed(d *VarDecl) bool { return d.Dist != nil }
+
+// locals is the per-forall local scope (loop variable + var decls).
+type locals map[string]BaseType
+
+// stmts checks a statement list.  loc is non-nil inside a forall (with
+// loopVar set); inside sequential for/while bodies nested in a forall
+// the same loc flows through.
+func (c *checker) stmts(ss []Stmt, loc locals, loopVar string) error {
+	for _, s := range ss {
+		if err := c.stmt(s, loc, loopVar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt, loc locals, loopVar string) error {
+	switch s := s.(type) {
+	case *Assign:
+		return c.assign(s, loc, loopVar)
+	case *Forall:
+		if loc != nil {
+			return errf(s.Line, 1, "nested forall loops are not supported")
+		}
+		return c.forall(s)
+	case *ForLoop:
+		// Pascal style: the loop variable may be a declared integer
+		// scalar; otherwise it is implicitly declared for the loop.
+		if loc != nil {
+			if t, dup := loc[s.Var]; dup {
+				if t != TInt {
+					return errf(s.Line, 1, "loop variable %q is not an integer", s.Var)
+				}
+			} else {
+				loc[s.Var] = TInt
+				defer delete(loc, s.Var)
+			}
+		} else if sym, dup := c.syms[s.Var]; dup {
+			if sym.kind != symScalar || sym.typ != TInt {
+				return errf(s.Line, 1, "loop variable %q is not an integer scalar", s.Var)
+			}
+		} else {
+			c.syms[s.Var] = &symbol{kind: symScalar, typ: TInt}
+			defer delete(c.syms, s.Var)
+		}
+		for _, b := range []Expr{s.Lo, s.Hi} {
+			t, err := c.exprType(b, loc, loopVar)
+			if err != nil {
+				return err
+			}
+			if t != TInt {
+				return errf(s.Line, 1, "for bounds must be integers")
+			}
+		}
+		return c.stmts(s.Body, loc, loopVar)
+	case *While:
+		if loc != nil {
+			return errf(s.Line, 1, "while inside forall is not supported")
+		}
+		t, err := c.exprType(s.Cond, loc, loopVar)
+		if err != nil {
+			return err
+		}
+		if t != TBool {
+			return errf(s.Line, 1, "while condition must be boolean")
+		}
+		return c.stmts(s.Body, loc, loopVar)
+	case *If:
+		t, err := c.exprType(s.Cond, loc, loopVar)
+		if err != nil {
+			return err
+		}
+		if t != TBool {
+			return errf(s.Line, 1, "if condition must be boolean")
+		}
+		if err := c.stmts(s.Then, loc, loopVar); err != nil {
+			return err
+		}
+		return c.stmts(s.Else, loc, loopVar)
+	case *Reduce:
+		if loc != nil {
+			return errf(s.Line, 1, "reduce inside forall is not supported")
+		}
+		return c.reduce(s)
+	default:
+		return fmt.Errorf("lang: unknown statement %T", s)
+	}
+}
+
+func (c *checker) reduce(s *Reduce) error {
+	sym := c.syms[s.Into]
+	if sym == nil || sym.kind != symScalar || sym.typ != TReal {
+		return errf(s.Line, 1, "reduce target %q must be a real scalar", s.Into)
+	}
+	wantArgs := map[string]int{"maxdiff": 2, "sum": 1, "max": 1, "min": 1}
+	n, ok := wantArgs[s.Op]
+	if !ok {
+		return errf(s.Line, 1, "unknown reduction %q (maxdiff, sum, max, min)", s.Op)
+	}
+	if len(s.Args) != n {
+		return errf(s.Line, 1, "reduce %s takes %d array(s)", s.Op, n)
+	}
+	for _, a := range s.Args {
+		as := c.syms[a]
+		if as == nil || as.kind != symArray || as.typ != TReal || !distributed(as.decl) {
+			return errf(s.Line, 1, "reduce argument %q must be a distributed real array", a)
+		}
+	}
+	return nil
+}
+
+func (c *checker) assign(s *Assign, loc locals, loopVar string) error {
+	// Resolve the LHS.
+	if loc != nil {
+		if t, ok := loc[s.Name]; ok {
+			if len(s.Indexes) != 0 {
+				return errf(s.Line, 1, "%q is a scalar", s.Name)
+			}
+			return c.checkAssignable(s, t, loc, loopVar)
+		}
+	}
+	sym := c.syms[s.Name]
+	if sym == nil {
+		return errf(s.Line, 1, "undeclared name %q", s.Name)
+	}
+	switch sym.kind {
+	case symConst, symProcSize:
+		return errf(s.Line, 1, "cannot assign to constant %q", s.Name)
+	case symScalar:
+		if len(s.Indexes) != 0 {
+			return errf(s.Line, 1, "%q is a scalar", s.Name)
+		}
+		if loc != nil {
+			return errf(s.Line, 1, "assignment to global scalar %q inside forall", s.Name)
+		}
+		return c.checkAssignable(s, sym.typ, loc, loopVar)
+	case symArray:
+		d := sym.decl
+		if len(s.Indexes) != len(d.Dims) {
+			return errf(s.Line, 1, "%q has %d dimensions, %d indexes given", s.Name, len(d.Dims), len(s.Indexes))
+		}
+		for _, ix := range s.Indexes {
+			t, err := c.exprType(ix, loc, loopVar)
+			if err != nil {
+				return err
+			}
+			if t != TInt {
+				return errf(s.Line, 1, "array index must be an integer")
+			}
+		}
+		if loc != nil {
+			// Inside a forall: owner-computes writes, reals only.
+			if !distributed(d) {
+				return errf(s.Line, 1, "write to replicated array %q inside forall", s.Name)
+			}
+			if d.Elem != TReal {
+				return errf(s.Line, 1, "only real arrays may be written inside forall")
+			}
+		}
+		return c.checkAssignable(s, d.Elem, loc, loopVar)
+	}
+	return nil
+}
+
+func (c *checker) checkAssignable(s *Assign, want BaseType, loc locals, loopVar string) error {
+	t, err := c.exprType(s.X, loc, loopVar)
+	if err != nil {
+		return err
+	}
+	if want == t {
+		return nil
+	}
+	if want == TReal && t == TInt { // implicit widening
+		return nil
+	}
+	return errf(s.Line, 1, "cannot assign %s to %s", t, want)
+}
+
+// forall checks the loop and performs subscript classification.
+func (c *checker) forall(fa *Forall) error {
+	if fa.Var2 != "" {
+		return c.forall2(fa)
+	}
+	if fa.OnIndex2 != nil {
+		return errf(fa.Line, 1, "two on-clause subscripts need a two-index forall")
+	}
+	onSym := c.syms[fa.OnArray]
+	if onSym == nil || onSym.kind != symArray || !distributed(onSym.decl) || len(onSym.decl.Dims) != 1 {
+		return errf(fa.Line, 1, "on clause needs a distributed one-dimensional array, got %q", fa.OnArray)
+	}
+	loc := locals{fa.Var: TInt}
+	for _, d := range fa.Decls {
+		if _, dup := loc[d.Name]; dup {
+			return errf(d.Line, 1, "duplicate forall local %q", d.Name)
+		}
+		// Locals may shadow global scalars (each iteration has its own
+		// copy, Figure 4 style), but not arrays — an ArrayRef to the
+		// name would silently change meaning.
+		if s, shadow := c.syms[d.Name]; shadow && s.kind == symArray {
+			return errf(d.Line, 1, "forall local %q shadows an array", d.Name)
+		}
+		loc[d.Name] = d.Type
+	}
+	for _, b := range []Expr{fa.Lo, fa.Hi} {
+		t, err := c.exprType(b, nil, "")
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return errf(fa.Line, 1, "forall bounds must be integers")
+		}
+	}
+	// The on-clause subscript must be affine in the loop variable.
+	if _, _, ok := c.affineOf(fa.OnIndex, fa.Var); !ok {
+		return errf(fa.Line, 1, "on clause subscript must be affine in %q", fa.Var)
+	}
+	if t, err := c.exprType(fa.OnIndex, loc, fa.Var); err != nil {
+		return err
+	} else if t != TInt {
+		return errf(fa.Line, 1, "on clause subscript must be an integer")
+	}
+
+	if err := c.stmts(fa.Body, loc, fa.Var); err != nil {
+		return err
+	}
+	// Classification pass: annotate every array reference in the body.
+	return c.classify(fa)
+}
+
+// forall2 checks a two-index forall over a 2-D processor array:
+// "forall i in a..b, j in c..d on A[i,j].loc do ... end".  The on
+// clause must use the two loop variables identically (owner-computes
+// on A[i,j]); body references aligned with [i,j] are local, all other
+// distributed reads go through the inspector.
+func (c *checker) forall2(fa *Forall) error {
+	if !c.procs.Rank2() {
+		return errf(fa.Line, 1, "two-index forall needs a 2-D processor array")
+	}
+	onSym := c.syms[fa.OnArray]
+	if onSym == nil || onSym.kind != symArray || !distributed(onSym.decl) || len(onSym.decl.Dims) != 2 {
+		return errf(fa.Line, 1, "on clause needs a distributed two-dimensional array, got %q", fa.OnArray)
+	}
+	if fa.OnIndex2 == nil {
+		return errf(fa.Line, 1, "2-D on clause needs two subscripts")
+	}
+	id1, ok1 := fa.OnIndex.(*Ident)
+	id2, ok2 := fa.OnIndex2.(*Ident)
+	if !ok1 || !ok2 || id1.Name != fa.Var || id2.Name != fa.Var2 {
+		return errf(fa.Line, 1, "2-D on clause must be %s[%s,%s].loc", fa.OnArray, fa.Var, fa.Var2)
+	}
+	if fa.Var == fa.Var2 {
+		return errf(fa.Line, 1, "forall index variables must differ")
+	}
+	loc := locals{fa.Var: TInt, fa.Var2: TInt}
+	for _, d := range fa.Decls {
+		if _, dup := loc[d.Name]; dup {
+			return errf(d.Line, 1, "duplicate forall local %q", d.Name)
+		}
+		if s, shadow := c.syms[d.Name]; shadow && s.kind == symArray {
+			return errf(d.Line, 1, "forall local %q shadows an array", d.Name)
+		}
+		loc[d.Name] = d.Type
+	}
+	for _, b := range []Expr{fa.Lo, fa.Hi, fa.Lo2, fa.Hi2} {
+		t, err := c.exprType(b, nil, "")
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return errf(fa.Line, 1, "forall bounds must be integers")
+		}
+	}
+	if err := c.stmts(fa.Body, loc, fa.Var); err != nil {
+		return err
+	}
+	return c.classify2(fa)
+}
+
+// classify2 annotates references inside a two-index forall: aligned
+// [i,j] accesses are local; every other distributed real read uses the
+// inspector.
+func (c *checker) classify2(fa *Forall) error {
+	seenIndirect := map[string]bool{}
+	seenDep := map[string]bool{}
+	var err error
+	walkStmts(fa.Body, func(e Expr) {
+		if err != nil {
+			return
+		}
+		ref, ok := e.(*ArrayRef)
+		if !ok {
+			return
+		}
+		sym := c.syms[ref.Name]
+		if sym == nil || sym.kind != symArray {
+			return
+		}
+		d := sym.decl
+		if !distributed(d) {
+			ref.access = accReplicated
+			return
+		}
+		if d.Elem == TInt {
+			ref.access = accAligned
+			if !seenDep[ref.Name] {
+				seenDep[ref.Name] = true
+				fa.deps = append(fa.deps, ref.Name)
+			}
+			return
+		}
+		if len(d.Dims) == 2 {
+			i1, ok1 := ref.Indexes[0].(*Ident)
+			i2, ok2 := ref.Indexes[1].(*Ident)
+			if ok1 && ok2 && i1.Name == fa.Var && i2.Name == fa.Var2 {
+				ref.access = accAligned
+				return
+			}
+		}
+		ref.access = accIndirect
+		if !seenIndirect[ref.Name] {
+			seenIndirect[ref.Name] = true
+			fa.reads = append(fa.reads, &readInfo{array: ref.Name})
+		}
+	})
+	return err
+}
+
+// classify walks the forall body annotating ArrayRef reads and
+// collecting the loop's read slots and dependencies.
+func (c *checker) classify(fa *Forall) error {
+	seenIndirect := map[string]bool{}
+	seenDep := map[string]bool{}
+	var err error
+	walkStmts(fa.Body, func(e Expr) {
+		if err != nil {
+			return
+		}
+		ref, ok := e.(*ArrayRef)
+		if !ok {
+			return
+		}
+		sym := c.syms[ref.Name]
+		if sym == nil || sym.kind != symArray {
+			return // already diagnosed by type checking
+		}
+		d := sym.decl
+		if !distributed(d) {
+			ref.access = accReplicated
+			return
+		}
+		if d.Elem == TInt {
+			// Subscript arrays travel with the loop (aligned); their
+			// contents drive the reference pattern.
+			ref.access = accAligned
+			if !seenDep[ref.Name] {
+				seenDep[ref.Name] = true
+				fa.deps = append(fa.deps, ref.Name)
+			}
+			return
+		}
+		switch len(d.Dims) {
+		case 1:
+			if aE, cE, ok := c.affineOf(ref.Indexes[0], fa.Var); ok {
+				ref.access = accAffine
+				fa.reads = append(fa.reads, &readInfo{array: ref.Name, affine: true, aExpr: aE, cExpr: cE})
+				return
+			}
+			ref.access = accIndirect
+			if !seenIndirect[ref.Name] {
+				seenIndirect[ref.Name] = true
+				fa.reads = append(fa.reads, &readInfo{array: ref.Name})
+			}
+		case 2:
+			// Aligned rank-2 read: first subscript is exactly the loop
+			// variable and so is the on-clause subscript.
+			if id, ok := ref.Indexes[0].(*Ident); ok && id.Name == fa.Var {
+				if onID, ok2 := fa.OnIndex.(*Ident); ok2 && onID.Name == fa.Var {
+					ref.access = accAligned
+					return
+				}
+			}
+			ref.access = accIndirect
+			if !seenIndirect[ref.Name] {
+				seenIndirect[ref.Name] = true
+				fa.reads = append(fa.reads, &readInfo{array: ref.Name})
+			}
+		default:
+			err = errf(ref.Line, 1, "arrays of rank > 2 are not supported in foralls")
+		}
+	})
+	return err
+}
+
+// affineOf tries to express e as a*loopVar + c with loop-invariant
+// constant expressions a and c.  Returned exprs may be nil (meaning 0).
+func (c *checker) affineOf(e Expr, loopVar string) (aE, cE Expr, ok bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return nil, e, true
+	case *Ident:
+		if e.Name == loopVar {
+			return &IntLit{V: 1, Line: e.Line}, nil, true
+		}
+		if c.isConstExpr(e) {
+			return nil, e, true
+		}
+		return nil, nil, false
+	case *Unary:
+		if e.Op != MINUS {
+			return nil, nil, false
+		}
+		a1, c1, ok := c.affineOf(e.X, loopVar)
+		if !ok {
+			return nil, nil, false
+		}
+		return negExpr(a1), negExpr(c1), true
+	case *Binary:
+		switch e.Op {
+		case PLUS, MINUS:
+			a1, c1, ok1 := c.affineOf(e.L, loopVar)
+			a2, c2, ok2 := c.affineOf(e.R, loopVar)
+			if !ok1 || !ok2 {
+				return nil, nil, false
+			}
+			if e.Op == MINUS {
+				a2, c2 = negExpr(a2), negExpr(c2)
+			}
+			return addExprs(a1, a2), addExprs(c1, c2), true
+		case STAR:
+			// const * linear or linear * const
+			if c.isConstExpr(e.L) {
+				a2, c2, ok := c.affineOf(e.R, loopVar)
+				if !ok {
+					return nil, nil, false
+				}
+				return mulExprs(e.L, a2), mulExprs(e.L, c2), true
+			}
+			if c.isConstExpr(e.R) {
+				a1, c1, ok := c.affineOf(e.L, loopVar)
+				if !ok {
+					return nil, nil, false
+				}
+				return mulExprs(e.R, a1), mulExprs(e.R, c1), true
+			}
+			return nil, nil, false
+		default:
+			if c.isConstExpr(e) {
+				return nil, e, true
+			}
+			return nil, nil, false
+		}
+	default:
+		if c.isConstExpr(e) {
+			return nil, e, true
+		}
+		return nil, nil, false
+	}
+}
+
+func negExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return &Unary{Op: MINUS, X: e}
+}
+
+func addExprs(a, b Expr) Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &Binary{Op: PLUS, L: a, R: b}
+}
+
+func mulExprs(k, e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return &Binary{Op: STAR, L: k, R: e}
+}
+
+// isConstExpr reports whether e is evaluable at elaboration time:
+// literals, consts, P, and arithmetic over them.
+func (c *checker) isConstExpr(e Expr) bool {
+	switch e := e.(type) {
+	case *IntLit, *RealLit:
+		return true
+	case *Ident:
+		s := c.syms[e.Name]
+		return s != nil && (s.kind == symConst || s.kind == symProcSize)
+	case *Unary:
+		return e.Op == MINUS && c.isConstExpr(e.X)
+	case *Binary:
+		switch e.Op {
+		case PLUS, MINUS, STAR, SLASH, KWDiv, KWMod:
+			return c.isConstExpr(e.L) && c.isConstExpr(e.R)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// exprType infers and checks the type of an expression.
+func (c *checker) exprType(e Expr, loc locals, loopVar string) (BaseType, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return TInt, nil
+	case *RealLit:
+		return TReal, nil
+	case *BoolLit:
+		return TBool, nil
+	case *Ident:
+		if loc != nil {
+			if t, ok := loc[e.Name]; ok {
+				return t, nil
+			}
+		}
+		s := c.syms[e.Name]
+		if s == nil {
+			return 0, errf(e.Line, 1, "undeclared name %q", e.Name)
+		}
+		if s.kind == symArray {
+			return 0, errf(e.Line, 1, "array %q used without subscripts", e.Name)
+		}
+		return s.typ, nil
+	case *ArrayRef:
+		s := c.syms[e.Name]
+		if s == nil || s.kind != symArray {
+			return 0, errf(e.Line, 1, "%q is not an array", e.Name)
+		}
+		d := s.decl
+		if len(e.Indexes) != len(d.Dims) {
+			return 0, errf(e.Line, 1, "%q has %d dimensions, %d indexes given", e.Name, len(d.Dims), len(e.Indexes))
+		}
+		for _, ix := range e.Indexes {
+			t, err := c.exprType(ix, loc, loopVar)
+			if err != nil {
+				return 0, err
+			}
+			if t != TInt {
+				return 0, errf(e.Line, 1, "array index must be an integer")
+			}
+		}
+		if loc == nil && distributed(d) {
+			return 0, errf(e.Line, 1, "distributed array %q read outside a forall (use forall or reduce)", e.Name)
+		}
+		return d.Elem, nil
+	case *Unary:
+		t, err := c.exprType(e.X, loc, loopVar)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case MINUS:
+			if t == TBool {
+				return 0, errf(e.Line, 1, "cannot negate a boolean")
+			}
+			return t, nil
+		case KWNot:
+			if t != TBool {
+				return 0, errf(e.Line, 1, "not needs a boolean")
+			}
+			return TBool, nil
+		}
+		return 0, errf(e.Line, 1, "bad unary operator")
+	case *Binary:
+		lt, err := c.exprType(e.L, loc, loopVar)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := c.exprType(e.R, loc, loopVar)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case KWAnd, KWOr:
+			if lt != TBool || rt != TBool {
+				return 0, errf(e.Line, 1, "%s needs booleans", e.Op)
+			}
+			return TBool, nil
+		case LT, LE, GT, GE, EQ, NE:
+			if lt == TBool || rt == TBool {
+				if lt != rt {
+					return 0, errf(e.Line, 1, "cannot compare %s with %s", lt, rt)
+				}
+				return TBool, nil
+			}
+			return TBool, nil
+		case KWDiv, KWMod:
+			if lt != TInt || rt != TInt {
+				return 0, errf(e.Line, 1, "%s needs integers", e.Op)
+			}
+			return TInt, nil
+		case PLUS, MINUS, STAR:
+			if lt == TBool || rt == TBool {
+				return 0, errf(e.Line, 1, "arithmetic on booleans")
+			}
+			if lt == TReal || rt == TReal {
+				return TReal, nil
+			}
+			return TInt, nil
+		case SLASH:
+			if lt == TBool || rt == TBool {
+				return 0, errf(e.Line, 1, "arithmetic on booleans")
+			}
+			return TReal, nil
+		}
+		return 0, errf(e.Line, 1, "bad binary operator")
+	case *Call:
+		sig, ok := builtins[e.Name]
+		if !ok {
+			return 0, errf(e.Line, 1, "unknown function %q", e.Name)
+		}
+		if len(e.Args) != sig.args {
+			return 0, errf(e.Line, 1, "%s takes %d argument(s)", e.Name, sig.args)
+		}
+		for _, a := range e.Args {
+			t, err := c.exprType(a, loc, loopVar)
+			if err != nil {
+				return 0, err
+			}
+			if t == TBool {
+				return 0, errf(e.Line, 1, "%s does not take booleans", e.Name)
+			}
+		}
+		return sig.ret, nil
+	default:
+		return 0, fmt.Errorf("lang: unknown expression %T", e)
+	}
+}
+
+// builtins lists the available intrinsic functions.
+var builtins = map[string]struct {
+	args int
+	ret  BaseType
+}{
+	"abs":   {1, TReal},
+	"sqrt":  {1, TReal},
+	"min":   {2, TReal},
+	"max":   {2, TReal},
+	"float": {1, TReal},
+	"trunc": {1, TInt},
+}
+
+// walkStmts calls f on every expression in a statement tree.
+func walkStmts(ss []Stmt, f func(Expr)) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *Assign:
+			for _, ix := range s.Indexes {
+				walkExpr(ix, f)
+			}
+			walkExpr(s.X, f)
+		case *Forall:
+			walkExpr(s.Lo, f)
+			walkExpr(s.Hi, f)
+			walkExpr(s.Lo2, f)
+			walkExpr(s.Hi2, f)
+			walkExpr(s.OnIndex, f)
+			walkExpr(s.OnIndex2, f)
+			walkStmts(s.Body, f)
+		case *ForLoop:
+			walkExpr(s.Lo, f)
+			walkExpr(s.Hi, f)
+			walkStmts(s.Body, f)
+		case *While:
+			walkExpr(s.Cond, f)
+			walkStmts(s.Body, f)
+		case *If:
+			walkExpr(s.Cond, f)
+			walkStmts(s.Then, f)
+			walkStmts(s.Else, f)
+		case *Reduce:
+			// no expressions
+		}
+	}
+}
+
+func walkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch e := e.(type) {
+	case *ArrayRef:
+		for _, ix := range e.Indexes {
+			walkExpr(ix, f)
+		}
+	case *Unary:
+		walkExpr(e.X, f)
+	case *Binary:
+		walkExpr(e.L, f)
+		walkExpr(e.R, f)
+	case *Call:
+		for _, a := range e.Args {
+			walkExpr(a, f)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"kali/internal/core"
+	"kali/internal/machine"
+)
+
+// compileErr asserts that src fails to compile with a message
+// containing want.
+func compileErr(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got success", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err.Error(), want)
+	}
+}
+
+const header = `
+processors Procs : array[1..P] with P in 1..8;
+const n = 16;
+var a, b : array[1..n] of real dist by [block] on Procs;
+    k : array[1..n] of integer dist by [block] on Procs;
+    w : array[1..n] of real;
+    x : real;
+    i : integer;
+`
+
+func TestLexerErrors(t *testing.T) {
+	compileErr(t, "processors !", "unexpected character")
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"begin end", "lacks a processors"},
+		{"var x : real;", "expected declaration or begin"},
+		{header + "begin x := ; end.", "expected expression"},
+		{header + "begin x := 1.0 end.", "expected ;"},
+		{header + "begin forall i in 1..n do x := 1.0; end; end.", "expected on"},
+		{header + "begin forall i in 1..n on a[i] do x := 1.0; end; end.", "expected ."},
+		{header + "begin if x then x := 1.0; end; end.", "must be boolean"},
+		{"processors A : array[2..4];", "must start at 1"},
+		{"processors A : array[1..Q];", "needs a with clause"},
+		{"processors A : array[1..Q] with R in 1..4;", "must match"},
+		{header + "const ;", "declares nothing"},
+		{header + "var ;", "declares nothing"},
+		{header + "begin while true do x := 1.0;", "unexpected end of file"},
+	}
+	for _, c := range cases {
+		compileErr(t, c.src, c.want)
+	}
+}
+
+func TestCheckerErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		// type errors
+		{header + "begin x := true; end.", "cannot assign"},
+		{header + "begin i := 1.5; end.", "cannot assign"},
+		{header + "begin x := y; end.", "undeclared name"},
+		{header + "begin x := a; end.", "without subscripts"},
+		{header + "begin x := x[1]; end.", "is not an array"},
+		{header + "begin a[1.5] := 1.0; end.", "index must be an integer"},
+		{header + "begin a[1,2] := 1.0; end.", "1 dimensions"},
+		{header + "begin x := abs(1,2); end.", "takes 1 argument"},
+		{header + "begin x := nosuch(1); end.", "unknown function"},
+		{header + "begin x := 1 + true; end.", "arithmetic on booleans"},
+		{header + "begin x := not 1; end.", "not needs a boolean"},
+		{header + "begin i := 1 mod 1.5; end.", "mod needs integers"},
+		// distributed-array discipline
+		{header + "begin x := a[1]; end.", "outside a forall"},
+		{header + "begin forall i in 1..n on w[i].loc do a[i] := 1.0; end; end.",
+			"needs a distributed one-dimensional array"},
+		{header + "begin forall i in 1..n on a[i*i].loc do a[i] := 1.0; end; end.",
+			"must be affine"},
+		{header + "begin forall i in 1..n on a[i].loc do w[i] := 1.0; end; end.",
+			"replicated array"},
+		{header + "begin forall i in 1..n on a[i].loc do k[i] := 1; end; end.",
+			"only real arrays"},
+		{header + "begin forall i in 1..n on a[i].loc do x := 1.0; end; end.",
+			"global scalar"},
+		{header + "begin forall i in 1..n on a[i].loc do forall i in 1..n on a[i].loc do a[i] := 1.0; end; end; end.",
+			"nested forall"},
+		// reduce discipline
+		{header + "begin reduce maxdiff(a) into x; end.", "takes 2"},
+		{header + "begin reduce maxdiff(a, b) into i; end.", "must be a real scalar"},
+		{header + "begin reduce maxdiff(a, w) into x; end.", "must be a distributed real array"},
+		{header + "begin reduce frobnicate(a) into x; end.", "unknown reduction"},
+		// declarations
+		{"processors P1 : array[1..4];\nconst n = 16;\nvar a : array[1..n] of real dist by [block, *] on P1;\nbegin end.",
+			"dist items"},
+		{"processors P1 : array[1..4];\nvar a : array[1..8] of real dist by [block] on Nope;\nbegin end.",
+			"unknown processor array"},
+		{"processors P1 : array[1..4];\nvar a : array[1..8] of boolean dist by [block];\nbegin end.",
+			"boolean arrays"},
+		{"processors P1 : array[1..4];\nvar a : real;\nvar a : integer;\nbegin end.",
+			"duplicate declaration"},
+		{"processors P1 : array[1..4];\nvar m : integer;\nvar a : array[1..m] of real;\nbegin end.",
+			"constant expressions"},
+	}
+	for _, c := range cases {
+		compileErr(t, c.src, c.want)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	// Elaboration failure: too few processors for the with clause.
+	src := `
+processors Procs : array[1..P] with P in 8..8;
+var a : array[1..16] of real dist by [block] on Procs;
+begin end.
+`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(core.Config{P: 2, Params: machine.Ideal()}); err == nil {
+		t.Fatal("expected elaboration error for insufficient processors")
+	}
+}
+
+func TestAffineDetection(t *testing.T) {
+	// Each subscript form must be accepted and produce correct results.
+	for _, sub := range []string{"i", "i+1", "i-1", "1+i", "n-i", "2*i", "i*2", "-i+n"} {
+		src := `
+processors Procs : array[1..P] with P in 1..4;
+const n = 10;
+var a, b : array[1..2*n] of real dist by [block] on Procs;
+    i : integer;
+begin
+    for i in 1..2*n do b[i] := float(i); end;
+    forall i in 2..n-1 on a[i].loc do
+        a[i] := b[` + sub + `];
+    end;
+end.
+`
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("subscript %q: %v", sub, err)
+		}
+		res, err := p.Run(core.Config{P: 4, Params: machine.NCUBE7()})
+		if err != nil {
+			t.Fatalf("subscript %q: %v", sub, err)
+		}
+		// Affine loops must not pay per-reference inspector cost.
+		if res.Report.Inspector > 0.001 {
+			t.Fatalf("subscript %q treated as indirect (inspector %g s)", sub, res.Report.Inspector)
+		}
+		// Check one representative value: i = 5.
+		eval := map[string]int{"i": 5, "i+1": 6, "i-1": 4, "1+i": 6, "n-i": 5, "2*i": 10, "i*2": 10, "-i+n": 5}
+		if got := res.Arrays["a"][4]; got != float64(eval[sub]) {
+			t.Fatalf("subscript %q: a[5] = %g, want %d", sub, got, eval[sub])
+		}
+	}
+}
+
+func TestWhileAndIfElse(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..2;
+var x : real;
+    i : integer;
+begin
+    i := 0;
+    x := 0.0;
+    while i < 10 do
+        if i mod 2 = 0 then
+            x := x + 1.0;
+        else
+            x := x + 0.5;
+        end;
+        i := i + 1;
+    end;
+end.
+`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(core.Config{P: 2, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalars["x"] != 7.5 {
+		t.Fatalf("x = %g, want 7.5", res.Scalars["x"])
+	}
+	if res.Scalars["i"] != 10 {
+		t.Fatalf("i = %g", res.Scalars["i"])
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..2;
+var x, y : real;
+    i : integer;
+begin
+    x := abs(-3.0) + sqrt(16.0) + min(1.0, 2.0) + max(1.0, 2.0);
+    i := trunc(3.9);
+    y := float(i) / 2.0;
+end.
+`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(core.Config{P: 1, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalars["x"] != 10 {
+		t.Fatalf("x = %g", res.Scalars["x"])
+	}
+	if res.Scalars["i"] != 3 || res.Scalars["y"] != 1.5 {
+		t.Fatalf("i=%g y=%g", res.Scalars["i"], res.Scalars["y"])
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+const n = 8;
+var a, b : array[1..n] of real dist by [cyclic] on Procs;
+    s, mx, mn : real;
+    i : integer;
+begin
+    for i in 1..n do a[i] := float(i); b[i] := 0.0; end;
+    reduce sum(a) into s;
+    reduce max(a) into mx;
+    reduce min(a) into mn;
+end.
+`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(core.Config{P: 4, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalars["s"] != 36 || res.Scalars["mx"] != 8 || res.Scalars["mn"] != 1 {
+		t.Fatalf("s=%g mx=%g mn=%g", res.Scalars["s"], res.Scalars["mx"], res.Scalars["mn"])
+	}
+}

@@ -1,0 +1,250 @@
+package lang
+
+import (
+	"testing"
+
+	"kali/internal/core"
+	"kali/internal/machine"
+)
+
+// run compiles and executes a program on an ideal machine.
+func run(t *testing.T, src string, p int) *Result {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(core.Config{P: p, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestOperatorSemantics pins down every operator's runtime behaviour.
+func TestOperatorSemantics(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..2;
+var x, y : real;
+    i, j : integer;
+    b, c : boolean;
+begin
+    i := 17 div 5;       -- 3
+    j := 17 mod 5;       -- 2
+    x := 7 / 2;          -- 3.5 (slash is real division)
+    y := -x + 0.5;       -- -3.0
+    b := (1 < 2) and (2 <= 2) and (3 > 2) and (2 >= 2) and (1 = 1) and (1 <> 2);
+    c := not b or false;
+    if c then y := 99.0; end;
+    if b then j := j * 2; end;    -- 4
+end.
+`
+	res := run(t, src, 1)
+	if res.Scalars["i"] != 3 || res.Scalars["j"] != 4 {
+		t.Fatalf("div/mod: i=%g j=%g", res.Scalars["i"], res.Scalars["j"])
+	}
+	if res.Scalars["x"] != 3.5 || res.Scalars["y"] != -3 {
+		t.Fatalf("real ops: x=%g y=%g", res.Scalars["x"], res.Scalars["y"])
+	}
+}
+
+// TestRealLiteralsAndExponents exercises the lexer's numeric forms.
+func TestRealLiteralsAndExponents(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..2;
+var x, y, z : real;
+begin
+    x := 2.5e2;    -- 250
+    y := 1e-1;     -- 0.1 is not lexed (no mantissa digits before e? it is: 1e-1)
+    z := 3.25;
+end.
+`
+	res := run(t, src, 1)
+	if res.Scalars["x"] != 250 || res.Scalars["y"] != 0.1 || res.Scalars["z"] != 3.25 {
+		t.Fatalf("literals: %v", res.Scalars)
+	}
+}
+
+// TestFig1CyclicRowArray uses Figure 1's second declaration — a 2-D
+// array with cyclic rows — inside a forall with aligned accesses.
+func TestFig1CyclicRowArray(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+const N = 8;
+      M = 3;
+var B : array[1..N, 1..M] of real dist by [cyclic, *] on Procs;
+    rowsum : array[1..N] of real dist by [cyclic] on Procs;
+    i, j : integer;
+begin
+    for i in 1..N do
+        for j in 1..M do
+            B[i,j] := float(i*10 + j);
+        end;
+    end;
+    forall i in 1..N on rowsum[i].loc do
+        var s : real;
+        var j : integer;
+        s := 0.0;
+        for j in 1..M do
+            s := s + B[i,j];
+        end;
+        rowsum[i] := s;
+    end;
+end.
+`
+	res := run(t, src, 4)
+	for i := 1; i <= 8; i++ {
+		want := float64(i*10+1) + float64(i*10+2) + float64(i*10+3)
+		if res.Arrays["rowsum"][i-1] != want {
+			t.Fatalf("rowsum[%d] = %g, want %g", i, res.Arrays["rowsum"][i-1], want)
+		}
+	}
+	if res.Arrays["B"][0] != 11 {
+		t.Fatal("B not gathered")
+	}
+}
+
+// TestRank2IndirectInLang: a 2-D distributed real array read with a
+// non-aligned first subscript — the checker must classify it indirect
+// and the inspector must fetch whole remote elements.
+func TestRank2IndirectInLang(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+const N = 8;
+var B : array[1..N, 1..2] of real dist by [block, *] on Procs;
+    a : array[1..N] of real dist by [block] on Procs;
+    i, j : integer;
+begin
+    for i in 1..N do
+        for j in 1..2 do
+            B[i,j] := float(i*100 + j);
+        end;
+    end;
+    forall i in 1..N on a[i].loc do
+        a[i] := B[N+1-i, 1] + B[N+1-i, 2];
+    end;
+end.
+`
+	res := run(t, src, 4)
+	for i := 1; i <= 8; i++ {
+		r := 8 + 1 - i
+		want := float64(r*100+1) + float64(r*100+2)
+		if res.Arrays["a"][i-1] != want {
+			t.Fatalf("a[%d] = %g, want %g", i, res.Arrays["a"][i-1], want)
+		}
+	}
+}
+
+// TestForallOnShiftedSubscript: "on a[i+1].loc" placement in source.
+func TestForallOnShiftedSubscript(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+const N = 12;
+var a : array[1..N] of real dist by [block] on Procs;
+    i : integer;
+begin
+    forall i in 1..N-1 on a[i+1].loc do
+        a[i+1] := float(i);
+    end;
+end.
+`
+	res := run(t, src, 4)
+	for i := 1; i <= 11; i++ {
+		if res.Arrays["a"][i] != float64(i) {
+			t.Fatalf("a[%d] = %g", i+1, res.Arrays["a"][i])
+		}
+	}
+}
+
+// TestConstExpressions: consts may use div/mod/nested arithmetic and P.
+func TestConstExpressions(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 4..4;
+const n = (3 + 5) * 2;       -- 16
+      half = n div 2;        -- 8
+      rem = n mod 3;         -- 1
+      perProc = n div P;     -- 4
+var a : array[1..n] of real dist by [block_cyclic(perProc)] on Procs;
+    i : integer;
+begin
+    for i in 1..n do a[i] := float(half + rem); end;
+end.
+`
+	res := run(t, src, 4)
+	if res.P != 4 {
+		t.Fatalf("P = %d", res.P)
+	}
+	if res.Arrays["a"][5] != 9 {
+		t.Fatalf("a[6] = %g", res.Arrays["a"][5])
+	}
+}
+
+// TestNestedIfInForall exercises control flow inside loop bodies.
+func TestNestedIfInForall(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..2;
+const n = 10;
+var a : array[1..n] of real dist by [block] on Procs;
+    i : integer;
+begin
+    forall i in 1..n on a[i].loc do
+        if i mod 2 = 0 then
+            if i > 5 then
+                a[i] := 2.0;
+            else
+                a[i] := 1.0;
+            end;
+        else
+            a[i] := 0.0;
+        end;
+    end;
+end.
+`
+	res := run(t, src, 2)
+	want := []float64{0, 1, 0, 1, 0, 2, 0, 2, 0, 2}
+	for i, w := range want {
+		if res.Arrays["a"][i] != w {
+			t.Fatalf("a[%d] = %g, want %g", i+1, res.Arrays["a"][i], w)
+		}
+	}
+}
+
+// TestScalarsReportedFromNodeZero: scalars come from node 0's copy.
+func TestScalarsReportedFromNodeZero(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+var x : real;
+    i : integer;
+begin
+    x := 0.0;
+    for i in 1..4 do x := x + 1.0; end;
+end.
+`
+	res := run(t, src, 4)
+	if res.Scalars["x"] != 4 {
+		t.Fatalf("x = %g", res.Scalars["x"])
+	}
+}
+
+// TestTokenStrings covers diagnostic rendering.
+func TestTokenStrings(t *testing.T) {
+	toks, err := lexAll("foo 12 3.5 :=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].String() != `identifier "foo"` {
+		t.Fatalf("ident: %s", toks[0])
+	}
+	if toks[1].String() != `integer literal "12"` {
+		t.Fatalf("int: %s", toks[1])
+	}
+	if toks[3].String() != ":=" {
+		t.Fatalf("op: %s", toks[3])
+	}
+	if Kind(9999).String() == "" {
+		t.Fatal("unknown kind string")
+	}
+	if TBool.String() != "boolean" || TInt.String() != "integer" || TReal.String() != "real" {
+		t.Fatal("base type strings")
+	}
+}

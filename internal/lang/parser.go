@@ -1,0 +1,840 @@
+package lang
+
+import "strconv"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Line, t.Col, "expected %s, found %s", k, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+// Parse parses Kali source into a File (no semantic checks yet).
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for {
+		switch p.cur().Kind {
+		case KWProcessors:
+			if f.Procs != nil {
+				t := p.cur()
+				return nil, errf(t.Line, t.Col, "duplicate processors declaration")
+			}
+			d, err := p.procsDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Procs = d
+		case KWConst:
+			ds, err := p.constDecls()
+			if err != nil {
+				return nil, err
+			}
+			f.Consts = append(f.Consts, ds...)
+		case KWVar:
+			ds, err := p.varDecls()
+			if err != nil {
+				return nil, err
+			}
+			f.Vars = append(f.Vars, ds...)
+		case KWBegin:
+			p.advance()
+			body, err := p.stmts(KWEnd)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(KWEnd); err != nil {
+				return nil, err
+			}
+			p.accept(DOT)
+			p.accept(SEMI)
+			f.Main = body
+			if t := p.cur(); t.Kind != EOF {
+				return nil, errf(t.Line, t.Col, "trailing input after program end: %s", t)
+			}
+			return f, nil
+		default:
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "expected declaration or begin, found %s", t)
+		}
+	}
+}
+
+// procsDecl := processors NAME : array [ 1 .. bound ] [with NAME in lo..hi] ;
+func (p *parser) procsDecl() (*ProcsDecl, error) {
+	start, _ := p.expect(KWProcessors)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWArray); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACK); err != nil {
+		return nil, err
+	}
+	if t, err := p.expect(INTLIT); err != nil {
+		return nil, err
+	} else if t.Text != "1" {
+		return nil, errf(t.Line, t.Col, "processor arrays must start at 1")
+	}
+	if _, err := p.expect(DOTDOT); err != nil {
+		return nil, err
+	}
+	d := &ProcsDecl{Name: name.Text, Line: start.Line}
+	if p.cur().Kind == IDENT {
+		d.SizeVar = p.advance().Text
+	} else {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Size = x
+	}
+	// Optional second dimension: ", 1 .. extent" (constant extents only).
+	if p.accept(COMMA) {
+		if d.SizeVar != "" {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "2-D processor arrays need constant extents (no with clause)")
+		}
+		if t, err := p.expect(INTLIT); err != nil {
+			return nil, err
+		} else if t.Text != "1" {
+			return nil, errf(t.Line, t.Col, "processor arrays must start at 1")
+		}
+		if _, err := p.expect(DOTDOT); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Size2 = x
+	}
+	if _, err := p.expect(RBRACK); err != nil {
+		return nil, err
+	}
+	if p.accept(KWWith) {
+		if d.Size2 != nil {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "with clause is only supported for 1-D processor arrays")
+		}
+		v, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if d.SizeVar == "" || v.Text != d.SizeVar {
+			return nil, errf(v.Line, v.Col, "with-clause variable %q must match the array bound", v.Text)
+		}
+		if _, err := p.expect(KWIn); err != nil {
+			return nil, err
+		}
+		lo, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(DOTDOT); err != nil {
+			return nil, err
+		}
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.MinP, d.MaxP = lo, hi
+	} else if d.SizeVar != "" {
+		return nil, errf(start.Line, start.Col, "processor bound %q needs a with clause", d.SizeVar)
+	}
+	_, err = p.expect(SEMI)
+	return d, err
+}
+
+// constDecls := const { NAME = expr ; }
+func (p *parser) constDecls() ([]*ConstDecl, error) {
+	p.advance() // const
+	var out []*ConstDecl
+	for p.cur().Kind == IDENT {
+		name := p.advance()
+		if _, err := p.expect(EQ); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		out = append(out, &ConstDecl{Name: name.Text, X: x, Line: name.Line})
+	}
+	if len(out) == 0 {
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "const section declares nothing")
+	}
+	return out, nil
+}
+
+// varDecls := var { identList : typeSpec [distClause] ; }
+func (p *parser) varDecls() ([]*VarDecl, error) {
+	p.advance() // var
+	var out []*VarDecl
+	for p.cur().Kind == IDENT {
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "var section declares nothing")
+	}
+	return out, nil
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	d := &VarDecl{Line: p.cur().Line}
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d.Names = append(d.Names, name.Text)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	if p.accept(KWArray) {
+		if _, err := p.expect(LBRACK); err != nil {
+			return nil, err
+		}
+		for {
+			lo, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(DOTDOT); err != nil {
+				return nil, err
+			}
+			hi, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Dims = append(d.Dims, ArrayDim{Lo: lo, Hi: hi})
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWOf); err != nil {
+			return nil, err
+		}
+	}
+	bt, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	d.Elem = bt
+	if p.accept(KWDist) {
+		if len(d.Dims) == 0 {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "dist clause on a scalar")
+		}
+		if _, err := p.expect(KWBy); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LBRACK); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.distItem()
+			if err != nil {
+				return nil, err
+			}
+			d.Dist = append(d.Dist, item)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		if p.accept(KWOn) {
+			t, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			d.OnTo = t.Text
+		}
+	}
+	_, err = p.expect(SEMI)
+	return d, err
+}
+
+func (p *parser) baseType() (BaseType, error) {
+	switch t := p.advance(); t.Kind {
+	case KWReal:
+		return TReal, nil
+	case KWInteger:
+		return TInt, nil
+	case KWBoolean:
+		return TBool, nil
+	default:
+		return 0, errf(t.Line, t.Col, "expected type, found %s", t)
+	}
+}
+
+func (p *parser) distItem() (DistItem, error) {
+	switch t := p.advance(); t.Kind {
+	case KWBlock:
+		return DistItem{Kind: KWBlock}, nil
+	case KWCyclic:
+		return DistItem{Kind: KWCyclic}, nil
+	case KWBlockCyclic:
+		if _, err := p.expect(LPAREN); err != nil {
+			return DistItem{}, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return DistItem{}, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return DistItem{}, err
+		}
+		return DistItem{Kind: KWBlockCyclic, Block: x}, nil
+	case STAR:
+		return DistItem{Kind: STAR}, nil
+	default:
+		return DistItem{}, errf(t.Line, t.Col, "expected distribution pattern, found %s", t)
+	}
+}
+
+// stmts parses statements until one of the stop keywords (not consumed).
+func (p *parser) stmts(stops ...Kind) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		k := p.cur().Kind
+		for _, s := range stops {
+			if k == s {
+				return out, nil
+			}
+		}
+		if k == EOF {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unexpected end of file in statement list")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch t := p.cur(); t.Kind {
+	case KWForall:
+		return p.forall()
+	case KWFor:
+		return p.forLoop()
+	case KWWhile:
+		return p.while()
+	case KWIf:
+		return p.ifStmt()
+	case KWReduce:
+		return p.reduce()
+	case IDENT:
+		return p.assign()
+	default:
+		return nil, errf(t.Line, t.Col, "expected statement, found %s", t)
+	}
+}
+
+// forall := forall NAME in expr .. expr on NAME [ expr ] . loc do
+//
+//	{var NAME : type ;} stmts end
+func (p *parser) forall() (Stmt, error) {
+	start := p.advance()
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWIn); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(DOTDOT); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	// Optional second index: "forall i in a..b, j in c..d ...".
+	var var2 string
+	var lo2, hi2 Expr
+	if p.accept(COMMA) {
+		v2, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		var2 = v2.Text
+		if _, err := p.expect(KWIn); err != nil {
+			return nil, err
+		}
+		if lo2, err = p.expr(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(DOTDOT); err != nil {
+			return nil, err
+		}
+		if hi2, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(KWOn); err != nil {
+		return nil, err
+	}
+	arr, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACK); err != nil {
+		return nil, err
+	}
+	idx, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var idx2 Expr
+	if p.accept(COMMA) {
+		if idx2, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RBRACK); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(DOT); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWLoc); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWDo); err != nil {
+		return nil, err
+	}
+	fa := &Forall{
+		Var: v.Text, Lo: lo, Hi: hi,
+		Var2: var2, Lo2: lo2, Hi2: hi2,
+		OnArray: arr.Text, OnIndex: idx, OnIndex2: idx2,
+		Line: start.Line,
+	}
+	for p.cur().Kind == KWVar {
+		p.advance()
+		for p.cur().Kind == IDENT && p.peek().Kind == COLON {
+			name := p.advance()
+			if _, err := p.expect(COLON); err != nil {
+				return nil, err
+			}
+			bt, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			fa.Decls = append(fa.Decls, &LocalDecl{Name: name.Text, Type: bt, Line: name.Line})
+		}
+	}
+	body, err := p.stmts(KWEnd)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWEnd); err != nil {
+		return nil, err
+	}
+	fa.Body = body
+	return fa, nil
+}
+
+func (p *parser) forLoop() (Stmt, error) {
+	start := p.advance()
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWIn); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(DOTDOT); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWDo); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(KWEnd)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWEnd); err != nil {
+		return nil, err
+	}
+	return &ForLoop{Var: v.Text, Lo: lo, Hi: hi, Body: body, Line: start.Line}, nil
+}
+
+func (p *parser) while() (Stmt, error) {
+	start := p.advance()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWDo); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(KWEnd)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWEnd); err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Line: start.Line}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	start := p.advance()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWThen); err != nil {
+		return nil, err
+	}
+	then, err := p.stmts(KWEnd, KWElse)
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.accept(KWElse) {
+		els, err = p.stmts(KWEnd)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(KWEnd); err != nil {
+		return nil, err
+	}
+	return &If{Cond: cond, Then: then, Else: els, Line: start.Line}, nil
+}
+
+// reduce := reduce NAME ( NAME {, NAME} ) into NAME
+func (p *parser) reduce() (Stmt, error) {
+	start := p.advance()
+	op, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	r := &Reduce{Op: op.Text, Line: start.Line}
+	for {
+		a, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		r.Args = append(r.Args, a.Text)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWInto); err != nil {
+		return nil, err
+	}
+	into, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	r.Into = into.Text
+	return r, nil
+}
+
+func (p *parser) assign() (Stmt, error) {
+	name := p.advance()
+	a := &Assign{Name: name.Text, Line: name.Line}
+	if p.accept(LBRACK) {
+		for {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			a.Indexes = append(a.Indexes, x)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	a.X = x
+	return a, nil
+}
+
+// Expression precedence: or < and < not < relational < additive <
+// multiplicative < unary < primary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == KWOr {
+		op := p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: KWOr, L: l, R: r, Line: op.Line}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == KWAnd {
+		op := p.advance()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: KWAnd, L: l, R: r, Line: op.Line}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.cur().Kind == KWNot {
+		op := p.advance()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: KWNot, X: x, Line: op.Line}, nil
+	}
+	return p.relExpr()
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.cur().Kind; k {
+	case LT, LE, GT, GE, EQ, NE:
+		op := p.advance()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: k, L: l, R: r, Line: op.Line}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		if k != PLUS && k != MINUS {
+			return l, nil
+		}
+		op := p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: k, L: l, R: r, Line: op.Line}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		if k != STAR && k != SLASH && k != KWDiv && k != KWMod {
+			return l, nil
+		}
+		op := p.advance()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: k, L: l, R: r, Line: op.Line}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.cur().Kind == MINUS {
+		op := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: MINUS, X: x, Line: op.Line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case INTLIT:
+		p.advance()
+		v, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{V: v, Line: t.Line}, nil
+	case REALLIT:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad real literal %q", t.Text)
+		}
+		return &RealLit{V: v, Line: t.Line}, nil
+	case KWTrue:
+		p.advance()
+		return &BoolLit{V: true, Line: t.Line}, nil
+	case KWFalse:
+		p.advance()
+		return &BoolLit{V: false, Line: t.Line}, nil
+	case LPAREN:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RPAREN)
+		return x, err
+	case IDENT:
+		p.advance()
+		switch p.cur().Kind {
+		case LBRACK:
+			p.advance()
+			ref := &ArrayRef{Name: t.Text, Line: t.Line}
+			for {
+				x, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ref.Indexes = append(ref.Indexes, x)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			_, err := p.expect(RBRACK)
+			return ref, err
+		case LPAREN:
+			p.advance()
+			call := &Call{Name: t.Text, Line: t.Line}
+			if p.cur().Kind != RPAREN {
+				for {
+					x, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, x)
+					if !p.accept(COMMA) {
+						break
+					}
+				}
+			}
+			_, err := p.expect(RPAREN)
+			return call, err
+		default:
+			return &Ident{Name: t.Text, Line: t.Line}, nil
+		}
+	default:
+		return nil, errf(t.Line, t.Col, "expected expression, found %s", t)
+	}
+}

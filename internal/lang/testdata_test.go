@@ -1,0 +1,155 @@
+package lang
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kali/internal/core"
+	"kali/internal/machine"
+	"kali/internal/mesh"
+)
+
+// loadProgram compiles a testdata program.
+func loadProgram(t *testing.T, name string) *Program {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return p
+}
+
+// TestCorpusCompilesAndRuns: every .kali program in testdata compiles
+// and runs on several machine sizes without error.
+func TestCorpusCompilesAndRuns(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.kali"))
+	if err != nil || len(files) < 4 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		for _, p := range []int{1, 2, 4} {
+			prog := loadProgram(t, filepath.Base(f))
+			if _, err := prog.Run(core.Config{P: p, Params: machine.Ideal()}); err != nil {
+				// 2-D processor declarations need an exact processor
+				// count; too-small machines are a legitimate refusal.
+				if strings.Contains(err.Error(), "need at least") {
+					continue
+				}
+				t.Fatalf("%s on P=%d: %v", f, p, err)
+			}
+		}
+	}
+}
+
+func TestCorpusShift(t *testing.T) {
+	res, err := loadProgram(t, "shift.kali").Run(core.Config{P: 4, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Arrays["A"]
+	for i := 1; i < 24; i++ {
+		if a[i-1] != float64(i+1) {
+			t.Fatalf("A[%d] = %g", i, a[i-1])
+		}
+	}
+}
+
+func TestCorpusGather(t *testing.T) {
+	res, err := loadProgram(t, "gather.kali").Run(core.Config{P: 4, Params: machine.NCUBE7()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Arrays["B"]
+	for i := 1; i <= 20; i++ {
+		r := 20 + 1 - i
+		if b[i-1] != float64(r*r) {
+			t.Fatalf("B[%d] = %g, want %d", i, b[i-1], r*r)
+		}
+	}
+	// Indirect: inspector must have run.
+	if res.Report.Inspector <= 0 {
+		t.Fatal("gather should have paid inspector time")
+	}
+}
+
+func TestCorpusRowsum(t *testing.T) {
+	res, err := loadProgram(t, "rowsum.kali").Run(core.Config{P: 4, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 12; i++ {
+		want := 0.0
+		for j := 1; j <= 5; j++ {
+			want += float64(i) + float64(j)/10
+		}
+		if math.Abs(res.Arrays["s"][i-1]-want) > 1e-12 {
+			t.Fatalf("s[%d] = %g, want %g", i, res.Arrays["s"][i-1], want)
+		}
+	}
+}
+
+func TestCorpusRedBlack(t *testing.T) {
+	res, err := loadProgram(t, "redblack.kali").Run(core.Config{P: 2, Params: machine.NCUBE7()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Arrays["u"]
+	// Oracle: same red-black order sequentially.
+	const n, sweeps = 32, 40
+	oracle := make([]float64, n+1)
+	oracle[1], oracle[n] = 1, 5
+	for s := 0; s < sweeps; s++ {
+		for i := 3; i <= n-1; i += 2 {
+			oracle[i] = 0.5 * (oracle[i-1] + oracle[i+1])
+		}
+		for i := 2; i <= n-1; i += 2 {
+			oracle[i] = 0.5 * (oracle[i-1] + oracle[i+1])
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if math.Abs(u[i-1]-oracle[i]) > 1e-12 {
+			t.Fatalf("u[%d] = %g, oracle %g", i, u[i-1], oracle[i])
+		}
+	}
+	// The strided affine loops must NOT have paid per-reference
+	// inspector costs (compile-time analyzable).
+	if res.Report.Inspector > 0.01 {
+		t.Fatalf("red-black paid inspector-scale cost: %g s", res.Report.Inspector)
+	}
+}
+
+// TestCorpusJacobi2D: the 2-D processor-array program matches the
+// sequential oracle.
+func TestCorpusJacobi2D(t *testing.T) {
+	res, err := loadProgram(t, "jacobi2d.kali").Run(core.Config{P: 4, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 4 {
+		t.Fatalf("P = %d", res.P)
+	}
+	// Oracle via the mesh package: same boundary profile and sweeps.
+	m := mesh.Rect(16, 16)
+	want := mesh.SeqJacobi(m, mesh.InitValues(m), 6)
+	got := res.Arrays["u"]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("u[%d] = %g, want %g", i+1, got[i], want[i])
+		}
+	}
+	// The neighbor reads must have used the inspector.
+	res2, err := loadProgram(t, "jacobi2d.kali").Run(core.Config{P: 4, Params: machine.NCUBE7()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report.Inspector <= 0 {
+		t.Fatal("2-D forall should pay inspector cost")
+	}
+}

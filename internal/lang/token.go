@@ -1,0 +1,164 @@
+// Package lang implements a front end for the Kali language of the
+// paper: a Pascal-like notation with processor arrays, distributed
+// array declarations (dist by [block, *] on Procs) and forall loops
+// with on clauses.  Programs are parsed, statically checked (including
+// the subscript classification that decides between compile-time
+// analysis and the run-time inspector), and interpreted SPMD on the
+// simulated machine by lowering every forall onto the internal/forall
+// engine.
+//
+// The accepted grammar covers the paper's Figures 1 and 4:
+//
+//	processors Procs : array[1..P] with P in 1..128;
+//	const n = 64;
+//	var a, old_a : array[1..n] of real dist by [block] on Procs;
+//	    adj : array[1..n, 1..4] of integer dist by [block, *] on Procs;
+//	    x : real;
+//	begin
+//	    forall i in 1..n on a[i].loc do ... end;
+//	    while ... do ... end;
+//	    reduce maxdiff(a, old_a) into x;
+//	end
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	REALLIT
+
+	// keywords
+	KWProcessors
+	KWVar
+	KWConst
+	KWArray
+	KWOf
+	KWReal
+	KWInteger
+	KWBoolean
+	KWDist
+	KWBy
+	KWOn
+	KWWith
+	KWIn
+	KWForall
+	KWFor
+	KWWhile
+	KWDo
+	KWIf
+	KWThen
+	KWElse
+	KWEnd
+	KWBegin
+	KWAnd
+	KWOr
+	KWNot
+	KWDiv
+	KWMod
+	KWTrue
+	KWFalse
+	KWReduce
+	KWInto
+	KWLoc
+	KWBlock
+	KWCyclic
+	KWBlockCyclic
+
+	// punctuation / operators
+	ASSIGN // :=
+	SEMI   // ;
+	COLON  // :
+	COMMA  // ,
+	DOT    // .
+	DOTDOT // ..
+	LBRACK // [
+	RBRACK // ]
+	LPAREN // (
+	RPAREN // )
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+	EQ     // =
+	NE     // <>
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INTLIT: "integer literal",
+	REALLIT:      "real literal",
+	KWProcessors: "processors", KWVar: "var", KWConst: "const",
+	KWArray: "array", KWOf: "of", KWReal: "real", KWInteger: "integer",
+	KWBoolean: "boolean", KWDist: "dist", KWBy: "by", KWOn: "on",
+	KWWith: "with", KWIn: "in", KWForall: "forall", KWFor: "for",
+	KWWhile: "while", KWDo: "do", KWIf: "if", KWThen: "then",
+	KWElse: "else", KWEnd: "end", KWBegin: "begin", KWAnd: "and",
+	KWOr: "or", KWNot: "not", KWDiv: "div", KWMod: "mod",
+	KWTrue: "true", KWFalse: "false", KWReduce: "reduce", KWInto: "into",
+	KWLoc: "loc", KWBlock: "block", KWCyclic: "cyclic",
+	KWBlockCyclic: "block_cyclic",
+	ASSIGN:        ":=", SEMI: ";", COLON: ":", COMMA: ",", DOT: ".",
+	DOTDOT: "..", LBRACK: "[", RBRACK: "]", LPAREN: "(", RPAREN: ")",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", LT: "<", LE: "<=",
+	GT: ">", GE: ">=", EQ: "=", NE: "<>",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"processors": KWProcessors, "var": KWVar, "const": KWConst,
+	"array": KWArray, "of": KWOf, "real": KWReal, "integer": KWInteger,
+	"boolean": KWBoolean, "dist": KWDist, "by": KWBy, "on": KWOn,
+	"with": KWWith, "in": KWIn, "forall": KWForall, "for": KWFor,
+	"while": KWWhile, "do": KWDo, "if": KWIf, "then": KWThen,
+	"else": KWElse, "end": KWEnd, "begin": KWBegin, "and": KWAnd,
+	"or": KWOr, "not": KWNot, "div": KWDiv, "mod": KWMod,
+	"true": KWTrue, "false": KWFalse, "reduce": KWReduce, "into": KWInto,
+	"loc": KWLoc, "block": KWBlock, "cyclic": KWCyclic,
+	"block_cyclic": KWBlockCyclic,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, REALLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a positioned front-end error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// barrier is a reusable clock-synchronizing barrier.  The last node to
+// arrive publishes the generation's maximum clock in releasedMax and
+// resets the accumulator for the next generation; because every node
+// participates in every barrier, a new generation cannot complete (and
+// overwrite releasedMax) before all waiters of the previous generation
+// have been released.
+type barrier struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	p           int
+	count       int
+	gen         int
+	maxClock    float64
+	releasedMax float64
+	poisoned    bool
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// poison releases all waiters after a node panic so Run can unwind.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wait blocks until all p nodes arrive and returns the maximum clock
+// among them.
+func (b *barrier) wait(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("machine: barrier poisoned by peer panic")
+	}
+	gen := b.gen
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	b.count++
+	if b.count == b.p {
+		b.releasedMax = b.maxClock
+		b.maxClock = 0
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.releasedMax
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("machine: barrier poisoned by peer panic")
+	}
+	return b.releasedMax
+}
+
+// collectiveCost returns the modeled time of one hypercube collective:
+// Dim stages, each a small-message exchange of nbytes.
+func (m *Machine) collectiveCost(nbytes int) float64 {
+	d := m.Dim()
+	if d == 0 {
+		return 0
+	}
+	per := m.params.MsgStartup + float64(nbytes)*m.params.MsgPerByte +
+		m.params.PerHop + m.params.RecvOverhead
+	return float64(d) * per
+}
+
+// Barrier synchronizes all nodes; afterwards every clock equals the
+// pre-barrier maximum plus the collective cost.
+func (n *Node) Barrier() {
+	max := n.m.barrier.wait(n.clock)
+	n.clock = max + n.m.collectiveCost(8)
+}
+
+// AllReduce combines one float64 from every node with op ("sum",
+// "max", "min", "and" — "and" treats nonzero as true) and returns the
+// combined value on every node.  Clocks synchronize like a barrier.
+func (n *Node) AllReduce(x float64, op string) float64 {
+	m := n.m
+	m.reduceMu.Lock()
+	if m.reduceVals == nil {
+		m.reduceVals = make([]float64, m.p)
+	}
+	m.reduceVals[n.id] = x
+	m.reduceMu.Unlock()
+
+	max := m.barrier.wait(n.clock)
+
+	m.reduceMu.Lock()
+	acc := m.reduceVals[0]
+	for i := 1; i < m.p; i++ {
+		v := m.reduceVals[i]
+		switch op {
+		case "sum":
+			acc += v
+		case "max":
+			if v > acc {
+				acc = v
+			}
+		case "min":
+			if v < acc {
+				acc = v
+			}
+		case "and":
+			if acc != 0 && v != 0 {
+				acc = 1
+			} else {
+				acc = 0
+			}
+		default:
+			m.reduceMu.Unlock()
+			panic(fmt.Sprintf("machine: unknown reduction op %q", op))
+		}
+	}
+	m.reduceMu.Unlock()
+
+	// Second rendezvous so no node races ahead and overwrites the
+	// scratch values of a subsequent AllReduce.
+	_ = m.barrier.wait(0)
+
+	n.clock = max + m.collectiveCost(8)
+	return acc
+}

@@ -1,0 +1,360 @@
+// Package machine simulates a distributed-memory multicomputer.
+//
+// The paper evaluates Kali on two hypercubes, the NCUBE/7 and the
+// iPSC/2.  We cannot run on that hardware, so this package provides a
+// faithful software substitute: every node of the simulated machine is
+// a goroutine with its own local memory and a *virtual clock*, and all
+// interaction happens through explicit messages, exactly as on the real
+// machines.  Data movement is executed for real — programs compute real
+// answers — while elapsed time is accounted by a calibrated cost model
+// (Params) instead of wall-clock measurement, so results are
+// deterministic and independent of the host.
+//
+// Virtual time obeys message causality: a message sent at sender time t
+// arrives no earlier than t + startup + perByte·n + perHop·hops, and a
+// receive advances the receiver's clock to at least the arrival time.
+// Collectives (barrier, reductions) synchronize clocks the way a
+// dimension-exchange implementation would on a hypercube.
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Tag distinguishes message streams between the same pair of nodes.
+type Tag int
+
+// Reserved tags; user programs should use tags >= TagUser.
+const (
+	TagData Tag = iota
+	TagCrystal
+	TagUser Tag = 16
+)
+
+// Message is an in-flight simulated message.
+type Message struct {
+	From     int
+	Tag      Tag
+	Payload  any
+	Bytes    int
+	ArriveAt float64 // receiver-side arrival time on the virtual clock
+}
+
+// Machine is a simulated P-node multicomputer.
+type Machine struct {
+	params Params
+	p      int
+	cube   bool // node ids are hypercube addresses (P is a power of two)
+	nodes  []*Node
+
+	barrier    *barrier
+	reduceMu   sync.Mutex
+	reduceVals []float64
+}
+
+// New builds a machine with p nodes and the given cost model.  When p
+// is a power of two the node ids are hypercube addresses (per-hop
+// charges use Hamming distance); otherwise hop distance is taken as 1.
+func New(p int, params Params) (*Machine, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("machine: need at least one node, got %d", p)
+	}
+	m := &Machine{params: params, p: p, cube: p&(p-1) == 0}
+	m.barrier = newBarrier(p)
+	m.nodes = make([]*Node, p)
+	for i := 0; i < p; i++ {
+		m.nodes[i] = &Node{
+			id:      i,
+			m:       m,
+			mailbox: make(chan Message, 4*p+16),
+			phases:  map[string]float64{},
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p int, params Params) *Machine {
+	m, err := New(p, params)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// P returns the number of nodes.
+func (m *Machine) P() int { return m.p }
+
+// Params returns the cost model in effect.
+func (m *Machine) Params() Params { return m.params }
+
+// Dim returns the hypercube dimension ⌈log2 P⌉.
+func (m *Machine) Dim() int {
+	d := 0
+	for (1 << uint(d)) < m.p {
+		d++
+	}
+	return d
+}
+
+// Node returns node i (valid after New, including between Runs).
+func (m *Machine) Node(i int) *Node { return m.nodes[i] }
+
+// hops returns the link distance between two nodes.
+func (m *Machine) hops(p, q int) int {
+	if p == q {
+		return 0
+	}
+	if !m.cube {
+		return 1
+	}
+	return bits.OnesCount(uint(p ^ q))
+}
+
+// Run executes prog on every node concurrently (SPMD) and returns when
+// all nodes finish.  It panics with the node's panic value if any node
+// program panics, after all other nodes have been released.
+func (m *Machine) Run(prog func(n *Node)) {
+	var wg sync.WaitGroup
+	panics := make([]any, m.p)
+	for i := 0; i < m.p; i++ {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[n.id] = r
+					m.barrier.poison()
+				}
+			}()
+			prog(n)
+		}(m.nodes[i])
+	}
+	wg.Wait()
+	for id, r := range panics {
+		if r != nil {
+			panic(fmt.Sprintf("machine: node %d panicked: %v", id, r))
+		}
+	}
+}
+
+// MaxClock returns the maximum virtual clock over all nodes — the
+// simulated elapsed time of the program.
+func (m *Machine) MaxClock() float64 {
+	max := 0.0
+	for _, n := range m.nodes {
+		if n.clock > max {
+			max = n.clock
+		}
+	}
+	return max
+}
+
+// MaxPhase returns the maximum accumulated time of a named phase over
+// all nodes.  The paper reports per-phase times this way (the slowest
+// processor determines elapsed time).
+func (m *Machine) MaxPhase(name string) float64 {
+	max := 0.0
+	for _, n := range m.nodes {
+		if t := n.phases[name]; t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Reset zeroes all clocks, phase timers and mailboxes so the machine
+// can run another program.
+func (m *Machine) Reset() {
+	for _, n := range m.nodes {
+		n.clock = 0
+		n.phases = map[string]float64{}
+		n.phaseStack = n.phaseStack[:0]
+		n.pending = n.pending[:0]
+		n.stats = Stats{}
+	drain:
+		for {
+			select {
+			case <-n.mailbox:
+			default:
+				break drain
+			}
+		}
+	}
+}
+
+// Stats counts simulated events on a node, for tests and reports.
+type Stats struct {
+	MsgsSent     int
+	BytesSent    int
+	MsgsReceived int
+	FlopCount    int64
+}
+
+// Node is one processor of the simulated machine.  All methods must be
+// called only from within the node's own program goroutine.
+type Node struct {
+	id      int
+	m       *Machine
+	clock   float64
+	mailbox chan Message
+	pending []Message // received but not yet matched
+
+	phases     map[string]float64
+	phaseStack []phaseFrame
+
+	stats Stats
+}
+
+type phaseFrame struct {
+	name  string
+	start float64
+}
+
+// ID returns the node id in [0, P).
+func (n *Node) ID() int { return n.id }
+
+// P returns the machine size.
+func (n *Node) P() int { return n.m.p }
+
+// Machine returns the owning machine.
+func (n *Node) Machine() *Machine { return n.m }
+
+// Clock returns the node's current virtual time in seconds.
+func (n *Node) Clock() float64 { return n.clock }
+
+// Stats returns the node's event counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Advance adds raw seconds to the virtual clock.
+func (n *Node) Advance(seconds float64) {
+	if seconds < 0 {
+		panic("machine: negative time advance")
+	}
+	n.clock += seconds
+}
+
+// Charge advances the clock by a combination of primitive costs; see
+// Params for the meaning of each count.
+func (n *Node) Charge(c Cost) {
+	p := &n.m.params
+	n.clock += float64(c.Flops)*p.Flop +
+		float64(c.MemRefs)*p.MemRef +
+		float64(c.LoopIters)*p.LoopIter +
+		float64(c.Calls)*p.Call +
+		float64(c.RefChecks)*p.RefCheck +
+		float64(c.LocTests)*p.LocTest +
+		float64(c.ListInserts)*p.ListInsert
+	n.stats.FlopCount += int64(c.Flops)
+}
+
+// Cost is a bundle of primitive-operation counts for Charge.
+type Cost struct {
+	Flops       int
+	MemRefs     int
+	LoopIters   int
+	Calls       int
+	RefChecks   int
+	LocTests    int
+	ListInserts int
+}
+
+// ChargeSearch charges one sorted-range binary search over r ranges:
+// a procedure call plus ⌈log2(r+1)⌉ probes (the paper's O(log r)
+// access, Figure 5 discussion).
+func (n *Node) ChargeSearch(r int) {
+	p := &n.m.params
+	probes := 1
+	for (1 << uint(probes)) <= r {
+		probes++
+	}
+	n.clock += p.SearchBase + float64(probes)*p.SearchProbe
+}
+
+// Send transmits payload to node `to`.  nbytes is the wire size used
+// for cost accounting.  The sender is charged the startup plus copy
+// cost; the message arrives at the receiver at the send completion time
+// plus network latency.
+func (n *Node) Send(to int, tag Tag, payload any, nbytes int) {
+	if to == n.id {
+		panic("machine: send to self")
+	}
+	p := &n.m.params
+	n.clock += p.MsgStartup + float64(nbytes)*p.MsgPerByte
+	arrive := n.clock + float64(n.m.hops(n.id, to))*p.PerHop
+	n.stats.MsgsSent++
+	n.stats.BytesSent += nbytes
+	n.m.nodes[to].mailbox <- Message{
+		From:     n.id,
+		Tag:      tag,
+		Payload:  payload,
+		Bytes:    nbytes,
+		ArriveAt: arrive,
+	}
+}
+
+// Recv blocks until a message from `from` with the given tag is
+// available, advances the clock to its arrival time, charges receive
+// overhead, and returns it.
+func (n *Node) Recv(from int, tag Tag) Message {
+	for i, msg := range n.pending {
+		if msg.From == from && msg.Tag == tag {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			n.deliver(msg)
+			return msg
+		}
+	}
+	for {
+		msg := <-n.mailbox
+		if msg.From == from && msg.Tag == tag {
+			n.deliver(msg)
+			return msg
+		}
+		n.pending = append(n.pending, msg)
+	}
+}
+
+// RecvFromEach receives exactly one message with the given tag from
+// every node in froms, returning them indexed as in froms.  Arrival
+// processing is deterministic: clock effects are applied in the order
+// of the froms slice regardless of physical arrival order.
+func (n *Node) RecvFromEach(tag Tag, froms []int) []Message {
+	out := make([]Message, len(froms))
+	for i, f := range froms {
+		out[i] = n.Recv(f, tag)
+	}
+	return out
+}
+
+// deliver applies clock rules for consuming one message.
+func (n *Node) deliver(msg Message) {
+	if msg.ArriveAt > n.clock {
+		n.clock = msg.ArriveAt
+	}
+	n.clock += n.m.params.RecvOverhead + float64(msg.Bytes)*n.m.params.MsgPerByte
+	n.stats.MsgsReceived++
+}
+
+// StartPhase begins accumulating virtual time under the given name.
+// Phases may nest; time is attributed to every open phase.
+func (n *Node) StartPhase(name string) {
+	n.phaseStack = append(n.phaseStack, phaseFrame{name: name, start: n.clock})
+}
+
+// StopPhase ends the innermost phase, which must match name.
+func (n *Node) StopPhase(name string) {
+	if len(n.phaseStack) == 0 {
+		panic("machine: StopPhase without StartPhase")
+	}
+	top := n.phaseStack[len(n.phaseStack)-1]
+	if top.name != name {
+		panic(fmt.Sprintf("machine: StopPhase(%q) but innermost phase is %q", name, top.name))
+	}
+	n.phaseStack = n.phaseStack[:len(n.phaseStack)-1]
+	n.phases[name] += n.clock - top.start
+}
+
+// PhaseTime returns the accumulated time of a phase on this node.
+func (n *Node) PhaseTime(name string) float64 { return n.phases[name] }

@@ -1,0 +1,124 @@
+package relax
+
+import (
+	"testing"
+
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/mesh"
+)
+
+// TestAllDistributionsCorrect: the paper's §2.4 claim — the same
+// program runs unchanged under any distribution, producing identical
+// results; only performance differs.
+func TestAllDistributionsCorrect(t *testing.T) {
+	m := mesh.Rect(12, 12)
+	const sweeps = 6
+	want := mesh.SeqJacobi(m, mesh.InitValues(m), sweeps)
+
+	owners := make([]int, m.N)
+	for i := range owners {
+		owners[i] = (i / 7) % 4 // odd-sized chunks, deliberately ragged
+	}
+
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"block", Options{Dist: dist.BlockDim()}},
+		{"cyclic", Options{Dist: dist.CyclicDim()}},
+		{"blockcyclic3", Options{Dist: dist.BlockCyclicDim(3)}},
+		{"usermap", Options{Owners: owners}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opt := c.opt
+			opt.Mesh, opt.Sweeps, opt.P = m, sweeps, 4
+			opt.Params, opt.Gather = machine.Ideal(), true
+			res := Run(opt)
+			if d := mesh.MaxDelta(res.Values, want); d != 0 {
+				t.Fatalf("distribution %s: differs from oracle by %g", c.name, d)
+			}
+		})
+	}
+}
+
+// TestBlockBeatsCyclicForStencil: the performance consequence the
+// paper wants programmers to control — for a nearest-neighbor stencil,
+// block distribution communicates only boundaries while cyclic
+// communicates nearly everything.
+func TestBlockBeatsCyclicForStencil(t *testing.T) {
+	m := mesh.Rect(32, 32)
+	block := Run(Options{Mesh: m, Sweeps: 10, P: 4, Params: machine.NCUBE7()})
+	cyclic := Run(Options{Mesh: m, Sweeps: 10, P: 4, Params: machine.NCUBE7(), Dist: dist.CyclicDim()})
+	if cyclic.Report.Executor < 2*block.Report.Executor {
+		t.Fatalf("cyclic (%.2fs) should be far slower than block (%.2fs) on a stencil",
+			cyclic.Report.Executor, block.Report.Executor)
+	}
+	if cyclic.NonlocalIters <= block.NonlocalIters {
+		t.Fatalf("cyclic nonlocal iters %d should exceed block's %d",
+			cyclic.NonlocalIters, block.NonlocalIters)
+	}
+}
+
+// TestUserMapBalancesSkewedWork: the paper's future-work scenario
+// (dynamic load balancing needs user-defined distributions).  We build
+// a mesh whose active (interior) nodes all fall in the low half of the
+// numbering; a block distribution leaves half the processors idle,
+// while an owner map that deals active nodes evenly restores balance.
+func TestUserMapBalancesSkewedWork(t *testing.T) {
+	// A tall narrow strip: nodes are numbered row-major, and we make
+	// the strip by taking a 16x32 rectangle — nothing skewed yet.  The
+	// skew: relax on a *half-active* mesh built by marking the upper
+	// half's nodes boundary (count = 0 ⇒ nearly free).
+	nx, ny := 16, 32
+	m := mesh.Rect(nx, ny)
+	for i := 1; i <= m.N; i++ {
+		if (i-1)/nx >= ny/2 { // rows in the upper half
+			m.Count[i-1] = 0
+		}
+	}
+
+	const p = 4
+	block := Run(Options{Mesh: m, Sweeps: 10, P: p, Params: machine.NCUBE7()})
+
+	// Deal the expensive (active) nodes round-robin by row bands of the
+	// active half; keep each node's whole row together to preserve
+	// stencil locality within a band.
+	owners := make([]int, m.N)
+	activeRows := 0
+	for r := 0; r < ny; r++ {
+		active := false
+		for c := 0; c < nx; c++ {
+			if m.Count[r*nx+c] > 0 {
+				active = true
+				break
+			}
+		}
+		var owner int
+		if active {
+			owner = (activeRows * p) / (ny/2 - 1)
+			if owner >= p {
+				owner = p - 1
+			}
+			activeRows++
+		} else {
+			owner = (r * p) / ny // spread idle rows arbitrarily
+		}
+		for c := 0; c < nx; c++ {
+			owners[r*nx+c] = owner
+		}
+	}
+	balanced := Run(Options{Mesh: m, Sweeps: 10, P: p, Params: machine.NCUBE7(), Owners: owners})
+
+	if balanced.Report.Executor >= block.Report.Executor {
+		t.Fatalf("balanced map (%.2fs) should beat block (%.2fs) on skewed work",
+			balanced.Report.Executor, block.Report.Executor)
+	}
+	// And both compute the same answer.
+	want := mesh.SeqJacobi(m, mesh.InitValues(m), 10)
+	got := Run(Options{Mesh: m, Sweeps: 10, P: p, Params: machine.Ideal(), Owners: owners, Gather: true})
+	if d := mesh.MaxDelta(got.Values, want); d != 0 {
+		t.Fatalf("balanced result differs by %g", d)
+	}
+}

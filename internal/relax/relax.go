@@ -1,0 +1,244 @@
+// Package relax is the paper's Figure 4 program: nearest-neighbor
+// relaxation (Jacobi) on a user-defined mesh, written against the Kali
+// runtime.  The mesh arrives as adjacency lists (count/adj/coef), so
+// the inner reference old_a[adj[i,j]] is data-dependent and exercises
+// the run-time inspector; the inspector runs once and its schedule is
+// reused by all subsequent sweeps, exactly as in the paper.
+//
+// The arrays and distributions mirror the paper's declarations:
+//
+//	var a, old_a : array[1..n] of real            dist by [block];
+//	    count    : array[1..n] of integer         dist by [block];
+//	    adj      : array[1..n,1..maxdeg] of integer dist by [block,*];
+//	    coef     : array[1..n,1..maxdeg] of real    dist by [block,*];
+package relax
+
+import (
+	"fmt"
+
+	"kali/internal/analysis"
+	"kali/internal/core"
+	"kali/internal/dist"
+	"kali/internal/forall"
+	"kali/internal/machine"
+	"kali/internal/mesh"
+)
+
+// Options configures one relaxation experiment.
+type Options struct {
+	Mesh   *mesh.Mesh
+	Sweeps int
+	P      int
+	Params machine.Params
+
+	// Dist selects the node-dimension distribution of every array
+	// (a, old_a, count, adj, coef all align).  The zero value means
+	// block — the paper's choice.  Changing it is the paper's §2.4
+	// claim made concrete: "a variety of distribution patterns can
+	// easily be tried by trivial modification of this program".
+	Dist dist.DimSpec
+	// Owners, when non-nil, overrides Dist with a user-defined
+	// distribution (the paper's "mechanism for user-defined
+	// distributions"): Owners[i] is the 0-based owner of node i+1.
+	Owners []int
+
+	// NoCache re-runs the inspector every sweep (ablation ABL1).
+	NoCache bool
+	// Enumerate uses the Saltz-style fully-enumerated executor from
+	// the paper's §5 comparison (ablation ABL7): no locality tests or
+	// searches during execution, more schedule storage.
+	Enumerate bool
+	// CheckConvergence adds the while-loop convergence reduction each
+	// sweep (off in the paper's timed runs, which sweep a fixed count).
+	CheckConvergence bool
+	// Tol stops early when the sweep-to-sweep delta drops below it
+	// (requires CheckConvergence).
+	Tol float64
+	// Gather controls whether final values are collected (host-side)
+	// for validation.
+	Gather bool
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	Report core.Report
+	// Values is the gathered solution (nil unless Options.Gather).
+	Values []float64
+	// SweepsRun counts executed relaxation sweeps (less than
+	// Options.Sweeps if converged early).
+	SweepsRun int
+	// NonlocalIters is the max per-node nonlocal iteration count.
+	NonlocalIters int
+	// ScheduleBytes is the max per-node schedule storage of the
+	// relaxation loop (Figure 5 records, buffers, and the enumeration
+	// list when Options.Enumerate is set).
+	ScheduleBytes int
+}
+
+// phaseCopy times the old_a := a copy loop separately from the
+// relaxation core, matching the paper's measured regions.
+const phaseCopy = "copy"
+
+// Run executes the experiment on a fresh simulated machine.
+func Run(opt Options) Result {
+	if opt.Mesh == nil || opt.Sweeps < 1 || opt.P < 1 {
+		panic(fmt.Sprintf("relax: bad options %+v", opt))
+	}
+	m := opt.Mesh
+	var values []float64
+	if opt.Gather {
+		values = make([]float64, m.N)
+	}
+	sweepsRun := make([]int, opt.P)
+	nonlocal := make([]int, opt.P)
+	schedBytes := make([]int, opt.P)
+	// Computed once and shared read-only by all simulated nodes.
+	init := mesh.InitValues(m)
+
+	nodeDim := opt.Dist
+	if nodeDim.Kind == dist.Collapsed && nodeDim.Owner == nil && nodeDim.Block == 0 {
+		nodeDim = dist.BlockDim()
+	}
+	if opt.Owners != nil {
+		nodeDim = dist.MapDim(opt.Owners)
+	}
+
+	rep := core.Run(core.Config{P: opt.P, Params: opt.Params}, func(ctx *core.Context) {
+		me := ctx.ID()
+		n := m.N
+
+		a := ctx.Array("a", []int{n}, []dist.DimSpec{nodeDim})
+		oldA := ctx.Array("old_a", []int{n}, []dist.DimSpec{nodeDim})
+		count := ctx.IntArray("count", []int{n}, []dist.DimSpec{nodeDim})
+		adj := ctx.IntArray("adj", []int{n, m.MaxDeg},
+			[]dist.DimSpec{nodeDim, dist.CollapsedDim()})
+		coef := ctx.Array("coef", []int{n, m.MaxDeg},
+			[]dist.DimSpec{nodeDim, dist.CollapsedDim()})
+
+		// Set up arrays 'adj' and 'coef' (untimed, like the paper).
+		localSet := a.Dist().Pattern(0).Local(me)
+		localSet.Each(func(i int) {
+			a.Set1(i, init[i-1])
+			oldA.Set1(i, init[i-1])
+			count.Set1(i, m.Count[i-1])
+			for k := 0; k < m.MaxDeg; k++ {
+				adj.Set2(i, k+1, m.Adj[(i-1)*m.MaxDeg+k])
+				coef.Set2(i, k+1, m.Coef[(i-1)*m.MaxDeg+k])
+			}
+		})
+
+		ctx.Eng.NoCache = opt.NoCache
+
+		copyLoop := &forall.Loop{
+			Name: "relax.copy", Lo: 1, Hi: n,
+			On: oldA, OnF: analysis.Identity,
+			Reads: []forall.ReadSpec{{Array: a, Affine: &analysis.Identity}},
+			Phase: phaseCopy,
+			Body: func(i int, e *forall.Env) {
+				e.Write(oldA, i, e.Read(a, i))
+			},
+		}
+
+		relaxLoop := &forall.Loop{
+			Name: "relax.core", Lo: 1, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Reads:     []forall.ReadSpec{{Array: oldA}}, // old_a[adj[i,j]]: indirect
+			DependsOn: []forall.Dep{adj},
+			Enumerate: opt.Enumerate,
+			Body: func(i int, e *forall.Env) {
+				cnt := e.ReadInt(count, i)
+				x := 0.0
+				for j := 1; j <= cnt; j++ {
+					cf := e.ReadLocal2(coef, i, j)
+					x += cf * e.Read(oldA, e.ReadInt2(adj, i, j))
+					e.Flops(2)
+				}
+				e.Flops(1) // the count[i] > 0 test
+				if cnt > 0 {
+					e.Write(a, i, x)
+				}
+			},
+		}
+
+		sweeps := 0
+		for sweeps < opt.Sweeps {
+			ctx.Forall(copyLoop)
+			ctx.Forall(relaxLoop)
+			sweeps++
+			if opt.CheckConvergence {
+				delta := 0.0
+				localSet.Each(func(i int) {
+					d := a.Get1(i) - oldA.Get1(i)
+					if d < 0 {
+						d = -d
+					}
+					if d > delta {
+						delta = d
+					}
+				})
+				if ctx.AllReduce(delta, "max") < opt.Tol {
+					break
+				}
+			}
+		}
+		sweepsRun[me] = sweeps
+
+		if s := ctx.Eng.Schedule("relax.core"); s != nil {
+			nonlocal[me] = s.NonlocalIters()
+			schedBytes[me] = s.MemBytes()
+		}
+		if opt.Gather {
+			localSet.Each(func(i int) { values[i-1] = a.Get1(i) })
+		}
+	})
+
+	res := Result{Report: rep, Values: values, SweepsRun: sweepsRun[0]}
+	for i, nl := range nonlocal {
+		if nl > res.NonlocalIters {
+			res.NonlocalIters = nl
+		}
+		if schedBytes[i] > res.ScheduleBytes {
+			res.ScheduleBytes = schedBytes[i]
+		}
+	}
+	return res
+}
+
+// RunExtrapolated runs only a few sweeps and extrapolates the
+// executor/copy phase times to the full sweep count.  Because the
+// simulation is deterministic and every post-schedule sweep charges
+// identical virtual time, the extrapolation is exact; it exists to
+// keep host wall-clock reasonable on the 512²/1024² meshes.  The
+// inspector time needs no scaling (it runs once).
+func RunExtrapolated(opt Options, simulate int) Result {
+	if simulate >= opt.Sweeps {
+		return Run(opt)
+	}
+	if simulate < 3 {
+		panic("relax: need at least 3 simulated sweeps to extrapolate")
+	}
+	full := opt.Sweeps
+	opt.Sweeps = simulate
+	opt.CheckConvergence = false
+	r1 := Run(opt)
+	opt.Sweeps = simulate - 1
+	r0 := Run(opt)
+	perSweep := r1.Report.Executor - r0.Report.Executor
+	r1.Report.Executor += float64(full-simulate) * perSweep
+	r1.Report.Total = r1.Report.Inspector + r1.Report.Executor
+	r1.SweepsRun = full
+	return r1
+}
+
+// SeqExecutorTime returns the one-processor executor time for the
+// given mesh and sweep count — the paper's speedup baseline ("speedup
+// is given relative to the executor time on one processor").  It
+// simulates two sweep counts and scales exactly.
+func SeqExecutorTime(m *mesh.Mesh, sweeps int, params machine.Params) float64 {
+	opt := Options{Mesh: m, Sweeps: 2, P: 1, Params: params}
+	r2 := Run(opt)
+	opt.Sweeps = 1
+	r1 := Run(opt)
+	perSweep := r2.Report.Executor - r1.Report.Executor
+	return r1.Report.Executor + float64(sweeps-1)*perSweep
+}

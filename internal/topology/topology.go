@@ -1,0 +1,233 @@
+// Package topology models Kali processor arrays and their embedding
+// into hypercube machines.
+//
+// A Kali program declares a processor array such as
+//
+//	processors Procs : array[1..P] with P in 1..max_procs;
+//
+// The "real estate agent" (Seitz's term, quoted in the paper) picks a
+// concrete P at run time within the declared bounds; the paper's
+// implementation picks the largest feasible P, which is what Choose
+// does.  Multi-dimensional processor arrays are supported and are
+// embedded into the physical hypercube using binary-reflected Gray
+// codes, so that neighbors in the processor grid are neighbors (single
+// link hops) in the hypercube whenever each grid extent is a power of
+// two.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Grid is a concrete multi-dimensional processor array.  Processor
+// coordinates are 0-based internally; Kali-level 1-based indexing is
+// handled by the language front end.
+type Grid struct {
+	extents []int // length = rank, product = P
+	strides []int // row-major strides for linearization
+	size    int
+}
+
+// NewGrid builds a processor grid with the given per-dimension extents.
+func NewGrid(extents ...int) (*Grid, error) {
+	if len(extents) == 0 {
+		return nil, fmt.Errorf("topology: grid needs at least one dimension")
+	}
+	size := 1
+	for i, e := range extents {
+		if e <= 0 {
+			return nil, fmt.Errorf("topology: dimension %d has non-positive extent %d", i, e)
+		}
+		size *= e
+	}
+	g := &Grid{
+		extents: append([]int(nil), extents...),
+		strides: make([]int, len(extents)),
+		size:    size,
+	}
+	stride := 1
+	for i := len(extents) - 1; i >= 0; i-- {
+		g.strides[i] = stride
+		stride *= extents[i]
+	}
+	return g, nil
+}
+
+// MustGrid is NewGrid that panics on error, for tests and literals.
+func MustGrid(extents ...int) *Grid {
+	g, err := NewGrid(extents...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Rank returns the number of grid dimensions.
+func (g *Grid) Rank() int { return len(g.extents) }
+
+// Size returns the total number of processors P.
+func (g *Grid) Size() int { return g.size }
+
+// Extent returns the extent of dimension d.
+func (g *Grid) Extent(d int) int { return g.extents[d] }
+
+// Extents returns a copy of all extents.
+func (g *Grid) Extents() []int { return append([]int(nil), g.extents...) }
+
+// Linear converts grid coordinates to a linear processor id in
+// [0, Size).  It panics on out-of-range coordinates.
+func (g *Grid) Linear(coord ...int) int {
+	if len(coord) != len(g.extents) {
+		panic(fmt.Sprintf("topology: coordinate rank %d != grid rank %d", len(coord), len(g.extents)))
+	}
+	id := 0
+	for i, c := range coord {
+		if c < 0 || c >= g.extents[i] {
+			panic(fmt.Sprintf("topology: coordinate %d out of range [0,%d) in dim %d", c, g.extents[i], i))
+		}
+		id += c * g.strides[i]
+	}
+	return id
+}
+
+// Coord converts a linear processor id back to grid coordinates.
+func (g *Grid) Coord(id int) []int {
+	if id < 0 || id >= g.size {
+		panic(fmt.Sprintf("topology: processor id %d out of range [0,%d)", id, g.size))
+	}
+	out := make([]int, len(g.extents))
+	for i, s := range g.strides {
+		out[i] = id / s
+		id %= s
+	}
+	return out
+}
+
+// Neighbors returns the linear ids of the grid-adjacent processors
+// (±1 in each dimension, no wraparound).
+func (g *Grid) Neighbors(id int) []int {
+	coord := g.Coord(id)
+	var out []int
+	for d := range coord {
+		for _, delta := range []int{-1, 1} {
+			c := coord[d] + delta
+			if c < 0 || c >= g.extents[d] {
+				continue
+			}
+			coord[d] = c
+			out = append(out, g.Linear(coord...))
+			coord[d] -= delta
+		}
+	}
+	return out
+}
+
+func (g *Grid) String() string {
+	return fmt.Sprintf("Grid%v", g.extents)
+}
+
+// Choose implements the real estate agent: given declared bounds
+// [minP, maxP] and the number of physical processors avail, it returns
+// the largest feasible P, preferring powers of two (hypercube
+// allocations come in powers of two).  An error is returned when even
+// minP processors cannot be provided.
+func Choose(minP, maxP, avail int) (int, error) {
+	if minP < 1 || maxP < minP {
+		return 0, fmt.Errorf("topology: invalid processor bounds [%d,%d]", minP, maxP)
+	}
+	if avail < minP {
+		return 0, fmt.Errorf("topology: need at least %d processors, only %d available", minP, avail)
+	}
+	p := avail
+	if p > maxP {
+		p = maxP
+	}
+	// Round down to a power of two if one fits within bounds; hypercube
+	// subcubes are power-of-two sized.
+	pow := 1 << uint(bits.Len(uint(p))-1)
+	if pow >= minP {
+		return pow, nil
+	}
+	return p, nil
+}
+
+// GrayCode returns the i-th binary-reflected Gray code.
+func GrayCode(i int) int { return i ^ (i >> 1) }
+
+// GrayDecode inverts GrayCode.
+func GrayDecode(gc int) int {
+	n := 0
+	for gc != 0 {
+		n ^= gc
+		gc >>= 1
+	}
+	return n
+}
+
+// Hypercube embeds a processor grid into a hypercube with node ids
+// being physical hypercube addresses.  Each grid dimension d with
+// extent 2^k is assigned k address bits; the grid coordinate in that
+// dimension is Gray-coded into those bits so grid neighbors differ in
+// exactly one address bit.
+type Hypercube struct {
+	grid    *Grid
+	dimBits []int // bits assigned to each grid dimension
+	dim     int   // total hypercube dimension
+}
+
+// NewHypercube embeds grid into the smallest hypercube that holds it.
+// Every grid extent must be a power of two (the paper's "basic
+// assumption ... natural for hypercubes").
+func NewHypercube(grid *Grid) (*Hypercube, error) {
+	h := &Hypercube{grid: grid}
+	for d := 0; d < grid.Rank(); d++ {
+		e := grid.Extent(d)
+		if e&(e-1) != 0 {
+			return nil, fmt.Errorf("topology: extent %d of dim %d is not a power of two", e, d)
+		}
+		k := bits.Len(uint(e)) - 1
+		h.dimBits = append(h.dimBits, k)
+		h.dim += k
+	}
+	return h, nil
+}
+
+// Dim returns the hypercube dimension (log2 of node count).
+func (h *Hypercube) Dim() int { return h.dim }
+
+// Nodes returns the number of hypercube nodes, 2^Dim.
+func (h *Hypercube) Nodes() int { return 1 << uint(h.dim) }
+
+// Address maps a linear grid processor id to its hypercube node
+// address.  Per-dimension coordinates are Gray-coded into disjoint
+// bit fields.
+func (h *Hypercube) Address(id int) int {
+	coord := h.grid.Coord(id)
+	addr := 0
+	shift := 0
+	for d := h.grid.Rank() - 1; d >= 0; d-- {
+		addr |= GrayCode(coord[d]) << uint(shift)
+		shift += h.dimBits[d]
+	}
+	return addr
+}
+
+// ProcID inverts Address.
+func (h *Hypercube) ProcID(addr int) int {
+	coord := make([]int, h.grid.Rank())
+	shift := 0
+	for d := h.grid.Rank() - 1; d >= 0; d-- {
+		mask := (1 << uint(h.dimBits[d])) - 1
+		coord[d] = GrayDecode((addr >> uint(shift)) & mask)
+		shift += h.dimBits[d]
+	}
+	return h.grid.Linear(coord...)
+}
+
+// Hops returns the hypercube distance (Hamming distance of addresses)
+// between two grid processors — the number of link traversals a
+// message needs on the physical machine.
+func (h *Hypercube) Hops(p, q int) int {
+	return bits.OnesCount(uint(h.Address(p) ^ h.Address(q)))
+}

@@ -1,0 +1,244 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridErrors(t *testing.T) {
+	if _, err := NewGrid(); err == nil {
+		t.Fatal("expected error for rank-0 grid")
+	}
+	if _, err := NewGrid(4, 0); err == nil {
+		t.Fatal("expected error for zero extent")
+	}
+	if _, err := NewGrid(-2); err == nil {
+		t.Fatal("expected error for negative extent")
+	}
+}
+
+func TestGridLinearCoordRoundTrip(t *testing.T) {
+	g := MustGrid(3, 4, 5)
+	if g.Size() != 60 || g.Rank() != 3 {
+		t.Fatalf("size/rank wrong: %d/%d", g.Size(), g.Rank())
+	}
+	for id := 0; id < g.Size(); id++ {
+		c := g.Coord(id)
+		if got := g.Linear(c...); got != id {
+			t.Fatalf("round trip failed: %d -> %v -> %d", id, c, got)
+		}
+	}
+}
+
+func TestGridRowMajorOrder(t *testing.T) {
+	g := MustGrid(2, 3)
+	// Row-major: (0,0)=0 (0,1)=1 (0,2)=2 (1,0)=3 ...
+	if g.Linear(0, 2) != 2 || g.Linear(1, 0) != 3 || g.Linear(1, 2) != 5 {
+		t.Fatal("row-major linearization wrong")
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	g := MustGrid(2, 2)
+	for _, f := range []func(){
+		func() { g.Linear(0) },     // wrong rank
+		func() { g.Linear(2, 0) },  // out of range
+		func() { g.Linear(0, -1) }, // negative
+		func() { g.Coord(4) },      // id too big
+		func() { g.Coord(-1) },     // id negative
+		func() { MustGrid(0) },     // bad extent
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g := MustGrid(3, 3)
+	// Center of a 3x3 grid has 4 neighbors, corner has 2.
+	center := g.Linear(1, 1)
+	if n := g.Neighbors(center); len(n) != 4 {
+		t.Fatalf("center neighbors = %v", n)
+	}
+	corner := g.Linear(0, 0)
+	n := g.Neighbors(corner)
+	if len(n) != 2 {
+		t.Fatalf("corner neighbors = %v", n)
+	}
+	want := map[int]bool{g.Linear(1, 0): true, g.Linear(0, 1): true}
+	for _, id := range n {
+		if !want[id] {
+			t.Fatalf("unexpected corner neighbor %d", id)
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	cases := []struct {
+		minP, maxP, avail int
+		want              int
+		wantErr           bool
+	}{
+		{1, 128, 128, 128, false},
+		{1, 128, 100, 64, false}, // round down to power of two
+		{1, 50, 128, 32, false},  // capped by maxP then rounded
+		{1, 1, 16, 1, false},
+		{100, 128, 100, 100, false}, // pow-of-two 64 < minP, keep 100
+		{10, 5, 16, 0, true},        // invalid bounds
+		{8, 16, 4, 0, true},         // too few available
+		{0, 4, 4, 0, true},          // minP < 1
+	}
+	for _, c := range cases {
+		got, err := Choose(c.minP, c.maxP, c.avail)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Choose(%d,%d,%d) err = %v", c.minP, c.maxP, c.avail, err)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("Choose(%d,%d,%d) = %d, want %d", c.minP, c.maxP, c.avail, got, c.want)
+		}
+	}
+}
+
+func TestGrayCodeAdjacent(t *testing.T) {
+	// Successive Gray codes differ in exactly one bit.
+	for i := 0; i < 255; i++ {
+		x := GrayCode(i) ^ GrayCode(i+1)
+		if x == 0 || x&(x-1) != 0 {
+			t.Fatalf("GrayCode(%d) and GrayCode(%d) differ in %b", i, i+1, x)
+		}
+	}
+}
+
+func TestGrayDecodeInverts(t *testing.T) {
+	for i := 0; i < 1024; i++ {
+		if got := GrayDecode(GrayCode(i)); got != i {
+			t.Fatalf("GrayDecode(GrayCode(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHypercubeRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := NewHypercube(MustGrid(3)); err == nil {
+		t.Fatal("expected error for extent 3")
+	}
+	if _, err := NewHypercube(MustGrid(4, 6)); err == nil {
+		t.Fatal("expected error for extent 6")
+	}
+}
+
+func TestHypercubeDims(t *testing.T) {
+	h, err := NewHypercube(MustGrid(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dim() != 5 || h.Nodes() != 32 {
+		t.Fatalf("dim=%d nodes=%d", h.Dim(), h.Nodes())
+	}
+}
+
+func TestHypercubeAddressBijective(t *testing.T) {
+	h, err := NewHypercube(MustGrid(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for id := 0; id < 32; id++ {
+		a := h.Address(id)
+		if a < 0 || a >= h.Nodes() || seen[a] {
+			t.Fatalf("address %d for proc %d invalid or duplicated", a, id)
+		}
+		seen[a] = true
+		if got := h.ProcID(a); got != id {
+			t.Fatalf("ProcID(Address(%d)) = %d", id, got)
+		}
+	}
+}
+
+// TestHypercubeNeighborsOneHop: grid neighbors are single-hop hypercube
+// neighbors thanks to the Gray-code embedding (DESIGN.md §6).
+func TestHypercubeNeighborsOneHop(t *testing.T) {
+	for _, extents := range [][]int{{16}, {4, 4}, {2, 8}, {2, 2, 4}} {
+		g := MustGrid(extents...)
+		h, err := NewHypercube(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < g.Size(); id++ {
+			for _, nb := range g.Neighbors(id) {
+				if hops := h.Hops(id, nb); hops != 1 {
+					t.Fatalf("grid %v: procs %d,%d are grid neighbors but %d hops apart",
+						extents, id, nb, hops)
+				}
+			}
+		}
+	}
+}
+
+func TestHopsSymmetricZeroDiagonal(t *testing.T) {
+	h, _ := NewHypercube(MustGrid(8))
+	for p := 0; p < 8; p++ {
+		if h.Hops(p, p) != 0 {
+			t.Fatal("self distance must be 0")
+		}
+		for q := 0; q < 8; q++ {
+			if h.Hops(p, q) != h.Hops(q, p) {
+				t.Fatal("hops must be symmetric")
+			}
+		}
+	}
+}
+
+// TestQuickGridRoundTrip: Linear∘Coord = id for random grids.
+func TestQuickGridRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rank := 1 + r.Intn(3)
+		ext := make([]int, rank)
+		for i := range ext {
+			ext[i] = 1 + r.Intn(6)
+		}
+		g := MustGrid(ext...)
+		id := r.Intn(g.Size())
+		return g.Linear(g.Coord(id)...) == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGrayHammingIsPath: Hamming distance between Gray codes of
+// i and j is at most the number of bits — sanity bound used by the
+// machine cost model.
+func TestQuickGrayHammingIsPath(t *testing.T) {
+	h, _ := NewHypercube(MustGrid(64))
+	f := func(a, b uint8) bool {
+		p, q := int(a)%64, int(b)%64
+		d := h.Hops(p, q)
+		return d >= 0 && d <= 6 && (d == 0) == (p == q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridMetadataAccessors(t *testing.T) {
+	g := MustGrid(3, 5)
+	if e := g.Extents(); e[0] != 3 || e[1] != 5 {
+		t.Fatalf("Extents = %v", e)
+	}
+	g.Extents()[0] = 99
+	if g.Extent(0) != 3 {
+		t.Fatal("Extents aliased internal state")
+	}
+	if g.String() != "Grid[3 5]" {
+		t.Fatalf("String = %q", g.String())
+	}
+}

@@ -1,0 +1,52 @@
+package kali_test
+
+import (
+	"testing"
+
+	"kali"
+)
+
+// TestQuickstart runs the package-doc example end to end: the Figure 1
+// shift loop through the public facade.
+func TestQuickstart(t *testing.T) {
+	rep := kali.Run(kali.Config{P: 4, Params: kali.Ideal()}, func(ctx *kali.Context) {
+		a := ctx.BlockArray("A", 100)
+		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, float64(i)) })
+		ctx.Forall(&kali.Loop{
+			Name: "shift", Lo: 1, Hi: 99,
+			On: a, OnF: kali.Identity,
+			Reads: []kali.ReadSpec{{Array: a, Affine: &kali.Affine{A: 1, C: 1}}},
+			Body:  func(i int, e *kali.Env) { e.Write(a, i, e.Read(a, i+1)) },
+		})
+		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
+			want := float64(i + 1)
+			if i == 100 {
+				want = 100
+			}
+			if a.Get1(i) != want {
+				t.Errorf("A[%d] = %g, want %g", i, a.Get1(i), want)
+			}
+		})
+	})
+	if rep.P != 4 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	if kali.NCUBE7().Name != "NCUBE/7" || kali.IPSC2().Name != "iPSC/2" {
+		t.Fatal("preset names wrong")
+	}
+	if p, ok := kali.MachineByName("ncube"); !ok || p.Name != "NCUBE/7" {
+		t.Fatal("MachineByName")
+	}
+}
+
+func TestDistHelpers(t *testing.T) {
+	kali.Run(kali.Config{P: 2, Params: kali.Ideal()}, func(ctx *kali.Context) {
+		a := ctx.Array("m", []int{8, 4}, []kali.DimSpec{kali.BlockCyclicDim(2), kali.CollapsedDim()})
+		if a.Size() != 32 {
+			t.Errorf("size = %d", a.Size())
+		}
+	})
+}
