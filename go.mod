@@ -1,0 +1,3 @@
+module kali
+
+go 1.24

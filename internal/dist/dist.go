@@ -1,0 +1,503 @@
+// Package dist implements Kali's dist clauses: the mapping of global
+// array indices onto processor-array coordinates.
+//
+// A Kali declaration such as
+//
+//	var a : array[1..n, 1..m] of real dist by [block, *] on Procs;
+//
+// attaches one DimSpec to each array dimension.  Distributed dimensions
+// (block, cyclic, block_cyclic(b), or a user-defined owner map) consume
+// one processor-grid dimension each, in order; collapsed dimensions
+// ("*") are stored whole on every owner of the remaining coordinates.
+// An array declared without a dist clause is replicated: every node
+// holds a full copy.
+//
+// Every distribution kind is a closed-form index map, exposed as a
+// Pattern whose Local sets are index.Set values.  This is what lets the
+// compile-time communication analysis (paper §3.1) evaluate exec(p),
+// in(p,q) and out(p,q) symbolically, and what the run-time inspector
+// (paper §3.3) falls back on for ownership tests.  For every pattern
+// the Local(p) sets partition [1..n], Owner(i) names the unique p with
+// i ∈ Local(p), and LocalIndex packs each processor's elements densely
+// in increasing global order.
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"kali/internal/index"
+	"kali/internal/topology"
+)
+
+// Kind enumerates the dist-clause forms of one array dimension.  The
+// zero value is Collapsed, so the zero DimSpec means "*" (dimension not
+// distributed).
+type Kind int
+
+// Dist-clause kinds.
+const (
+	// Collapsed is "*": the dimension is not distributed.
+	Collapsed Kind = iota
+	// Block is "block": contiguous blocks of ⌈n/P⌉ elements.
+	Block
+	// Cyclic is "cyclic": element i lives on processor (i-1) mod P.
+	Cyclic
+	// BlockCyclic is "block_cyclic(b)": blocks of b elements dealt
+	// round-robin.
+	BlockCyclic
+	// Map is a user-defined owner table (the paper's "mechanism for
+	// user-defined distributions").
+	Map
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Collapsed:
+		return "*"
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	case BlockCyclic:
+		return "block_cyclic"
+	case Map:
+		return "map"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DimSpec is one entry of a dist clause.  Construct values with the
+// *Dim constructors; the zero value is CollapsedDim().
+type DimSpec struct {
+	// Kind selects the distribution form.
+	Kind Kind
+	// Block is the block size of BlockCyclic specs.
+	Block int
+	// Owner is the owner table of Map specs: Owner[i-1] is the 0-based
+	// processor coordinate owning global index i.
+	Owner []int
+}
+
+// BlockDim is the dist-clause entry "block".
+func BlockDim() DimSpec { return DimSpec{Kind: Block} }
+
+// CyclicDim is the dist-clause entry "cyclic".
+func CyclicDim() DimSpec { return DimSpec{Kind: Cyclic} }
+
+// BlockCyclicDim is the dist-clause entry "block_cyclic(b)".
+func BlockCyclicDim(b int) DimSpec { return DimSpec{Kind: BlockCyclic, Block: b} }
+
+// CollapsedDim is the dist-clause entry "*".
+func CollapsedDim() DimSpec { return DimSpec{} }
+
+// MapDim is a user-defined distribution: owners[i-1] is the 0-based
+// owner of global index i.  The table is copied, so the caller may
+// reuse its slice.
+func MapDim(owners []int) DimSpec {
+	return DimSpec{Kind: Map, Owner: append([]int(nil), owners...)}
+}
+
+func (s DimSpec) String() string {
+	switch s.Kind {
+	case BlockCyclic:
+		return fmt.Sprintf("block_cyclic(%d)", s.Block)
+	default:
+		return s.Kind.String()
+	}
+}
+
+// Pattern is the closed-form index map of one distributed dimension:
+// global indices [1..n] onto processor coordinates [0..P).
+type Pattern interface {
+	// N returns the extent of the distributed dimension.
+	N() int
+	// P returns the processor count of the grid dimension.
+	P() int
+	// Owner returns the 0-based processor coordinate owning global
+	// index i ∈ [1..n].
+	Owner(i int) int
+	// Local returns the set of global indices owned by processor
+	// coordinate p.  The sets of distinct p are disjoint and their
+	// union is exactly [1..n].
+	Local(p int) index.Set
+	// LocalIndex returns the 0-based position of global index i within
+	// its owner's local storage.  Positions are dense: Owner(i)'s
+	// elements map onto [0..Local(Owner(i)).Len()) in increasing global
+	// order.
+	LocalIndex(i int) int
+	// String names the pattern in Kali dist-clause syntax.
+	String() string
+}
+
+// NewBlock returns the block pattern over [1..n] on p processors:
+// contiguous blocks of ⌈n/p⌉.
+func NewBlock(n, p int) Pattern {
+	checkNP("block", n, p)
+	return blockPat{n: n, p: p, b: ceilDiv(n, p)}
+}
+
+// NewCyclic returns the cyclic pattern over [1..n] on p processors.
+func NewCyclic(n, p int) Pattern {
+	checkNP("cyclic", n, p)
+	return cyclicPat{n: n, p: p}
+}
+
+// NewBlockCyclic returns the block_cyclic(b) pattern over [1..n] on p
+// processors.
+func NewBlockCyclic(n, p, b int) Pattern {
+	checkNP("block_cyclic", n, p)
+	if b < 1 {
+		panic(fmt.Sprintf("dist: block_cyclic needs block size >= 1, got %d", b))
+	}
+	return blockCyclicPat{n: n, p: p, b: b}
+}
+
+// NewMap returns the user-defined pattern with the given owner table:
+// owners[i-1] ∈ [0..p) is the owner of global index i.  The table is
+// copied, so the caller may reuse its slice.
+func NewMap(owners []int, p int) Pattern {
+	checkNP("map", len(owners), p)
+	owners = append([]int(nil), owners...)
+	m := mapPat{n: len(owners), p: p, owners: owners, localIdx: make([]int, len(owners))}
+	counts := make([]int, p)
+	for i, o := range owners {
+		if o < 0 || o >= p {
+			panic(fmt.Sprintf("dist: map owner %d of index %d out of [0..%d)", o, i+1, p))
+		}
+		m.localIdx[i] = counts[o]
+		counts[o]++
+	}
+	return m
+}
+
+// checkProc panics when a processor coordinate is outside [0..P).
+func checkProc(p, np int, pat Pattern) {
+	if p < 0 || p >= np {
+		panic(fmt.Sprintf("dist: processor %d out of [0..%d) of %s", p, np, pat))
+	}
+}
+
+func checkNP(kind string, n, p int) {
+	if n < 1 {
+		panic(fmt.Sprintf("dist: %s needs extent >= 1, got %d", kind, n))
+	}
+	if p < 1 {
+		panic(fmt.Sprintf("dist: %s needs processors >= 1, got %d", kind, p))
+	}
+}
+
+// blockPat: processor p owns the contiguous range [p*b+1 .. min((p+1)*b, n)]
+// with b = ⌈n/p⌉ (trailing processors may own fewer or no elements).
+type blockPat struct{ n, p, b int }
+
+func (d blockPat) N() int               { return d.n }
+func (d blockPat) P() int               { return d.p }
+func (d blockPat) Owner(i int) int      { d.check(i); return (i - 1) / d.b }
+func (d blockPat) LocalIndex(i int) int { d.check(i); return (i - 1) % d.b }
+func (d blockPat) String() string       { return fmt.Sprintf("block(%d/%d)", d.n, d.p) }
+
+func (d blockPat) Local(p int) index.Set {
+	checkProc(p, d.p, d)
+	lo := p*d.b + 1
+	hi := (p + 1) * d.b
+	if hi > d.n {
+		hi = d.n
+	}
+	return index.Range(lo, hi)
+}
+
+func (d blockPat) check(i int) {
+	if i < 1 || i > d.n {
+		panic(fmt.Sprintf("dist: index %d out of [1..%d] of %s", i, d.n, d))
+	}
+}
+
+// cyclicPat: processor p owns {p+1, p+1+P, p+1+2P, ...}.
+type cyclicPat struct{ n, p int }
+
+func (d cyclicPat) N() int               { return d.n }
+func (d cyclicPat) P() int               { return d.p }
+func (d cyclicPat) Owner(i int) int      { d.check(i); return (i - 1) % d.p }
+func (d cyclicPat) LocalIndex(i int) int { d.check(i); return (i - 1) / d.p }
+func (d cyclicPat) String() string       { return fmt.Sprintf("cyclic(%d/%d)", d.n, d.p) }
+
+func (d cyclicPat) Local(p int) index.Set {
+	checkProc(p, d.p, d)
+	return index.Strided(p+1, d.n, d.p)
+}
+
+func (d cyclicPat) check(i int) {
+	if i < 1 || i > d.n {
+		panic(fmt.Sprintf("dist: index %d out of [1..%d] of %s", i, d.n, d))
+	}
+}
+
+// blockCyclicPat: global block j = (i-1)/b goes to processor j mod P;
+// within a processor, owned blocks pack densely in global order (only
+// the globally last block can be partial, so packing leaves no holes).
+type blockCyclicPat struct{ n, p, b int }
+
+func (d blockCyclicPat) N() int          { return d.n }
+func (d blockCyclicPat) P() int          { return d.p }
+func (d blockCyclicPat) Owner(i int) int { d.check(i); return ((i - 1) / d.b) % d.p }
+func (d blockCyclicPat) String() string  { return fmt.Sprintf("block_cyclic(%d)(%d/%d)", d.b, d.n, d.p) }
+
+func (d blockCyclicPat) LocalIndex(i int) int {
+	d.check(i)
+	return ((i-1)/(d.b*d.p))*d.b + (i-1)%d.b
+}
+
+func (d blockCyclicPat) Local(p int) index.Set {
+	checkProc(p, d.p, d)
+	var ivs []index.Interval
+	for lo := p*d.b + 1; lo <= d.n; lo += d.b * d.p {
+		hi := lo + d.b - 1
+		if hi > d.n {
+			hi = d.n
+		}
+		ivs = append(ivs, index.Interval{Lo: lo, Hi: hi})
+	}
+	return index.FromIntervals(ivs...)
+}
+
+func (d blockCyclicPat) check(i int) {
+	if i < 1 || i > d.n {
+		panic(fmt.Sprintf("dist: index %d out of [1..%d] of %s", i, d.n, d))
+	}
+}
+
+// mapPat: explicit owner table with precomputed dense local positions.
+type mapPat struct {
+	n, p     int
+	owners   []int
+	localIdx []int
+}
+
+func (d mapPat) N() int               { return d.n }
+func (d mapPat) P() int               { return d.p }
+func (d mapPat) Owner(i int) int      { d.check(i); return d.owners[i-1] }
+func (d mapPat) LocalIndex(i int) int { d.check(i); return d.localIdx[i-1] }
+func (d mapPat) String() string       { return fmt.Sprintf("map(%d/%d)", d.n, d.p) }
+
+func (d mapPat) Local(p int) index.Set {
+	checkProc(p, d.p, d)
+	var ivs []index.Interval
+	for i, o := range d.owners {
+		if o == p {
+			ivs = append(ivs, index.Interval{Lo: i + 1, Hi: i + 1})
+		}
+	}
+	return index.FromIntervals(ivs...)
+}
+
+func (d mapPat) check(i int) {
+	if i < 1 || i > d.n {
+		panic(fmt.Sprintf("dist: index %d out of [1..%d] of %s", i, d.n, d))
+	}
+}
+
+// Dist is a complete distribution of a multi-dimensional array: one
+// DimSpec per array dimension over a processor grid.  Distributed
+// (non-collapsed) dimensions consume grid dimensions in order, so the
+// grid rank must equal the number of distributed dimensions.  Dist
+// values are immutable and safe for concurrent use by all simulated
+// nodes.
+type Dist struct {
+	shape []int
+	specs []DimSpec
+	grid  *topology.Grid
+	pats  []Pattern // per array dim; nil when collapsed
+	repl  bool
+}
+
+// New builds the distribution of an array with the given global shape
+// (1-based extents) under the given dist clause on grid g.
+func New(shape []int, specs []DimSpec, g *topology.Grid) (*Dist, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("dist: array needs at least one dimension")
+	}
+	if len(specs) != len(shape) {
+		return nil, fmt.Errorf("dist: %d dist-clause entries for rank-%d array", len(specs), len(shape))
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dist: nil processor grid")
+	}
+	for dim, e := range shape {
+		if e < 1 {
+			return nil, fmt.Errorf("dist: dimension %d has extent %d", dim, e)
+		}
+	}
+	distributed := 0
+	for _, s := range specs {
+		if s.Kind != Collapsed {
+			distributed++
+		}
+	}
+	if distributed == 0 {
+		return nil, fmt.Errorf("dist: dist clause distributes no dimension (omit the clause for a replicated array)")
+	}
+	if distributed != g.Rank() {
+		return nil, fmt.Errorf("dist: %d distributed dimensions over a rank-%d grid", distributed, g.Rank())
+	}
+	d := &Dist{
+		shape: append([]int(nil), shape...),
+		specs: append([]DimSpec(nil), specs...),
+		grid:  g,
+		pats:  make([]Pattern, len(shape)),
+	}
+	gdim := 0
+	for dim, s := range specs {
+		if s.Kind == Collapsed {
+			continue
+		}
+		n, p := shape[dim], g.Extent(gdim)
+		gdim++
+		switch s.Kind {
+		case Block:
+			d.pats[dim] = NewBlock(n, p)
+		case Cyclic:
+			d.pats[dim] = NewCyclic(n, p)
+		case BlockCyclic:
+			if s.Block < 1 {
+				return nil, fmt.Errorf("dist: dimension %d: block_cyclic needs block size >= 1, got %d", dim, s.Block)
+			}
+			d.pats[dim] = NewBlockCyclic(n, p, s.Block)
+		case Map:
+			if len(s.Owner) != n {
+				return nil, fmt.Errorf("dist: dimension %d: owner table has %d entries for extent %d", dim, len(s.Owner), n)
+			}
+			for i, o := range s.Owner {
+				if o < 0 || o >= p {
+					return nil, fmt.Errorf("dist: dimension %d: owner %d of index %d out of [0..%d)", dim, o, i+1, p)
+				}
+			}
+			d.pats[dim] = NewMap(s.Owner, p)
+		default:
+			return nil, fmt.Errorf("dist: dimension %d has unknown kind %v", dim, s.Kind)
+		}
+	}
+	return d, nil
+}
+
+// Must is New that panics on error, for tests and program literals.
+func Must(shape []int, specs []DimSpec, g *topology.Grid) *Dist {
+	d, err := New(shape, specs, g)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewReplicated builds the distribution of an array declared without a
+// dist clause: every node stores a full copy.
+func NewReplicated(shape []int, g *topology.Grid) *Dist {
+	if len(shape) == 0 {
+		panic("dist: replicated array needs at least one dimension")
+	}
+	for dim, e := range shape {
+		if e < 1 {
+			panic(fmt.Sprintf("dist: dimension %d has extent %d", dim, e))
+		}
+	}
+	return &Dist{
+		shape: append([]int(nil), shape...),
+		specs: make([]DimSpec, len(shape)),
+		grid:  g,
+		pats:  make([]Pattern, len(shape)),
+		repl:  true,
+	}
+}
+
+// Rank returns the number of array dimensions.
+func (d *Dist) Rank() int { return len(d.shape) }
+
+// Shape returns a copy of the global extents.
+func (d *Dist) Shape() []int { return append([]int(nil), d.shape...) }
+
+// Spec returns the dist-clause entry of array dimension dim.  Map
+// owner tables are returned as a copy.
+func (d *Dist) Spec(dim int) DimSpec {
+	s := d.specs[dim]
+	if s.Owner != nil {
+		s.Owner = append([]int(nil), s.Owner...)
+	}
+	return s
+}
+
+// Grid returns the processor grid the array is distributed over.
+func (d *Dist) Grid() *topology.Grid { return d.grid }
+
+// Replicated reports whether every node stores the whole array.
+func (d *Dist) Replicated() bool { return d.repl }
+
+// Pattern returns the index map of array dimension dim, or nil when
+// the dimension is collapsed or the array replicated.
+func (d *Dist) Pattern(dim int) Pattern { return d.pats[dim] }
+
+// Owner returns the linear grid id of the processor owning the element
+// at the given global coordinates, or -1 for replicated arrays.
+func (d *Dist) Owner(coord ...int) int {
+	if d.repl {
+		return -1
+	}
+	if len(coord) != len(d.shape) {
+		panic(fmt.Sprintf("dist: coordinate rank %d != array rank %d", len(coord), len(d.shape)))
+	}
+	id := 0
+	for dim, c := range coord {
+		if c < 1 || c > d.shape[dim] {
+			panic(fmt.Sprintf("dist: coordinate %d out of [1..%d] in dim %d", c, d.shape[dim], dim))
+		}
+		if p := d.pats[dim]; p != nil {
+			id = id*p.P() + p.Owner(c)
+		}
+	}
+	return id
+}
+
+// LocalShape returns the per-dimension local extents of grid processor
+// id: the full extent for collapsed dimensions, the owned count for
+// distributed ones.  Replicated arrays store everything everywhere.
+func (d *Dist) LocalShape(id int) []int {
+	out := append([]int(nil), d.shape...)
+	if d.repl {
+		return out
+	}
+	gcoord := d.grid.Coord(id)
+	gdim := 0
+	for dim, p := range d.pats {
+		if p == nil {
+			continue
+		}
+		out[dim] = p.Local(gcoord[gdim]).Len()
+		gdim++
+	}
+	return out
+}
+
+// LocalCount returns the number of elements grid processor id stores.
+func (d *Dist) LocalCount(id int) int {
+	c := 1
+	for _, e := range d.LocalShape(id) {
+		c *= e
+	}
+	return c
+}
+
+// String renders the distribution in Kali declaration syntax:
+// "dist by [block, *]", or "replicated" for arrays without a clause.
+func (d *Dist) String() string {
+	if d.repl {
+		return "replicated"
+	}
+	parts := make([]string, len(d.specs))
+	for i, s := range d.specs {
+		parts[i] = s.String()
+	}
+	return "dist by [" + strings.Join(parts, ", ") + "]"
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive a, b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

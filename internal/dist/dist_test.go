@@ -1,0 +1,360 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kali/internal/index"
+	"kali/internal/topology"
+)
+
+// patterns enumerates representative instances of every pattern kind
+// for the property tests.
+func patterns(n, p int, r *rand.Rand) []Pattern {
+	owners := make([]int, n)
+	for i := range owners {
+		owners[i] = r.Intn(p)
+	}
+	return []Pattern{
+		NewBlock(n, p),
+		NewCyclic(n, p),
+		NewBlockCyclic(n, p, 1),
+		NewBlockCyclic(n, p, 1+r.Intn(5)),
+		NewMap(owners, p),
+	}
+}
+
+// checkPartition asserts the fundamental pattern contract: the Local
+// sets are pairwise disjoint, their union is exactly [1..n], every
+// element's set membership agrees with Owner, and LocalIndex packs each
+// processor's elements densely in increasing global order.
+func checkPartition(t *testing.T, pat Pattern) {
+	t.Helper()
+	n, p := pat.N(), pat.P()
+
+	union := index.Empty
+	for q := 0; q < p; q++ {
+		loc := pat.Local(q)
+		if !union.Intersect(loc).Empty() {
+			t.Fatalf("%v: Local(%d) overlaps another processor's set", pat, q)
+		}
+		union = union.Union(loc)
+
+		// Owner agreement and LocalIndex round-trip: the k-th smallest
+		// element of Local(q) must have LocalIndex k, and elements
+		// outside must not claim owner q.
+		k := 0
+		loc.Each(func(i int) {
+			if got := pat.Owner(i); got != q {
+				t.Fatalf("%v: %d ∈ Local(%d) but Owner(%d) = %d", pat, i, q, i, got)
+			}
+			if got := pat.LocalIndex(i); got != k {
+				t.Fatalf("%v: LocalIndex(%d) = %d, want dense position %d", pat, i, got, k)
+			}
+			k++
+		})
+	}
+	if !union.Equal(index.Range(1, n)) {
+		t.Fatalf("%v: union of Local sets = %v, want [1..%d]", pat, union, n)
+	}
+	for i := 1; i <= n; i++ {
+		q := pat.Owner(i)
+		if q < 0 || q >= p {
+			t.Fatalf("%v: Owner(%d) = %d out of [0..%d)", pat, i, q, p)
+		}
+		if !pat.Local(q).Contains(i) {
+			t.Fatalf("%v: Owner(%d) = %d but %d ∉ Local(%d)", pat, i, q, i, q)
+		}
+	}
+}
+
+func TestPatternPartitionExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 7, 16, 24, 33} {
+		for _, p := range []int{1, 2, 3, 4, 8, 40} {
+			for _, pat := range patterns(n, p, r) {
+				checkPartition(t, pat)
+			}
+		}
+	}
+}
+
+func TestQuickPatternPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, p := 1+r.Intn(60), 1+r.Intn(9)
+		for _, pat := range patterns(n, p, r) {
+			nn, pp := pat.N(), pat.P()
+			if nn != n || pp != p {
+				return false
+			}
+			seen := make([]int, n)
+			for q := 0; q < p; q++ {
+				pat.Local(q).Each(func(i int) { seen[i-1]++ })
+			}
+			for i := 1; i <= n; i++ {
+				if seen[i-1] != 1 {
+					return false
+				}
+				q := pat.Owner(i)
+				if !pat.Local(q).Contains(i) {
+					return false
+				}
+				li := pat.LocalIndex(i)
+				if li < 0 || li >= pat.Local(q).Len() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockBoundaries pins the paper's block convention: contiguous
+// blocks of ⌈n/p⌉, trailing processors possibly short or empty.
+func TestBlockBoundaries(t *testing.T) {
+	blk := NewBlock(10, 4) // B = 3: sizes 3, 3, 3, 1
+	wantLen := []int{3, 3, 3, 1}
+	for q := 0; q < 4; q++ {
+		if got := blk.Local(q).Len(); got != wantLen[q] {
+			t.Errorf("Local(%d).Len() = %d, want %d", q, got, wantLen[q])
+		}
+	}
+	if !NewBlock(12, 3).Local(1).Equal(index.Range(5, 8)) {
+		t.Error("block(12/3): Local(1) != [5..8]")
+	}
+	// n < p: trailing processors own nothing.
+	small := NewBlock(2, 5)
+	if small.Local(0).Len()+small.Local(1).Len() != 2 {
+		t.Error("block(2/5): first two processors should own everything")
+	}
+	for q := 2; q < 5; q++ {
+		if !small.Local(q).Empty() {
+			t.Errorf("block(2/5): Local(%d) not empty", q)
+		}
+	}
+}
+
+func TestCyclicAndBlockCyclicShapes(t *testing.T) {
+	cyc := NewCyclic(10, 3)
+	if !cyc.Local(0).Equal(index.FromSlice([]int{1, 4, 7, 10})) {
+		t.Errorf("cyclic Local(0) = %v", cyc.Local(0))
+	}
+	if cyc.Owner(5) != 1 || cyc.LocalIndex(5) != 1 {
+		t.Error("cyclic owner/local index")
+	}
+	// block_cyclic(b) with b = ⌈n/p⌉ degenerates to block.
+	bc := NewBlockCyclic(12, 3, 4)
+	blk := NewBlock(12, 3)
+	for q := 0; q < 3; q++ {
+		if !bc.Local(q).Equal(blk.Local(q)) {
+			t.Errorf("block_cyclic(4) Local(%d) = %v, block = %v", q, bc.Local(q), blk.Local(q))
+		}
+	}
+	// block_cyclic(1) degenerates to cyclic.
+	bc1 := NewBlockCyclic(10, 3, 1)
+	c := NewCyclic(10, 3)
+	for q := 0; q < 3; q++ {
+		if !bc1.Local(q).Equal(c.Local(q)) {
+			t.Errorf("block_cyclic(1) Local(%d) = %v, cyclic = %v", q, bc1.Local(q), c.Local(q))
+		}
+	}
+	// Partial last block lands mid-round-robin.
+	bc2 := NewBlockCyclic(10, 2, 3) // blocks: [1-3]→0 [4-6]→1 [7-9]→0 [10]→1
+	if !bc2.Local(1).Equal(index.FromIntervals(index.Interval{Lo: 4, Hi: 6}, index.Interval{Lo: 10, Hi: 10})) {
+		t.Errorf("block_cyclic(3) Local(1) = %v", bc2.Local(1))
+	}
+	if bc2.LocalIndex(10) != 3 {
+		t.Errorf("block_cyclic(3) LocalIndex(10) = %d, want 3", bc2.LocalIndex(10))
+	}
+}
+
+func TestMapPattern(t *testing.T) {
+	owners := []int{2, 0, 0, 1, 2, 1}
+	m := NewMap(owners, 3)
+	checkPartition(t, m)
+	if !m.Local(0).Equal(index.Range(2, 3)) {
+		t.Errorf("map Local(0) = %v", m.Local(0))
+	}
+	if m.LocalIndex(5) != 1 { // proc 2 owns {1, 5}; 5 is its second element
+		t.Errorf("map LocalIndex(5) = %d", m.LocalIndex(5))
+	}
+}
+
+func TestDimSpecConstructors(t *testing.T) {
+	var zero DimSpec
+	if zero.Kind != Collapsed || zero.Block != 0 || zero.Owner != nil {
+		t.Error("zero DimSpec must be CollapsedDim")
+	}
+	if BlockDim().Kind != Block || CyclicDim().Kind != Cyclic {
+		t.Error("block/cyclic kinds")
+	}
+	if s := BlockCyclicDim(3); s.Kind != BlockCyclic || s.Block != 3 {
+		t.Error("block_cyclic spec")
+	}
+	if s := MapDim([]int{0, 1}); s.Kind != Map || len(s.Owner) != 2 {
+		t.Error("map spec")
+	}
+	if BlockDim().String() != "block" || CollapsedDim().String() != "*" ||
+		BlockCyclicDim(2).String() != "block_cyclic(2)" {
+		t.Error("DimSpec strings")
+	}
+}
+
+func TestDistComposition(t *testing.T) {
+	g := topology.MustGrid(2, 3)
+	d := Must([]int{8, 9, 4}, []DimSpec{BlockDim(), CyclicDim(), CollapsedDim()}, g)
+	if d.Rank() != 3 || d.Replicated() {
+		t.Fatal("rank/replicated")
+	}
+	if d.Pattern(0) == nil || d.Pattern(1) == nil || d.Pattern(2) != nil {
+		t.Fatal("patterns: collapsed dim must be nil")
+	}
+	if d.Pattern(0).P() != 2 || d.Pattern(1).P() != 3 {
+		t.Fatal("grid extents not threaded to patterns in order")
+	}
+	// Owner composes per-dimension owners row-major, matching
+	// Grid.Linear over the distributed coordinates.
+	for i := 1; i <= 8; i++ {
+		for j := 1; j <= 9; j++ {
+			want := g.Linear(d.Pattern(0).Owner(i), d.Pattern(1).Owner(j))
+			if got := d.Owner(i, j, 1); got != want {
+				t.Fatalf("Owner(%d,%d,1) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	// Every node's LocalShape: distributed dims shrink, collapsed stay.
+	total := 0
+	for id := 0; id < g.Size(); id++ {
+		ls := d.LocalShape(id)
+		if ls[2] != 4 {
+			t.Fatalf("node %d: collapsed extent = %d", id, ls[2])
+		}
+		total += d.LocalCount(id)
+	}
+	if total != 8*9*4 {
+		t.Fatalf("local counts sum to %d, want %d", total, 8*9*4)
+	}
+	if got := d.String(); got != "dist by [block, cyclic, *]" {
+		t.Fatalf("String() = %q", got)
+	}
+	if d.Spec(1).Kind != Cyclic {
+		t.Fatal("Spec")
+	}
+}
+
+func TestReplicatedDist(t *testing.T) {
+	g := topology.MustGrid(3)
+	d := NewReplicated([]int{4, 5}, g)
+	if !d.Replicated() || d.Owner(2, 3) != -1 {
+		t.Fatal("replicated owner must be -1")
+	}
+	if d.Pattern(0) != nil || d.Pattern(1) != nil {
+		t.Fatal("replicated patterns must be nil")
+	}
+	for id := 0; id < 3; id++ {
+		if d.LocalCount(id) != 20 {
+			t.Fatal("replicated nodes store everything")
+		}
+	}
+	if d.String() != "replicated" {
+		t.Fatalf("String() = %q", d.String())
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	g1 := topology.MustGrid(4)
+	g2 := topology.MustGrid(2, 2)
+	cases := []struct {
+		name  string
+		shape []int
+		specs []DimSpec
+		grid  *topology.Grid
+		want  string
+	}{
+		{"rank mismatch", []int{8}, []DimSpec{BlockDim(), BlockDim()}, g1, "entries"},
+		{"no distributed dim", []int{8}, []DimSpec{CollapsedDim()}, g1, "no dimension"},
+		{"grid rank mismatch", []int{8, 8}, []DimSpec{BlockDim(), BlockDim()}, g1, "rank-1 grid"},
+		{"grid rank mismatch 2", []int{8}, []DimSpec{BlockDim()}, g2, "rank-2 grid"},
+		{"bad extent", []int{0}, []DimSpec{BlockDim()}, g1, "extent"},
+		{"bad block size", []int{8}, []DimSpec{BlockCyclicDim(0)}, g1, "block size"},
+		{"short owner table", []int{8}, []DimSpec{MapDim([]int{0, 1})}, g1, "owner table"},
+		{"owner out of range", []int{2}, []DimSpec{MapDim([]int{0, 9})}, g1, "out of"},
+		{"nil grid", []int{8}, []DimSpec{BlockDim()}, nil, "nil"},
+		{"empty shape", nil, nil, g1, "at least one"},
+	}
+	for _, c := range cases {
+		_, err := New(c.shape, c.specs, c.grid)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Must did not panic on invalid spec")
+			}
+		}()
+		Must([]int{8}, []DimSpec{BlockDim(), BlockDim()}, g1)
+	}()
+}
+
+func TestPatternBoundsPanics(t *testing.T) {
+	for _, pat := range []Pattern{NewBlock(8, 2), NewCyclic(8, 2), NewBlockCyclic(8, 2, 3), NewMap([]int{0, 1, 0, 1}, 2)} {
+		for _, bad := range []int{0, pat.N() + 1} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%v: Owner(%d) did not panic", pat, bad)
+					}
+				}()
+				pat.Owner(bad)
+			}()
+		}
+		for _, bad := range []int{-1, pat.P()} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%v: Local(%d) did not panic", pat, bad)
+					}
+				}()
+				pat.Local(bad)
+			}()
+		}
+	}
+}
+
+// TestMapOwnersCopied: MapDim/NewMap copy the caller's table, so later
+// mutation cannot desynchronize a live distribution.
+func TestMapOwnersCopied(t *testing.T) {
+	owners := []int{0, 1, 0, 1}
+	pat := NewMap(owners, 2)
+	spec := MapDim(owners)
+	d := Must([]int{4}, []DimSpec{spec}, topology.MustGrid(2))
+	owners[0] = 1
+	if pat.Owner(1) != 0 || d.Pattern(0).Owner(1) != 0 {
+		t.Fatal("mutating the caller's table changed a live pattern")
+	}
+	got := d.Spec(0)
+	got.Owner[0] = 1
+	if d.Pattern(0).Owner(1) != 0 || d.Spec(0).Owner[0] != 0 {
+		t.Fatal("Spec() exposed internal state")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Collapsed: "*", Block: "block", Cyclic: "cyclic", BlockCyclic: "block_cyclic", Map: "map"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(99).String() != fmt.Sprintf("Kind(%d)", 99) {
+		t.Error("unknown kind string")
+	}
+}
