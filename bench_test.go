@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"kali/internal/baseline"
+	"kali/internal/bench"
 	"kali/internal/comm"
 	"kali/internal/core"
 	"kali/internal/crystal"
@@ -280,6 +281,28 @@ func BenchmarkCompileVsRuntime(b *testing.B) {
 				})
 			}
 			b.ReportMetric(rep.Inspector, "sim-sched-s")
+		})
+	}
+}
+
+// BenchmarkCompileVsRuntime2D is the paper's ABL3 contrast in two
+// dimensions: schedule-acquisition cost of the five-point stencil on a
+// 2-D processor grid under the rank-2 closed forms vs the run-time
+// inspector (cache disabled so every execution pays the build).  The
+// stencil loop itself is shared with kalibench's ctvsrt2d table.
+func BenchmarkCompileVsRuntime2D(b *testing.B) {
+	const n, pr, pc = 128, 4, 4
+	for _, force := range []bool{false, true} {
+		name := "compiletime"
+		if force {
+			name = "inspector"
+		}
+		b.Run(name, func(b *testing.B) {
+			var sched float64
+			for i := 0; i < b.N; i++ {
+				sched, _ = bench.Run2DStencil(n, pr, pc, 5, machine.NCUBE7(), force)
+			}
+			b.ReportMetric(sched, "sim-sched-s")
 		})
 	}
 }

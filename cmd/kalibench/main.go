@@ -8,10 +8,12 @@
 //	kalibench                  # every experiment, full size
 //	kalibench -table fig7      # one experiment
 //	kalibench -quick           # shrunken sizes (seconds, for smoke tests)
+//	kalibench -json            # machine-readable output (CI artifacts)
 //	kalibench -list            # show experiment ids
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 func main() {
 	table := flag.String("table", "all", "experiment id (see -list) or 'all'")
 	quick := flag.Bool("quick", false, "use shrunken problem sizes")
+	asJSON := flag.Bool("json", false, "emit tables as JSON instead of text")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -33,16 +36,28 @@ func main() {
 	}
 
 	opt := bench.Options{Quick: *quick}
+	var tables []*bench.Table
 	if *table == "all" {
-		for _, t := range bench.All(opt) {
-			fmt.Println(t.Render())
+		tables = bench.All(opt)
+	} else {
+		gen, ok := bench.Registry[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kalibench: unknown experiment %q (use -list)\n", *table)
+			os.Exit(2)
+		}
+		tables = []*bench.Table{gen(opt)}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "kalibench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
-	gen, ok := bench.Registry[*table]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "kalibench: unknown experiment %q (use -list)\n", *table)
-		os.Exit(2)
+	for _, t := range tables {
+		fmt.Println(t.Render())
 	}
-	fmt.Println(gen(opt).Render())
 }

@@ -1,16 +1,26 @@
 // Command kaliinspect prints the communication analysis of a shift
 // loop — the sets exec(p), execLocal, execNonlocal, in(p,q) and
 // out(p,q) of paper §3 — for a chosen distribution, processor count
-// and subscript.  It makes Figures 2 and 3 of the paper tangible: the
-// same loop under different distributions produces radically different
-// message sets, which is exactly the detail the global name space
-// hides from the programmer.
+// and subscript, in one or two dimensions.  It makes Figures 2 and 3
+// of the paper tangible: the same loop under different distributions
+// produces radically different message sets, which is exactly the
+// detail the global name space hides from the programmer.
+//
+// After the closed-form sets it runs the loop on the simulated machine
+// and reports how the schedule was actually built (compile-time vs
+// inspector) and how much memory it occupies per processor.
 //
 // Usage:
 //
 //	kaliinspect [-n 16] [-p 4] [-dist block|cyclic|blockcyclic:B] [-a 1] [-c 1]
+//	            [-force-inspector]
 //
-// analyzes: forall i in 1..n-? on A[i].loc do ... A[a*i+c] ... end
+// analyzes: forall i in lo..hi on A[i].loc do ... A[a*i+c] ... end
+//
+//	kaliinspect -rank 2 [-n 8] [-n2 8] [-grid 2x2] [-dist ...] [-dist2 ...]
+//	            [-c 1] [-c2 0] [-force-inspector]
+//
+// analyzes: forall i, j on A[i,j].loc do ... A[i+c, j+c2] ... end
 package main
 
 import (
@@ -20,10 +30,15 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"kali/internal/analysis"
+	"kali/internal/darray"
 	"kali/internal/dist"
+	"kali/internal/forall"
 	"kali/internal/index"
+	"kali/internal/machine"
+	"kali/internal/topology"
 )
 
 func sortedKeys(m map[int]index.Set) []int {
@@ -35,51 +50,111 @@ func sortedKeys(m map[int]index.Set) []int {
 	return out
 }
 
-func main() {
-	n := flag.Int("n", 16, "array extent")
-	p := flag.Int("p", 4, "processors")
-	distName := flag.String("dist", "block", "block, cyclic, or blockcyclic:B")
-	a := flag.Int("a", 1, "subscript coefficient (reads A[a*i+c])")
-	c := flag.Int("c", 1, "subscript offset")
-	flag.Parse()
-
-	var pat dist.Pattern
+// dimSpec parses one dimension's CLI spelling into its dist-clause
+// form, exiting on malformed input.
+func dimSpec(spec string) dist.DimSpec {
 	switch {
-	case *distName == "block":
-		pat = dist.NewBlock(*n, *p)
-	case *distName == "cyclic":
-		pat = dist.NewCyclic(*n, *p)
-	case strings.HasPrefix(*distName, "blockcyclic:"):
-		b, err := strconv.Atoi(strings.TrimPrefix(*distName, "blockcyclic:"))
+	case spec == "block":
+		return dist.BlockDim()
+	case spec == "cyclic":
+		return dist.CyclicDim()
+	case strings.HasPrefix(spec, "blockcyclic:"):
+		b, err := strconv.Atoi(strings.TrimPrefix(spec, "blockcyclic:"))
 		if err != nil || b < 1 {
-			fmt.Fprintln(os.Stderr, "kaliinspect: bad block size in -dist")
+			fmt.Fprintln(os.Stderr, "kaliinspect: bad block size in distribution spec")
 			os.Exit(2)
 		}
-		pat = dist.NewBlockCyclic(*n, *p, b)
+		return dist.BlockCyclicDim(b)
 	default:
-		fmt.Fprintf(os.Stderr, "kaliinspect: unknown distribution %q\n", *distName)
+		fmt.Fprintf(os.Stderr, "kaliinspect: unknown distribution %q\n", spec)
+		os.Exit(2)
+		return dist.DimSpec{}
+	}
+}
+
+// pattern builds the index map of one parsed dimension spec.
+func pattern(s dist.DimSpec, n, p int) dist.Pattern {
+	switch s.Kind {
+	case dist.Cyclic:
+		return dist.NewCyclic(n, p)
+	case dist.BlockCyclic:
+		return dist.NewBlockCyclic(n, p, s.Block)
+	default:
+		return dist.NewBlock(n, p)
+	}
+}
+
+func main() {
+	rank := flag.Int("rank", 1, "loop rank: 1 or 2")
+	n := flag.Int("n", 16, "array extent (rows for -rank 2)")
+	n2 := flag.Int("n2", 8, "second array extent (-rank 2)")
+	p := flag.Int("p", 4, "processors (-rank 1)")
+	gridSpec := flag.String("grid", "2x2", "processor grid RxC (-rank 2)")
+	distName := flag.String("dist", "block", "block, cyclic, or blockcyclic:B (first dimension)")
+	dist2Name := flag.String("dist2", "block", "second dimension's distribution (-rank 2)")
+	a := flag.Int("a", 1, "subscript coefficient (reads A[a*i+c])")
+	c := flag.Int("c", 1, "subscript offset")
+	a2 := flag.Int("a2", 1, "second-dimension subscript coefficient (-rank 2)")
+	c2 := flag.Int("c2", 0, "second-dimension subscript offset (-rank 2)")
+	force := flag.Bool("force-inspector", false, "disable compile-time analysis (contrast schedule cost)")
+	flag.Parse()
+
+	if *a == 0 || (*rank == 2 && *a2 == 0) {
+		fmt.Fprintln(os.Stderr, "kaliinspect: subscript coefficients must be nonzero")
 		os.Exit(2)
 	}
+	switch *rank {
+	case 1:
+		inspect1(*n, *p, *distName, *a, *c, *force)
+	case 2:
+		pr, pc := parseGrid(*gridSpec)
+		inspect2(*n, *n2, pr, pc, *distName, *dist2Name, *a, *c, *a2, *c2, *force)
+	default:
+		fmt.Fprintln(os.Stderr, "kaliinspect: -rank must be 1 or 2")
+		os.Exit(2)
+	}
+}
 
-	g := analysis.Affine{A: *a, C: *c}
-	lo, hi := 1, *n
-	// Clamp the range so the read stays in bounds.
-	for g.Apply(lo) < 1 || g.Apply(lo) > *n {
-		lo++
-		if lo > *n {
-			fmt.Println("empty iteration range")
-			return
+func parseGrid(spec string) (int, int) {
+	parts := strings.Split(spec, "x")
+	if len(parts) == 2 {
+		r, err1 := strconv.Atoi(parts[0])
+		c, err2 := strconv.Atoi(parts[1])
+		if err1 == nil && err2 == nil && r >= 1 && c >= 1 {
+			return r, c
 		}
 	}
-	for g.Apply(hi) < 1 || g.Apply(hi) > *n {
+	fmt.Fprintf(os.Stderr, "kaliinspect: bad -grid %q (want RxC)\n", spec)
+	os.Exit(2)
+	return 0, 0
+}
+
+// clampRange shrinks [lo..hi] so g stays within [1..n].
+func clampRange(g analysis.Affine, lo, hi, n int) (int, int) {
+	for lo <= hi && (g.Apply(lo) < 1 || g.Apply(lo) > n) {
+		lo++
+	}
+	for hi >= lo && (g.Apply(hi) < 1 || g.Apply(hi) > n) {
 		hi--
 	}
+	return lo, hi
+}
 
-	fmt.Printf("loop:  forall i in %d..%d on A[i].loc do ... A[%s] ... end\n", lo, hi, subscript(*a, *c))
-	fmt.Printf("dist:  A %s over %d processors\n\n", pat, *p)
+func inspect1(n, p int, distName string, a, c int, force bool) {
+	spec := dimSpec(distName)
+	pat := pattern(spec, n, p)
+	g := analysis.Affine{A: a, C: c}
+	lo, hi := clampRange(g, 1, n, n)
+	if lo > hi {
+		fmt.Println("empty iteration range")
+		return
+	}
+
+	fmt.Printf("loop:  forall i in %d..%d on A[i].loc do ... A[%s] ... end\n", lo, hi, subscript(a, c, "i"))
+	fmt.Printf("dist:  A %s over %d processors\n\n", pat, p)
 
 	reads := []analysis.Read{{Pat: pat, G: g}}
-	for q := 0; q < *p; q++ {
+	for q := 0; q < p; q++ {
 		s := analysis.Compute(pat, analysis.Identity, lo, hi, reads, q)
 		fmt.Printf("processor %d:\n", q)
 		fmt.Printf("  local(p)      = %v\n", pat.Local(q))
@@ -93,17 +168,122 @@ func main() {
 			fmt.Printf("  out(p,%d)      = %v\n", peer, s.Out[0][peer])
 		}
 	}
+
+	// Build the schedule for real and report its provenance and memory.
+	grid := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{spec}, grid)
+	aff := analysis.Affine{A: a, C: c}
+	report := runSchedule(p, func(nd *machine.Node, eng *forall.Engine) *forall.Schedule {
+		arr := darray.New("A", d, nd)
+		eng.Run(&forall.Loop{
+			Name: "inspect", Lo: lo, Hi: hi,
+			On: arr, OnF: analysis.Identity,
+			Reads: []forall.ReadSpec{{Array: arr, Affine: &aff}},
+			Body:  func(i int, e *forall.Env) { _ = e.Read(arr, aff.Apply(i)) },
+		})
+		return eng.Schedule("inspect")
+	}, force)
+	printSchedule(report)
 }
 
-func subscript(a, c int) string {
+func inspect2(ny, nx, pr, pc int, dI, dJ string, aI, cI, aJ, cJ int, force bool) {
+	specI, specJ := dimSpec(dI), dimSpec(dJ)
+	patI := pattern(specI, ny, pr)
+	patJ := pattern(specJ, nx, pc)
+	f2 := analysis.Affine2{I: analysis.Affine{A: aI, C: cI}, J: analysis.Affine{A: aJ, C: cJ}}
+	loI, hiI := clampRange(f2.I, 1, ny, ny)
+	loJ, hiJ := clampRange(f2.J, 1, nx, nx)
+	if loI > hiI || loJ > hiJ {
+		fmt.Println("empty iteration range")
+		return
+	}
+
+	fmt.Printf("loop:  forall i in %d..%d, j in %d..%d on A[i,j].loc do ... A[%s, %s] ... end\n",
+		loI, hiI, loJ, hiJ, subscript(aI, cI, "i"), subscript(aJ, cJ, "j"))
+	fmt.Printf("dist:  A [%s, %s] over a %dx%d grid\n\n", patI, patJ, pr, pc)
+
+	reads := []analysis.Read2{{PatI: patI, PatJ: patJ, G: f2, Width: nx}}
+	np := pr * pc
+	for q := 0; q < np; q++ {
+		s := analysis.Compute2(patI, patJ, analysis.Identity2, loI, hiI, loJ, hiJ, reads, q)
+		fmt.Printf("processor %d (grid %d,%d):\n", q, q/pc, q%pc)
+		fmt.Printf("  exec(p)       = %v × %v\n", s.ExecRows, s.ExecCols)
+		fmt.Printf("  execLocal     = %v × %v\n", s.LocalRows, s.LocalCols)
+		for _, peer := range sortedKeys(s.In[0]) {
+			fmt.Printf("  in(p,%d)       = %v   (linearized)\n", peer, s.In[0][peer])
+		}
+		for _, peer := range sortedKeys(s.Out[0]) {
+			fmt.Printf("  out(p,%d)      = %v   (linearized)\n", peer, s.Out[0][peer])
+		}
+	}
+
+	grid := topology.MustGrid(pr, pc)
+	d := dist.Must([]int{ny, nx}, []dist.DimSpec{specI, specJ}, grid)
+	report := runSchedule(np, func(nd *machine.Node, eng *forall.Engine) *forall.Schedule {
+		arr := darray.New("A", d, nd)
+		eng.Run2(&forall.Loop2{
+			Name: "inspect2", LoI: loI, HiI: hiI, LoJ: loJ, HiJ: hiJ,
+			On:    arr,
+			Reads: []forall.ReadSpec{{Array: arr, Affine2: &f2}},
+			Body: func(i, j int, e *forall.Env) {
+				_ = e.ReadAt(arr, f2.I.Apply(i), f2.J.Apply(j))
+			},
+		})
+		return eng.Schedule2("inspect2")
+	}, force)
+	printSchedule(report)
+}
+
+// schedReport is the per-processor outcome of an actual schedule build.
+type schedReport struct {
+	kind     forall.BuildKind
+	mem      []int
+	local    []int
+	nonlocal []int
+	recv     []int
+}
+
+// runSchedule executes the loop once on a simulated machine and
+// collects each node's schedule.
+func runSchedule(p int, run func(*machine.Node, *forall.Engine) *forall.Schedule, force bool) schedReport {
+	rep := schedReport{
+		mem: make([]int, p), local: make([]int, p),
+		nonlocal: make([]int, p), recv: make([]int, p),
+	}
+	var mu sync.Mutex
+	mach := machine.MustNew(p, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		eng := forall.NewEngine(nd)
+		eng.ForceInspector = force
+		s := run(nd, eng)
+		mu.Lock()
+		rep.kind = s.Kind()
+		rep.mem[nd.ID()] = s.MemBytes()
+		rep.local[nd.ID()] = s.LocalIters()
+		rep.nonlocal[nd.ID()] = s.NonlocalIters()
+		rep.recv[nd.ID()] = s.RecvCount()
+		mu.Unlock()
+	})
+	return rep
+}
+
+func printSchedule(r schedReport) {
+	fmt.Printf("\nschedule build: %v\n", r.kind)
+	for q := range r.mem {
+		fmt.Printf("  processor %d: %d local + %d nonlocal iterations, %d elements received, %d schedule bytes\n",
+			q, r.local[q], r.nonlocal[q], r.recv[q], r.mem[q])
+	}
+}
+
+func subscript(a, c int, v string) string {
 	var s string
 	switch a {
 	case 1:
-		s = "i"
+		s = v
 	case -1:
-		s = "-i"
+		s = "-" + v
 	default:
-		s = fmt.Sprintf("%d*i", a)
+		s = fmt.Sprintf("%d*%s", a, v)
 	}
 	switch {
 	case c > 0:

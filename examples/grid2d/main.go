@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"kali"
+	"kali/internal/analysis"
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/forall"
@@ -37,7 +38,7 @@ func main() {
 	want := mesh.SeqJacobi(m, mesh.InitValues(m), *sweeps)
 
 	fmt.Printf("five-point relaxation, %dx%d mesh, %d sweeps (NCUBE/7)\n\n", *side, *side, *sweeps)
-	fmt.Printf("%-14s %8s %12s %12s %12s\n", "decomposition", "procs", "executor", "inspector", "bytes moved")
+	fmt.Printf("%-14s %8s %14s %12s %12s %12s\n", "decomposition", "procs", "schedule", "executor", "inspector", "bytes moved")
 
 	for _, cfg := range []struct {
 		name   string
@@ -46,24 +47,27 @@ func main() {
 		{"4x1 rows", 4, 1}, {"2x2 tiles", 2, 2},
 		{"16x1 rows", 16, 1}, {"4x4 tiles", 4, 4},
 	} {
-		got, exec, insp, bytes := run2D(m, *side, *side, cfg.pr, cfg.pc, *sweeps, kali.NCUBE7())
+		got, exec, insp, bytes, kind := run2D(m, *side, *side, cfg.pr, cfg.pc, *sweeps, kali.NCUBE7())
 		if d := mesh.MaxDelta(got, want); d != 0 {
 			fmt.Fprintf(os.Stderr, "%s: WRONG ANSWER (%g)\n", cfg.name, d)
 			os.Exit(1)
 		}
-		fmt.Printf("%-14s %8d %11.3fs %11.3fs %12d\n",
-			cfg.name, cfg.pr*cfg.pc, exec, insp, bytes)
+		fmt.Printf("%-14s %8d %14s %11.3fs %11.3fs %12d\n",
+			cfg.name, cfg.pr*cfg.pc, kind, exec, insp, bytes)
 	}
 	fmt.Println("\ntiles win at P=16: each tile's perimeter (4·n/√P) is half the row")
 	fmt.Println("band's boundary (2·n), halving both messages and buffer searches.")
 }
 
-// run2D runs the relaxation as 2-D foralls on a pr×pc grid.
-func run2D(m *mesh.Mesh, nx, ny, pr, pc, sweeps int, params machine.Params) ([]float64, float64, float64, int) {
+// run2D runs the relaxation as 2-D foralls on a pr×pc grid.  The
+// stencil subscripts are per-dimension affine, so the engine derives
+// the halo-exchange schedules at compile time — no inspector pass.
+func run2D(m *mesh.Mesh, nx, ny, pr, pc, sweeps int, params machine.Params) ([]float64, float64, float64, int, forall.BuildKind) {
 	g := topology.MustGrid(pr, pc)
 	d := dist.Must([]int{ny, nx}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
 	mach := machine.MustNew(pr*pc, params)
 	out := make([]float64, nx*ny)
+	var kind forall.BuildKind
 	var mu sync.Mutex
 	mach.Run(func(nd *machine.Node) {
 		a := darray.New("a", d, nd)
@@ -79,14 +83,17 @@ func run2D(m *mesh.Mesh, nx, ny, pr, pc, sweeps int, params machine.Params) ([]f
 		eng := forall.NewEngine(nd)
 		copyLoop := &forall.Loop2{
 			Name: "copy", LoI: 1, HiI: ny, LoJ: 1, HiJ: nx,
-			On: old, Reads: []forall.ReadSpec{{Array: a}}, Phase: "copy",
+			On: old, Reads: []forall.ReadSpec{{Array: a, Affine2: &analysis.Identity2}}, Phase: "copy",
 			Body: func(i, j int, e *forall.Env) {
 				e.WriteAt(old, e.ReadAt(a, i, j), i, j)
 			},
 		}
 		relaxLoop := &forall.Loop2{
 			Name: "relax", LoI: 2, HiI: ny - 1, LoJ: 2, HiJ: nx - 1,
-			On: a, Reads: []forall.ReadSpec{{Array: old}},
+			On: a, Reads: []forall.ReadSpec{
+				{Array: old, Affine2: analysis.Shift2(-1, 0)}, {Array: old, Affine2: analysis.Shift2(1, 0)},
+				{Array: old, Affine2: analysis.Shift2(0, -1)}, {Array: old, Affine2: analysis.Shift2(0, 1)},
+			},
 			Body: func(i, j int, e *forall.Env) {
 				x := 0.25 * (e.ReadAt(old, i-1, j) + e.ReadAt(old, i+1, j) +
 					e.ReadAt(old, i, j-1) + e.ReadAt(old, i, j+1))
@@ -99,6 +106,9 @@ func run2D(m *mesh.Mesh, nx, ny, pr, pc, sweeps int, params machine.Params) ([]f
 			eng.Run2(relaxLoop)
 		}
 		mu.Lock()
+		if s := eng.Schedule2("relax"); s != nil {
+			kind = s.Kind()
+		}
 		for r := 1; r <= ny; r++ {
 			for c := 1; c <= nx; c++ {
 				if a.IsLocal(r, c) {
@@ -112,5 +122,5 @@ func run2D(m *mesh.Mesh, nx, ny, pr, pc, sweeps int, params machine.Params) ([]f
 	for i := 0; i < mach.P(); i++ {
 		bytes += mach.Node(i).Stats().BytesSent
 	}
-	return out, mach.MaxPhase(forall.PhaseExecutor), mach.MaxPhase(forall.PhaseInspector), bytes
+	return out, mach.MaxPhase(forall.PhaseExecutor), mach.MaxPhase(forall.PhaseInspector), bytes, kind
 }

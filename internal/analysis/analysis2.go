@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"kali/internal/dist"
+	"kali/internal/index"
+)
+
+// This file extends the compile-time communication analysis to rank-2
+// loops over rank-2 processor grids.  The key observation (paper §3.1,
+// applied per dimension) is that block/cyclic/block_cyclic/map
+// distributions are separable: the owner of element (r, c) is the grid
+// processor (ownerI(r), ownerJ(c)).  When both subscripts of every
+// reference are affine in their own loop variable — X[gI(i), gJ(j)] —
+// every set the executor needs is a cross product of two 1-D sets, so
+// the whole 1-D interval algebra lifts dimension-wise:
+//
+//	exec(p)      = exec_I(p₀) × exec_J(p₁)
+//	ref_R(p)     = gI⁻¹(local_I(p₀)) × gJ⁻¹(local_J(p₁))
+//	execLocal(p) = exec(p) ∩ ⋂_R ref_R(p)        (still a rectangle)
+//	in(p,q)      = (gI(exec_I) ∩ local_I(q₀)) × (gJ(exec_J) ∩ local_J(q₁))
+//	out(p,q)     = in(q,p) evaluated locally
+//
+// Rectangles are lowered onto the 1-D schedule records by row-major
+// linearization (index.Linearize2).  As in the 1-D case, both ends of
+// every transfer evaluate the same closed forms, so no inspector pass
+// and no global exchange are needed.
+
+// Affine2 is the rank-2 subscript pair (aI*i + cI, aJ*j + cJ) of a
+// reference X[gI(i), gJ(j)].
+type Affine2 struct {
+	I, J Affine
+}
+
+// Identity2 is the subscript pair (i, j).
+var Identity2 = Affine2{I: Identity, J: Identity}
+
+// Shift2 returns the pure-shift subscript pair (i+ci, j+cj) — the form
+// stencil reads use.
+func Shift2(ci, cj int) *Affine2 {
+	return &Affine2{I: Affine{A: 1, C: ci}, J: Affine{A: 1, C: cj}}
+}
+
+// Read2 is one rank-2 affine distributed-array reference.
+type Read2 struct {
+	// PatI, PatJ are the referenced array's per-dimension index maps
+	// (both dimensions must be distributed over a rank-2 grid).
+	PatI, PatJ dist.Pattern
+	// G is the subscript pair.
+	G Affine2
+	// Width is the referenced array's column extent, used to linearize
+	// element rectangles row-major (matching darray's global indices).
+	Width int
+}
+
+// procCoord2 splits a linear grid id into row-major (q0, q1)
+// coordinates of a grid whose second dimension has extent pj.  This is
+// the same linearization topology.Grid and dist.Dist.Owner use, so no
+// grid handle is needed.
+func procCoord2(q, pj int) (int, int) { return q / pj, q % pj }
+
+// Exec2 computes the exec rectangle of processor p (linear id over the
+// onI×onJ grid) for the on clause "X[fI(i), fJ(j)].loc".
+func Exec2(onI, onJ dist.Pattern, f Affine2, loI, hiI, loJ, hiJ, p int) (rows, cols index.Set) {
+	p0, p1 := procCoord2(p, onJ.P())
+	rows = f.I.Preimage(onI.Local(p0)).Intersect(index.Range(loI, hiI))
+	cols = f.J.Preimage(onJ.Local(p1)).Intersect(index.Range(loJ, hiJ))
+	return rows, cols
+}
+
+// Sets2 is the complete compile-time schedule information of one
+// processor for a rank-2 loop.  Exec and ExecLocal are rectangles;
+// the nonlocal iterations are their (non-rectangular) difference,
+// which callers enumerate in loop order.
+type Sets2 struct {
+	ExecRows, ExecCols   index.Set
+	LocalRows, LocalCols index.Set
+	// In[k][q] and Out[k][q] are row-major linearized element sets
+	// received from / sent to linear processor q for read k.
+	In  []map[int]index.Set
+	Out []map[int]index.Set
+}
+
+// Compute2 evaluates all sets for the processor with linear id p.
+// reads may reference arrays distributed over grids with different
+// extents; each read's ownership is evaluated in its own grid.
+func Compute2(onI, onJ dist.Pattern, f Affine2, loI, hiI, loJ, hiJ int, reads []Read2, p int) Sets2 {
+	s := Sets2{}
+	s.ExecRows, s.ExecCols = Exec2(onI, onJ, f, loI, hiI, loJ, hiJ, p)
+	s.LocalRows, s.LocalCols = s.ExecRows, s.ExecCols
+	for _, r := range reads {
+		rp0, rp1 := procCoord2(p, r.PatJ.P())
+		s.LocalRows = s.LocalRows.Intersect(r.G.I.Preimage(r.PatI.Local(rp0)))
+		s.LocalCols = s.LocalCols.Intersect(r.G.J.Preimage(r.PatJ.Local(rp1)))
+	}
+
+	// Every peer's exec rectangle depends only on the on clause, so
+	// evaluate each once, not once per read.
+	np := onI.P() * onJ.P()
+	qRows := make([]index.Set, np)
+	qCols := make([]index.Set, np)
+	for q := 0; q < np; q++ {
+		if q == p {
+			qRows[q], qCols[q] = s.ExecRows, s.ExecCols
+			continue
+		}
+		qRows[q], qCols[q] = Exec2(onI, onJ, f, loI, hiI, loJ, hiJ, q)
+	}
+
+	s.In = make([]map[int]index.Set, len(reads))
+	s.Out = make([]map[int]index.Set, len(reads))
+	for k, r := range reads {
+		rp0, rp1 := procCoord2(p, r.PatJ.P())
+		needRows := r.G.I.Image(s.ExecRows)
+		needCols := r.G.J.Image(s.ExecCols)
+		for q := 0; q < np; q++ {
+			if q == p {
+				continue
+			}
+			q0, q1 := procCoord2(q, r.PatJ.P())
+			inR := needRows.Intersect(r.PatI.Local(q0))
+			inC := needCols.Intersect(r.PatJ.Local(q1))
+			if !inR.Empty() && !inC.Empty() {
+				if s.In[k] == nil {
+					s.In[k] = map[int]index.Set{}
+				}
+				s.In[k][q] = index.Linearize2(inR, inC, r.Width)
+			}
+			// out(p,q): q's exec rectangle imaged through the subscripts,
+			// clipped to what this processor stores.
+			outR := r.G.I.Image(qRows[q]).Intersect(r.PatI.Local(rp0))
+			outC := r.G.J.Image(qCols[q]).Intersect(r.PatJ.Local(rp1))
+			if !outR.Empty() && !outC.Empty() {
+				if s.Out[k] == nil {
+					s.Out[k] = map[int]index.Set{}
+				}
+				s.Out[k][q] = index.Linearize2(outR, outC, r.Width)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"kali/internal/dist"
+)
+
+// TestExec2Partition: the exec rectangles of all processors partition
+// the iteration space.
+func TestExec2Partition(t *testing.T) {
+	onI := dist.NewBlock(12, 2)
+	onJ := dist.NewCyclic(10, 3)
+	seen := map[[2]int]int{}
+	for p := 0; p < 6; p++ {
+		rows, cols := Exec2(onI, onJ, Identity2, 1, 12, 1, 10, p)
+		rows.Each(func(i int) {
+			cols.Each(func(j int) {
+				seen[[2]int{i, j}]++
+			})
+		})
+	}
+	if len(seen) != 120 {
+		t.Fatalf("partition covers %d of 120 iterations", len(seen))
+	}
+	for ij, n := range seen {
+		if n != 1 {
+			t.Fatalf("iteration %v claimed by %d processors", ij, n)
+		}
+	}
+}
+
+// TestCompute2Symmetry: in(p,q) computed on p equals out(q,p) computed
+// on q — the property that lets both ends skip the global exchange.
+func TestCompute2Symmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		ny, nx := 4+r.Intn(8), 4+r.Intn(8)
+		pi, pj := 1+r.Intn(3), 1+r.Intn(3)
+		np := pi * pj
+		mk := func(n, p int) dist.Pattern {
+			switch r.Intn(3) {
+			case 0:
+				return dist.NewBlock(n, p)
+			case 1:
+				return dist.NewCyclic(n, p)
+			default:
+				return dist.NewBlockCyclic(n, p, 1+r.Intn(2))
+			}
+		}
+		onI, onJ := mk(ny, pi), mk(nx, pj)
+		read := Read2{PatI: mk(ny, pi), PatJ: mk(nx, pj),
+			G: Affine2{I: Affine{A: 1, C: r.Intn(3) - 1}, J: Affine{A: 1, C: r.Intn(3) - 1}}, Width: nx}
+		loI, hiI := 1+maxInt(0, -read.G.I.C), ny-maxInt(0, read.G.I.C)
+		loJ, hiJ := 1+maxInt(0, -read.G.J.C), nx-maxInt(0, read.G.J.C)
+
+		sets := make([]Sets2, np)
+		for p := 0; p < np; p++ {
+			sets[p] = Compute2(onI, onJ, Identity2, loI, hiI, loJ, hiJ, []Read2{read}, p)
+		}
+		for p := 0; p < np; p++ {
+			for q := 0; q < np; q++ {
+				if p == q {
+					continue
+				}
+				in := sets[p].In[0][q]
+				out := sets[q].Out[0][p]
+				if !in.Equal(out) {
+					t.Fatalf("trial %d: in(%d,%d)=%v != out(%d,%d)=%v", trial, p, q, in, q, p, out)
+				}
+			}
+		}
+	}
+}
+
+// TestCompute2LocalRect: execLocal is exec intersected with every
+// read's per-dimension preimages, checked against brute force.
+func TestCompute2LocalRect(t *testing.T) {
+	onI, onJ := dist.NewBlock(8, 2), dist.NewBlock(8, 2)
+	read := Read2{PatI: onI, PatJ: onJ, G: Affine2{I: Affine{1, -1}, J: Affine{1, 0}}, Width: 8}
+	for p := 0; p < 4; p++ {
+		s := Compute2(onI, onJ, Identity2, 2, 8, 1, 8, []Read2{read}, p)
+		p0, p1 := p/2, p%2
+		s.ExecRows.Each(func(i int) {
+			s.ExecCols.Each(func(j int) {
+				wantLocal := onI.Owner(i-1) == p0 && onJ.Owner(j) == p1
+				gotLocal := s.LocalRows.Contains(i) && s.LocalCols.Contains(j)
+				if wantLocal != gotLocal {
+					t.Fatalf("p=%d iter (%d,%d): local=%v want %v", p, i, j, gotLocal, wantLocal)
+				}
+			})
+		})
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -13,11 +13,13 @@ import (
 	"kali/internal/analysis"
 	"kali/internal/baseline"
 	"kali/internal/core"
+	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/forall"
 	"kali/internal/machine"
 	"kali/internal/mesh"
 	"kali/internal/relax"
+	"kali/internal/topology"
 )
 
 // Table is one rendered experiment.
@@ -82,6 +84,7 @@ var Registry = map[string]Generator{
 	"caching":      Caching,
 	"baseline":     Baseline,
 	"ctvsrt":       CompileVsRuntime,
+	"ctvsrt2d":     CompileVsRuntime2D,
 	"distchoice":   DistChoice,
 	"enumeration":  Enumeration,
 	"granularity":  Granularity,
@@ -90,8 +93,8 @@ var Registry = map[string]Generator{
 // Order lists the experiments in presentation order.
 var Order = []string{
 	"fig7", "fig8", "fig9", "fig10",
-	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "distchoice",
-	"enumeration", "granularity",
+	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "ctvsrt2d",
+	"distchoice", "enumeration", "granularity",
 }
 
 const sweeps = 100
@@ -425,6 +428,75 @@ func CompileVsRuntime(opt Options) *Table {
 		})
 	}
 	return t
+}
+
+// CompileVsRuntime2D is the ABL3 contrast in two dimensions: the
+// five-point stencil on a 2-D processor grid has per-dimension affine
+// subscripts, so the rank-2 closed forms replace the inspector pass
+// and its global exchange entirely.
+func CompileVsRuntime2D(opt Options) *Table {
+	n, pr, pc, reps := 128, 4, 4, 5
+	if opt.Quick {
+		n, pr, pc, reps = 32, 2, 2, 3
+	}
+	t := &Table{
+		ID:     "ctvsrt2d",
+		Title:  "compile-time vs run-time analysis, 2-D five-point stencil",
+		Header: []string{"path", "schedule time", "executor time", "total"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, %dx%d [block,block] on a %dx%d grid, %d executions, no schedule cache", n, n, pr, pc, reps),
+		},
+	}
+	for _, force := range []bool{false, true} {
+		sched, exec := Run2DStencil(n, pr, pc, reps, machine.NCUBE7(), force)
+		name := "compile-time"
+		if force {
+			name = "run-time inspector"
+		}
+		t.Rows = append(t.Rows, []string{name, f2(sched), f2(exec), f2(sched + exec)})
+	}
+	return t
+}
+
+// Relax2DLoop builds the affine five-point-stencil Loop2 the 2-D
+// compile-time-vs-inspector experiments share (a[i,j] from old's four
+// neighbors, all per-dimension affine).
+func Relax2DLoop(a, old *darray.Array, n int) *forall.Loop2 {
+	return &forall.Loop2{
+		Name: "relax2d", LoI: 2, HiI: n - 1, LoJ: 2, HiJ: n - 1,
+		On: a,
+		Reads: []forall.ReadSpec{
+			{Array: old, Affine2: analysis.Shift2(-1, 0)}, {Array: old, Affine2: analysis.Shift2(1, 0)},
+			{Array: old, Affine2: analysis.Shift2(0, -1)}, {Array: old, Affine2: analysis.Shift2(0, 1)},
+		},
+		Body: func(i, j int, e *forall.Env) {
+			x := 0.25 * (e.ReadAt(old, i-1, j) + e.ReadAt(old, i+1, j) +
+				e.ReadAt(old, i, j-1) + e.ReadAt(old, i, j+1))
+			e.Flops(9)
+			e.WriteAt(a, x, i, j)
+		},
+	}
+}
+
+// Run2DStencil executes the shared stencil loop reps times on an n×n
+// [block,block] array over a pr×pc grid with the schedule cache off,
+// returning the simulated schedule-build and executor times.
+func Run2DStencil(n, pr, pc, reps int, params machine.Params, forceInspector bool) (sched, exec float64) {
+	g := topology.MustGrid(pr, pc)
+	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
+	mach := machine.MustNew(pr*pc, params)
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		old := darray.New("old", d, nd)
+		eng := forall.NewEngine(nd)
+		eng.ForceInspector = forceInspector
+		eng.NoCache = true
+		loop := Relax2DLoop(a, old, n)
+		for r := 0; r < reps; r++ {
+			eng.Run2(loop)
+		}
+	})
+	return mach.MaxPhase(forall.PhaseInspector), mach.MaxPhase(forall.PhaseExecutor)
 }
 
 // DistChoice regenerates ABL5: the §2.4 claim that distributions can

@@ -155,19 +155,35 @@ func NewBlockCyclic(n, p, b int) Pattern {
 }
 
 // NewMap returns the user-defined pattern with the given owner table:
-// owners[i-1] ∈ [0..p) is the owner of global index i.  The table is
-// copied, so the caller may reuse its slice.
+// owners[i-1] ∈ [0..p) is the owner of global index i.  The dense
+// table is run-length compressed at construction: the pattern stores
+// one run per maximal same-owner interval, so its memory is
+// proportional to how fragmented the distribution is, not to the
+// array extent.  Owner and LocalIndex answer by binary search over the
+// runs; Local(p) sets are precomputed once from the same runs.  The
+// input slice may be reused by the caller.
 func NewMap(owners []int, p int) Pattern {
 	checkNP("map", len(owners), p)
-	owners = append([]int(nil), owners...)
-	m := mapPat{n: len(owners), p: p, owners: owners, localIdx: make([]int, len(owners))}
+	n := len(owners)
+	m := &mapPat{n: n, p: p, locals: make([]index.Set, p)}
 	counts := make([]int, p)
-	for i, o := range owners {
+	perOwner := make([][]index.Interval, p)
+	for i := 0; i < n; {
+		o := owners[i]
 		if o < 0 || o >= p {
 			panic(fmt.Sprintf("dist: map owner %d of index %d out of [0..%d)", o, i+1, p))
 		}
-		m.localIdx[i] = counts[o]
-		counts[o]++
+		j := i + 1
+		for j < n && owners[j] == o {
+			j++
+		}
+		m.runs = append(m.runs, ownerRun{lo: i + 1, hi: j, owner: o, lstart: counts[o]})
+		perOwner[o] = append(perOwner[o], index.Interval{Lo: i + 1, Hi: j})
+		counts[o] += j - i
+		i = j
+	}
+	for q := 0; q < p; q++ {
+		m.locals[q] = index.FromIntervals(perOwner[q]...)
 	}
 	return m
 }
@@ -268,31 +284,73 @@ func (d blockCyclicPat) check(i int) {
 	}
 }
 
-// mapPat: explicit owner table with precomputed dense local positions.
-type mapPat struct {
-	n, p     int
-	owners   []int
-	localIdx []int
+// ownerRun is one maximal same-owner interval [lo..hi] of a
+// user-defined distribution.  lstart is the local index of element lo
+// within the owner's dense storage, so LocalIndex is lstart + (i-lo).
+type ownerRun struct {
+	lo, hi int
+	owner  int
+	lstart int
 }
 
-func (d mapPat) N() int               { return d.n }
-func (d mapPat) P() int               { return d.p }
-func (d mapPat) Owner(i int) int      { d.check(i); return d.owners[i-1] }
-func (d mapPat) LocalIndex(i int) int { d.check(i); return d.localIdx[i-1] }
-func (d mapPat) String() string       { return fmt.Sprintf("map(%d/%d)", d.n, d.p) }
+// mapPat: run-length/interval-compressed owner table.  Both consumers
+// of a distribution — the compile-time analysis (through Local) and
+// the run-time inspector (through Owner/LocalIndex) — see it through
+// the same Pattern interface; neither ever touches a dense table.
+type mapPat struct {
+	n, p   int
+	runs   []ownerRun  // sorted by lo, contiguous cover of [1..n]
+	locals []index.Set // per processor, built from the runs
+}
 
-func (d mapPat) Local(p int) index.Set {
-	checkProc(p, d.p, d)
-	var ivs []index.Interval
-	for i, o := range d.owners {
-		if o == p {
-			ivs = append(ivs, index.Interval{Lo: i + 1, Hi: i + 1})
+func (d *mapPat) N() int { return d.n }
+func (d *mapPat) P() int { return d.p }
+
+// run locates the run containing global index i by binary search.
+func (d *mapPat) run(i int) ownerRun {
+	d.check(i)
+	lo, hi := 0, len(d.runs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.runs[mid].hi < i {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return index.FromIntervals(ivs...)
+	return d.runs[lo]
 }
 
-func (d mapPat) check(i int) {
+func (d *mapPat) Owner(i int) int { return d.run(i).owner }
+
+func (d *mapPat) LocalIndex(i int) int {
+	r := d.run(i)
+	return r.lstart + (i - r.lo)
+}
+
+func (d *mapPat) String() string { return fmt.Sprintf("map(%d/%d)", d.n, d.p) }
+
+func (d *mapPat) Local(p int) index.Set {
+	checkProc(p, d.p, d)
+	return d.locals[p]
+}
+
+// Runs returns the number of compressed owner runs — the quantity the
+// pattern's memory is proportional to.
+func (d *mapPat) Runs() int { return len(d.runs) }
+
+// MemBytes estimates the pattern's storage: four words per run plus
+// the interval lists of the per-processor Local sets (which hold at
+// most one interval per run in total).
+func (d *mapPat) MemBytes() int {
+	n := 32 * len(d.runs)
+	for _, s := range d.locals {
+		n += 16 * s.NumIntervals()
+	}
+	return n
+}
+
+func (d *mapPat) check(i int) {
 	if i < 1 || i > d.n {
 		panic(fmt.Sprintf("dist: index %d out of [1..%d] of %s", i, d.n, d))
 	}
@@ -374,6 +432,9 @@ func New(shape []int, specs []DimSpec, g *topology.Grid) (*Dist, error) {
 				}
 			}
 			d.pats[dim] = NewMap(s.Owner, p)
+			// The compressed pattern is the source of truth; do not
+			// retain a dense owner table per declaration.
+			d.specs[dim].Owner = nil
 		default:
 			return nil, fmt.Errorf("dist: dimension %d has unknown kind %v", dim, s.Kind)
 		}
@@ -416,14 +477,12 @@ func (d *Dist) Rank() int { return len(d.shape) }
 // Shape returns a copy of the global extents.
 func (d *Dist) Shape() []int { return append([]int(nil), d.shape...) }
 
-// Spec returns the dist-clause entry of array dimension dim.  Map
-// owner tables are returned as a copy.
+// Spec returns the dist-clause entry of array dimension dim.  For Map
+// dimensions the dense owner table is not retained (the run-length
+// compressed Pattern is the source of truth), so Owner is nil; query
+// ownership through Pattern(dim).
 func (d *Dist) Spec(dim int) DimSpec {
-	s := d.specs[dim]
-	if s.Owner != nil {
-		s.Owner = append([]int(nil), s.Owner...)
-	}
-	return s
+	return d.specs[dim]
 }
 
 // Grid returns the processor grid the array is distributed over.

@@ -341,10 +341,14 @@ func TestMapOwnersCopied(t *testing.T) {
 	if pat.Owner(1) != 0 || d.Pattern(0).Owner(1) != 0 {
 		t.Fatal("mutating the caller's table changed a live pattern")
 	}
+	// The dense table is not retained: the compressed pattern is the
+	// source of truth.
 	got := d.Spec(0)
-	got.Owner[0] = 1
-	if d.Pattern(0).Owner(1) != 0 || d.Spec(0).Owner[0] != 0 {
-		t.Fatal("Spec() exposed internal state")
+	if got.Kind != Map {
+		t.Fatalf("Spec kind = %v, want map", got.Kind)
+	}
+	if got.Owner != nil {
+		t.Fatal("Spec() should not retain a dense owner table")
 	}
 }
 
@@ -356,5 +360,90 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(99).String() != fmt.Sprintf("Kind(%d)", 99) {
 		t.Error("unknown kind string")
+	}
+}
+
+// TestMapCompression: the run-length representation stores one run per
+// maximal same-owner interval and answers Owner/LocalIndex/Local
+// identically to a dense scan.
+func TestMapCompression(t *testing.T) {
+	// 1M elements in 8 contiguous chunks: memory must scale with the
+	// run count, not the extent.
+	const n, p = 1 << 20, 4
+	owners := make([]int, n)
+	chunk := n / 8
+	seq := []int{0, 1, 0, 2, 3, 2, 1, 3}
+	for c, o := range seq {
+		for i := c * chunk; i < (c+1)*chunk; i++ {
+			owners[i] = o
+		}
+	}
+	pat := NewMap(owners, p)
+	m, ok := pat.(interface {
+		Runs() int
+		MemBytes() int
+	})
+	if !ok {
+		t.Fatal("map pattern should expose Runs/MemBytes")
+	}
+	if m.Runs() != len(seq) {
+		t.Fatalf("Runs = %d, want %d", m.Runs(), len(seq))
+	}
+	if dense := 8 * n; m.MemBytes() >= dense/1000 {
+		t.Fatalf("compressed map uses %dB, dense table would use %dB", m.MemBytes(), dense)
+	}
+	// Spot-check closed-form answers against the defining table.
+	counts := make([]int, p)
+	localIdx := make([]int, n)
+	for i, o := range owners {
+		localIdx[i] = counts[o]
+		counts[o]++
+	}
+	for _, i := range []int{1, 2, chunk, chunk + 1, 3*chunk - 1, n / 2, n - 1, n} {
+		if got := pat.Owner(i); got != owners[i-1] {
+			t.Fatalf("Owner(%d) = %d, want %d", i, got, owners[i-1])
+		}
+		if got := pat.LocalIndex(i); got != localIdx[i-1] {
+			t.Fatalf("LocalIndex(%d) = %d, want %d", i, got, localIdx[i-1])
+		}
+	}
+	total := 0
+	for q := 0; q < p; q++ {
+		set := pat.Local(q)
+		total += set.Len()
+		if set.Len() != counts[q] {
+			t.Fatalf("Local(%d) has %d elements, want %d", q, set.Len(), counts[q])
+		}
+	}
+	if total != n {
+		t.Fatalf("Local sets cover %d of %d", total, n)
+	}
+}
+
+// TestQuickMapEquivalence: random owner tables — the compressed
+// pattern agrees element-for-element with the dense definition.
+func TestQuickMapEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n, p := 1+r.Intn(64), 1+r.Intn(5)
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = r.Intn(p)
+		}
+		pat := NewMap(owners, p)
+		counts := make([]int, p)
+		for i := 1; i <= n; i++ {
+			want := owners[i-1]
+			if got := pat.Owner(i); got != want {
+				t.Fatalf("n=%d p=%d: Owner(%d) = %d, want %d", n, p, i, got, want)
+			}
+			if got := pat.LocalIndex(i); got != counts[want] {
+				t.Fatalf("n=%d p=%d: LocalIndex(%d) = %d, want %d", n, p, i, got, counts[want])
+			}
+			counts[want]++
+			if !pat.Local(want).Contains(i) {
+				t.Fatalf("Local(%d) misses %d", want, i)
+			}
+		}
 	}
 }

@@ -13,40 +13,91 @@ import (
 )
 
 // buildCompileTime derives the schedule from closed-form set algebra
-// (paper §3.1/[3]): no inspector pass, no global exchange.  Both ends
-// of every transfer compute the same sets independently, so the send
-// and receive schedules agree by construction.
-func (e *Engine) buildCompileTime(l *Loop) *Schedule {
-	me := e.node.ID()
-	onPat := l.On.Dist().Pattern(0)
+// (paper §3.1/[3], lifted per dimension for rank-2 loops): no
+// inspector pass, no global exchange.  Both ends of every transfer
+// compute the same sets independently, so the send and receive
+// schedules agree by construction.
+func (e *Engine) buildCompileTime(c *loopCore) *Schedule {
+	if c.rank == 1 {
+		return e.buildCompileTime1(c)
+	}
+	return e.buildCompileTime2(c)
+}
 
-	reads := make([]analysis.Read, len(l.Reads))
-	for i, r := range l.Reads {
+// buildCompileTime1 is the rank-1 closed-form path.
+func (e *Engine) buildCompileTime1(c *loopCore) *Schedule {
+	me := e.node.ID()
+	onPat := c.on.Dist().Pattern(0)
+
+	reads := make([]analysis.Read, len(c.reads))
+	for i, r := range c.reads {
 		reads[i] = analysis.Read{Pat: r.Array.Dist().Pattern(0), G: *r.Affine}
 	}
-	sets := analysis.Compute(onPat, l.OnF, l.Lo, l.Hi, reads, me)
+	sets := analysis.Compute(onPat, c.onF, c.bounds[0], c.bounds[1], reads, me)
 	// Symbolic evaluation: a handful of closed-form evaluations.
-	e.node.Charge(machine.Cost{Calls: 2 + len(l.Reads)})
+	e.node.Charge(machine.Cost{Calls: 2 + len(c.reads)})
 
-	s := &Schedule{
-		kind:         BuildCompileTime,
-		execLocal:    sets.ExecLocal.Slice(),
-		execNonlocal: sets.ExecNonlocal.Slice(),
+	s := &Schedule{kind: BuildCompileTime}
+	sets.ExecLocal.Each(func(i int) { s.execLocal = append(s.execLocal, iteration{i: i}) })
+	sets.ExecNonlocal.Each(func(i int) { s.execNonlocal = append(s.execNonlocal, iteration{i: i}) })
+	e.assembleArrays(c, s, sets.In, sets.Out)
+	return s
+}
+
+// buildCompileTime2 is the rank-2 closed-form path: the exec and
+// execLocal rectangles and the per-peer element rectangles all come
+// from the per-dimension interval algebra; only the iteration lists
+// are enumerated (in loop order, matching the inspector).
+func (e *Engine) buildCompileTime2(c *loopCore) *Schedule {
+	me := e.node.ID()
+	d := c.on.Dist()
+	onI, onJ := d.Pattern(0), d.Pattern(1)
+
+	reads := make([]analysis.Read2, len(c.reads))
+	for i, r := range c.reads {
+		rd := r.Array.Dist()
+		reads[i] = analysis.Read2{
+			PatI: rd.Pattern(0), PatJ: rd.Pattern(1),
+			G:     *r.Affine2,
+			Width: r.Array.Shape()[1],
+		}
 	}
+	sets := analysis.Compute2(onI, onJ, analysis.Identity2,
+		c.bounds[0], c.bounds[1], c.bounds[2], c.bounds[3], reads, me)
+	e.node.Charge(machine.Cost{Calls: 2 + len(c.reads)})
 
-	arrays := distinctArrays(l)
-	for _, arr := range arrays {
-		// Union the per-read in/out sets of this array.
+	s := &Schedule{kind: BuildCompileTime}
+	// Enumerate the exec rectangle row-major; iterations outside the
+	// execLocal rectangle are nonlocal (some read leaves this node).
+	sets.ExecRows.Each(func(i int) {
+		rowLocal := sets.LocalRows.Contains(i)
+		sets.ExecCols.Each(func(j int) {
+			if rowLocal && sets.LocalCols.Contains(j) {
+				s.execLocal = append(s.execLocal, iteration{i: i, j: j})
+			} else {
+				s.execNonlocal = append(s.execNonlocal, iteration{i: i, j: j})
+			}
+		})
+	})
+	e.assembleArrays(c, s, sets.In, sets.Out)
+	return s
+}
+
+// assembleArrays unions the per-read in/out element sets of each
+// distinct array and lowers them onto comm records.
+func (e *Engine) assembleArrays(c *loopCore, s *Schedule, in, out []map[int]index.Set) {
+	me := e.node.ID()
+	for _, arr := range distinctArrays(c) {
 		inByQ := map[int]index.Set{}
 		outByQ := map[int]index.Set{}
-		for k, r := range l.Reads {
+		for k, r := range c.reads {
 			if r.Array != arr {
 				continue
 			}
-			for q, set := range sets.In[k] {
+			for q, set := range in[k] {
 				inByQ[q] = inByQ[q].Union(set)
 			}
-			for q, set := range sets.Out[k] {
+			for q, set := range out[k] {
 				outByQ[q] = outByQ[q].Union(set)
 			}
 		}
@@ -54,7 +105,6 @@ func (e *Engine) buildCompileTime(l *Loop) *Schedule {
 		as.buf = make([]float64, as.in.Total)
 		s.arrays = append(s.arrays, as)
 	}
-	return s
 }
 
 // inSetFromSets builds a receive schedule from per-sender index sets.
@@ -125,15 +175,45 @@ type routedRecs struct {
 	recs []comm.Range
 }
 
-// buildInspector performs the paper's run-time analysis (Figure 6):
-// a recording pass over the loop body classifies every iteration and
-// collects the in sets; a Crystal-router exchange then delivers each
-// record to its home processor, whose received records form its out
-// set.
-func (e *Engine) buildInspector(l *Loop) *Schedule {
+// inspectIters enumerates this node's iterations in loop order for the
+// recording pass, charging the placement cost (closed-form for on
+// clauses, a per-iteration scan for OnProc).
+func (e *Engine) inspectIters(c *loopCore) []iteration {
+	if c.rank == 1 {
+		is := e.execSet(c)
+		out := make([]iteration, len(is))
+		for k, i := range is {
+			out[k] = iteration{i: i}
+		}
+		return out
+	}
+	// Rank 2: the exec rectangle is the cross product of the
+	// per-dimension local sets clipped to the loop bounds (block/cyclic
+	// distributions are separable by construction).
 	me := e.node.ID()
-	exec := e.execSet(l)
-	arrays := distinctArrays(l)
+	d := c.on.Dist()
+	gcoord := d.Grid().Coord(me)
+	rows := d.Pattern(0).Local(gcoord[0]).Intersect(index.Range(c.bounds[0], c.bounds[1]))
+	cols := d.Pattern(1).Local(gcoord[1]).Intersect(index.Range(c.bounds[2], c.bounds[3]))
+	e.node.Charge(machine.Cost{Calls: 1})
+	out := make([]iteration, 0, rows.Len()*cols.Len())
+	rows.Each(func(i int) {
+		cols.Each(func(j int) {
+			out = append(out, iteration{i: i, j: j})
+		})
+	})
+	return out
+}
+
+// buildInspector performs the paper's run-time analysis (Figure 6) for
+// loops of either rank: a recording pass over the loop body classifies
+// every iteration and collects the in sets; a Crystal-router exchange
+// then delivers each record to its home processor, whose received
+// records form its out set.
+func (e *Engine) buildInspector(c *loopCore) *Schedule {
+	me := e.node.ID()
+	exec := e.inspectIters(c)
+	arrays := distinctArrays(c)
 
 	s := &Schedule{kind: BuildInspector}
 	builders := make([]*comm.Builder, len(arrays))
@@ -146,20 +226,20 @@ func (e *Engine) buildInspector(l *Loop) *Schedule {
 		mode:     modeInspect,
 		eng:      e,
 		node:     e.node,
-		loop:     l,
+		core:     c,
 		arrays:   arrays,
 		builders: builders,
 	}
-	for _, i := range exec {
+	for _, it := range exec {
 		e.node.Charge(machine.Cost{LoopIters: 1})
 		env.iterNonlocal = false
-		if l.Enumerate {
+		if c.enumerate {
 			env.enumRecord = env.enumRecord[:0]
 		}
-		l.Body(i, env)
+		c.run(it, env)
 		if env.iterNonlocal {
-			s.execNonlocal = append(s.execNonlocal, i)
-			if l.Enumerate {
+			s.execNonlocal = append(s.execNonlocal, it)
+			if c.enumerate {
 				// Saltz-style: keep the full per-reference list for this
 				// iteration; list construction costs one insert per
 				// reference ("relatively high" preprocessing, §5).
@@ -169,7 +249,7 @@ func (e *Engine) buildInspector(l *Loop) *Schedule {
 				e.node.Charge(machine.Cost{ListInserts: len(refs)})
 			}
 		} else {
-			s.execLocal = append(s.execLocal, i)
+			s.execLocal = append(s.execLocal, it)
 		}
 	}
 
@@ -199,7 +279,7 @@ func (e *Engine) buildInspector(l *Loop) *Schedule {
 	for _, pc := range received {
 		rr := pc.Data.(routedRecs)
 		if rr.slot < 0 || rr.slot >= len(arrays) {
-			panic(fmt.Sprintf("forall %s: routed records for unknown slot %d", l.Name, rr.slot))
+			panic(fmt.Sprintf("forall %s: routed records for unknown slot %d", c.name, rr.slot))
 		}
 		// Records arrive as the *receiver's* in-records: FromProc is us.
 		bySlot[rr.slot] = append(bySlot[rr.slot], rr.recs...)
@@ -210,7 +290,7 @@ func (e *Engine) buildInspector(l *Loop) *Schedule {
 
 	// Enumerated schedules resolve buffer slots now that the in sets
 	// are final.
-	if l.Enumerate {
+	if c.enumerate {
 		for _, refs := range s.enum {
 			for r := range refs {
 				ref := &refs[r]
@@ -218,7 +298,7 @@ func (e *Engine) buildInspector(l *Loop) *Schedule {
 					as := s.arrays[ref.Slot]
 					buf, ok := as.in.Find(ref.Buf, ref.G) // Buf held the owner during recording
 					if !ok {
-						panic(fmt.Sprintf("forall %s: enumerated element %d missing from schedule", l.Name, ref.G))
+						panic(fmt.Sprintf("forall %s: enumerated element %d missing from schedule", c.name, ref.G))
 					}
 					ref.Buf = buf
 				}
@@ -287,8 +367,9 @@ func (e *Engine) exchange(parcels []crystal.Parcel) []crystal.Parcel {
 	return out
 }
 
-// execute runs the paper's Figure 3 pipeline with a prepared schedule.
-func (e *Engine) execute(l *Loop, s *Schedule) {
+// execute runs the paper's Figure 3 pipeline with a prepared schedule,
+// for loops of either rank.
+func (e *Engine) execute(c *loopCore, s *Schedule) {
 	// Send messages to other processors.  The per-byte message charge
 	// (paid at both ends by Send/Recv) covers the pack/unpack copies.
 	// By default all arrays' data for one destination travel in a
@@ -315,7 +396,7 @@ func (e *Engine) execute(l *Loop, s *Schedule) {
 		mode:   modeExecLocal,
 		eng:    e,
 		node:   e.node,
-		loop:   l,
+		core:   c,
 		sched:  s,
 		arrays: make([]*darray.Array, len(s.arrays)),
 	}
@@ -324,9 +405,9 @@ func (e *Engine) execute(l *Loop, s *Schedule) {
 	}
 
 	// Do local iterations.
-	for _, i := range s.execLocal {
+	for _, it := range s.execLocal {
 		e.node.Charge(machine.Cost{LoopIters: 1})
-		l.Body(i, env)
+		c.run(it, env)
 	}
 
 	// Receive messages from other processors.
@@ -353,20 +434,20 @@ func (e *Engine) execute(l *Loop, s *Schedule) {
 			}
 			if off != len(payload) {
 				panic(fmt.Sprintf("forall %s: combined message from %d has %d values, schedules expect %d",
-					l.Name, q, len(payload), off))
+					c.name, q, len(payload), off))
 			}
 		}
 	}
 
 	// Do nonlocal iterations.
 	env.mode = modeExecNonlocal
-	for k, i := range s.execNonlocal {
+	for k, it := range s.execNonlocal {
 		e.node.Charge(machine.Cost{LoopIters: 1})
-		if l.Enumerate {
+		if c.enumerate {
 			env.enumList = s.enum[k]
 			env.enumPos = 0
 		}
-		l.Body(i, env)
+		c.run(it, env)
 	}
 
 	// Commit buffered writes: copy-in/copy-out semantics.

@@ -34,7 +34,7 @@ type Env struct {
 	mode  int
 	eng   *Engine
 	node  *machine.Node
-	loop  *Loop
+	core  *loopCore
 	sched *Schedule
 
 	arrays   []*darray.Array // distinct read arrays, schedule slot order
@@ -64,7 +64,7 @@ func (e *Env) slotOf(a *darray.Array) int {
 			return k
 		}
 	}
-	panic(fmt.Sprintf("forall %s: Read of array %q not declared in Loop.Reads", e.loop.Name, a.Name()))
+	panic(fmt.Sprintf("forall %s: Read of array %q not declared in Loop.Reads", e.core.name, a.Name()))
 }
 
 // Read fetches element g (linearized global index; plain index for
@@ -76,13 +76,13 @@ func (e *Env) Read(a *darray.Array, g int) float64 {
 		e.node.Charge(machine.Cost{RefChecks: 1})
 		owner := a.OwnerLinear(g)
 		if owner == -1 || owner == e.node.ID() {
-			if e.loop.Enumerate {
+			if e.core.enumerate {
 				e.enumRecord = append(e.enumRecord, enumRef{Slot: e.slotOf(a), G: g, Buf: -1})
 			}
 			return a.GetLinear(g)
 		}
 		e.iterNonlocal = true
-		if e.loop.Enumerate {
+		if e.core.enumerate {
 			e.enumRecord = append(e.enumRecord, enumRef{Slot: e.slotOf(a), G: g, Buf: owner})
 		}
 		if e.builders[e.slotOf(a)].Add(g, owner) {
@@ -95,17 +95,17 @@ func (e *Env) Read(a *darray.Array, g int) float64 {
 		return a.GetLinear(g)
 
 	default: // modeExecNonlocal
-		if e.loop.Enumerate {
+		if e.core.enumerate {
 			// Saltz-style replay: no locality test, no search — one list
 			// lookup plus the data access.
 			if e.enumPos >= len(e.enumList) {
-				panic(fmt.Sprintf("forall %s: body made more reads than enumerated", e.loop.Name))
+				panic(fmt.Sprintf("forall %s: body made more reads than enumerated", e.core.name))
 			}
 			ref := e.enumList[e.enumPos]
 			e.enumPos++
 			if e.arrays[ref.Slot] != a || ref.G != g {
 				panic(fmt.Sprintf("forall %s: body reference sequence diverged from inspection (%s[%d] vs slot %d[%d])",
-					e.loop.Name, a.Name(), g, ref.Slot, ref.G))
+					e.core.name, a.Name(), g, ref.Slot, ref.G))
 			}
 			e.node.Charge(machine.Cost{MemRefs: 2})
 			if ref.Buf == -1 {
@@ -124,7 +124,7 @@ func (e *Env) Read(a *darray.Array, g int) float64 {
 		slot, ok := as.in.Find(owner, g)
 		if !ok {
 			panic(fmt.Sprintf("forall %s: element %s[%d] not in communication schedule — body references changed since inspection (add the driving array to DependsOn)",
-				e.loop.Name, a.Name(), g))
+				e.core.name, a.Name(), g))
 		}
 		e.node.Charge(machine.Cost{MemRefs: 1})
 		return as.buf[slot]
@@ -183,21 +183,21 @@ func (e *Env) Write(a *darray.Array, g int, v float64) {
 		// The inspector suppresses side effects; it also verifies the
 		// owner-computes property early.
 		if a.Replicated() {
-			panic(fmt.Sprintf("forall %s: write to replicated array %q", e.loop.Name, a.Name()))
+			panic(fmt.Sprintf("forall %s: write to replicated array %q", e.core.name, a.Name()))
 		}
 		if a.OwnerLinear(g) != e.node.ID() {
 			panic(fmt.Sprintf("forall %s: non-owner write to %s[%d] on node %d",
-				e.loop.Name, a.Name(), g, e.node.ID()))
+				e.core.name, a.Name(), g, e.node.ID()))
 		}
 		return
 	}
 	e.node.Charge(machine.Cost{MemRefs: 1})
 	if a.Replicated() {
-		panic(fmt.Sprintf("forall %s: write to replicated array %q", e.loop.Name, a.Name()))
+		panic(fmt.Sprintf("forall %s: write to replicated array %q", e.core.name, a.Name()))
 	}
 	if a.OwnerLinear(g) != e.node.ID() {
 		panic(fmt.Sprintf("forall %s: non-owner write to %s[%d] on node %d",
-			e.loop.Name, a.Name(), g, e.node.ID()))
+			e.core.name, a.Name(), g, e.node.ID()))
 	}
 	e.writes = append(e.writes, write{a: a, g: g, v: v})
 }

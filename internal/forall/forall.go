@@ -3,17 +3,20 @@
 //
 // A Loop describes one forall statement: its iteration range, its on
 // clause (owner-computes placement), the distributed-array references
-// its body makes, and the body itself.  The Engine executes loops in
-// the paper's pipeline:
+// its body makes, and the body itself.  Loop2 is its two-dimensional
+// counterpart.  Both lower onto one internal loopCore, so schedule
+// acquisition, caching, invalidation and execution are a single
+// pipeline parameterized by rank:
 //
 //  1. Determine exec(p), the iterations this node runs.
 //  2. Obtain a communication Schedule: from the cache if the loop has
 //     run before and its pattern-driving arrays are unchanged
 //     (paper §3.2, "saving them for later loop executions"); else by
 //     compile-time analysis when every subscript is affine (paper
-//     §3.1/[3]); else by the run-time inspector — a recording pass over
-//     the body followed by a Crystal-router exchange that turns each
-//     node's in sets into the senders' out sets (paper §3.3, Fig. 6).
+//     §3.1/[3] — per dimension for rank-2 loops); else by the run-time
+//     inspector — a recording pass over the body followed by a
+//     Crystal-router exchange that turns each node's in sets into the
+//     senders' out sets (paper §3.3, Fig. 6).
 //  3. Run the executor: send all messages, run the local iterations,
 //     receive all messages, run the nonlocal iterations (Fig. 3),
 //     then commit buffered writes (copy-in/copy-out semantics).
@@ -35,13 +38,19 @@ const (
 )
 
 // ReadSpec declares one distributed-array reference the body may make
-// through Env.Read.  When Affine is non-nil the subscript is the
-// static form a*i+c and the reference is a candidate for compile-time
-// analysis; a nil Affine marks a data-dependent (indirect) reference
-// that forces the run-time inspector.
+// through Env.Read.  When Affine (rank-1 loops) or Affine2 (rank-2
+// loops) is non-nil the subscript has the static affine form and the
+// reference is a candidate for compile-time analysis; a nil entry
+// marks a data-dependent (indirect) reference that forces the
+// run-time inspector.
 type ReadSpec struct {
-	Array  *darray.Array
+	Array *darray.Array
+	// Affine is the rank-1 subscript a*i + c.
 	Affine *analysis.Affine
+	// Affine2 is the rank-2 subscript pair (aI*i + cI, aJ*j + cJ); it
+	// applies only to Loop2 reads of rank-2 arrays with both dimensions
+	// distributed.
+	Affine2 *analysis.Affine2
 }
 
 // Dep names an array whose *contents* determine the loop's reference
@@ -52,7 +61,7 @@ type Dep interface {
 	Version() int
 }
 
-// Loop is one forall statement.
+// Loop is one rank-1 forall statement.
 type Loop struct {
 	// Name identifies the loop for schedule caching; loops at
 	// different source locations must use different names.
@@ -90,14 +99,101 @@ type Loop struct {
 	Enumerate bool
 }
 
-// allAffine reports whether compile-time analysis applies.
-func (l *Loop) allAffine() bool {
-	if l.OnProc != nil || l.Enumerate {
+// Loop2 is a two-dimensional forall over a rank-2 array distributed on
+// a rank-2 processor grid — the paper's "multi-dimensional processor
+// arrays can be declared similarly" taken at its word:
+//
+//	forall i in LoI..HiI, j in LoJ..HiJ on A[i,j].loc do ... end
+//
+// Placement is owner-computes on A[i,j] directly (identity subscripts;
+// that is the only form the paper's examples would need).  Reads go
+// through the same Env as 1-D loops — aligned accesses via ReadLocal2,
+// potentially-nonlocal ones via Read/ReadAt on linearized indices.
+// Reads whose per-dimension subscripts are affine (ReadSpec.Affine2)
+// get compile-time schedules from the rank-2 closed forms; anything
+// else falls back to the run-time inspector.
+type Loop2 struct {
+	Name               string
+	LoI, HiI, LoJ, HiJ int
+	// On must be rank-2 with both dimensions distributed over a rank-2
+	// grid.
+	On        *darray.Array
+	Reads     []ReadSpec
+	DependsOn []Dep
+	Body      func(i, j int, e *Env)
+	Phase     string
+}
+
+// iteration is one loop iteration of either rank; j is unused (zero)
+// for rank-1 loops.
+type iteration struct{ i, j int }
+
+// loopCore is the rank-independent lowering of a Loop or Loop2: the
+// single representation the schedule pipeline operates on.
+type loopCore struct {
+	name      string
+	rank      int
+	key       string // cache key (rank-2 keys are prefixed)
+	bounds    [4]int // Lo, Hi, LoJ, HiJ (rank-1: trailing zeros)
+	on        *darray.Array
+	onF       analysis.Affine // rank-1 on-clause subscript
+	onProc    func(i int) int // rank-1 direct placement (nil otherwise)
+	reads     []ReadSpec
+	deps      []Dep
+	phase     string
+	enumerate bool
+	// run invokes the user body for one iteration.
+	run func(it iteration, e *Env)
+}
+
+// core lowers a rank-1 loop.
+func (l *Loop) core() *loopCore {
+	return &loopCore{
+		name: l.Name, rank: 1, key: l.Name,
+		bounds: [4]int{l.Lo, l.Hi, 0, 0},
+		on:     l.On, onF: l.OnF, onProc: l.OnProc,
+		reads: l.Reads, deps: l.DependsOn, phase: l.Phase,
+		enumerate: l.Enumerate,
+		run:       func(it iteration, e *Env) { l.Body(it.i, e) },
+	}
+}
+
+// core lowers a rank-2 loop.  The cache key is prefixed so a Loop and
+// a Loop2 sharing a name cannot collide.
+func (l *Loop2) core() *loopCore {
+	return &loopCore{
+		name: l.Name, rank: 2, key: "2d:" + l.Name,
+		bounds: [4]int{l.LoI, l.HiI, l.LoJ, l.HiJ},
+		on:     l.On,
+		reads:  l.Reads, deps: l.DependsOn, phase: l.Phase,
+		run: func(it iteration, e *Env) { l.Body(it.i, it.j, e) },
+	}
+}
+
+// analyzable reports whether compile-time analysis applies: every
+// declared read must carry the affine form matching the loop's rank
+// over a fully distributed array.
+func (c *loopCore) analyzable() bool {
+	if c.enumerate || c.onProc != nil {
 		return false
 	}
-	for _, r := range l.Reads {
-		if r.Affine == nil || r.Array.Rank() != 1 {
+	for _, r := range c.reads {
+		if r.Array.Replicated() {
 			return false
+		}
+		switch c.rank {
+		case 1:
+			if r.Affine == nil || r.Affine.A == 0 || r.Array.Rank() != 1 {
+				return false
+			}
+		default:
+			if r.Affine2 == nil || r.Affine2.I.A == 0 || r.Affine2.J.A == 0 || r.Array.Rank() != 2 {
+				return false
+			}
+			d := r.Array.Dist()
+			if d.Grid().Rank() != 2 || d.Pattern(0) == nil || d.Pattern(1) == nil {
+				return false
+			}
 		}
 	}
 	return true
@@ -144,18 +240,22 @@ type enumRef struct {
 }
 
 // Schedule is the cached result of inspecting/analyzing one loop on
-// one node.
+// one node, for loops of any rank.
 type Schedule struct {
-	execLocal    []int
-	execNonlocal []int
+	rank         int
+	execLocal    []iteration
+	execNonlocal []iteration
 	arrays       []*arraySched
 	kind         BuildKind
-	lo, hi       int
+	bounds       [4]int
 	depVersions  []int
 	// enum[k] lists every resolved reference of nonlocal iteration
 	// execNonlocal[k], in body order (Loop.Enumerate only).
 	enum [][]enumRef
 }
+
+// Rank returns the loop rank the schedule was built for.
+func (s *Schedule) Rank() int { return s.rank }
 
 // LocalIters returns the number of iterations with only local
 // references (paper's local_list).
@@ -178,12 +278,16 @@ func (s *Schedule) RecvCount() int {
 	return n
 }
 
-// MemBytes estimates the schedule's storage: iteration lists, range
-// records (Figure 5: ~20 bytes each), buffers, and — for enumerated
-// schedules — the per-reference list the paper's §5 identifies as the
-// storage cost of Saltz's approach.
+// MemBytes estimates the schedule's storage: iteration lists (one word
+// per index per rank), range records (Figure 5: ~20 bytes each),
+// buffers, and — for enumerated schedules — the per-reference list the
+// paper's §5 identifies as the storage cost of Saltz's approach.
 func (s *Schedule) MemBytes() int {
-	n := 8 * (len(s.execLocal) + len(s.execNonlocal))
+	words := s.rank
+	if words < 1 {
+		words = 1
+	}
+	n := 8 * words * (len(s.execLocal) + len(s.execNonlocal))
 	for _, as := range s.arrays {
 		n += recBytes * (len(as.in.Ranges) + len(as.out.Ranges))
 		n += 8 * len(as.buf)
@@ -196,9 +300,8 @@ func (s *Schedule) MemBytes() int {
 
 // Engine executes forall loops on one node and caches their schedules.
 type Engine struct {
-	node   *machine.Node
-	cache  map[string]*Schedule
-	cache2 map[string]*pairSchedule // Loop2 schedules
+	node  *machine.Node
+	cache map[string]*Schedule // rank-1 and rank-2 schedules, one keyspace
 	// NoCache disables schedule reuse (benchmark ABL1 measures the
 	// cost of re-inspecting on every execution).
 	NoCache bool
@@ -223,38 +326,55 @@ func NewEngine(n *machine.Node) *Engine {
 // Node returns the engine's node.
 func (e *Engine) Node() *machine.Node { return e.node }
 
-// LastBuildKind reports how the most recent Run obtained its schedule.
+// LastBuildKind reports how the most recent Run/Run2 obtained its
+// schedule.
 func (e *Engine) LastBuildKind() BuildKind { return e.lastKind }
 
-// Schedule returns the cached schedule of a loop, or nil if the loop
-// has not run (or caching is disabled).
+// Schedule returns the cached schedule of a rank-1 loop, or nil if the
+// loop has not run (or caching is disabled).
 func (e *Engine) Schedule(name string) *Schedule { return e.cache[name] }
 
-// Invalidate drops the cached schedule of one loop.
-func (e *Engine) Invalidate(name string) { delete(e.cache, name) }
+// Schedule2 returns the cached schedule of a rank-2 loop.
+func (e *Engine) Schedule2(name string) *Schedule { return e.cache["2d:"+name] }
 
-// InvalidateAll drops all cached schedules (1-D and 2-D).
-func (e *Engine) InvalidateAll() {
-	e.cache = map[string]*Schedule{}
-	e.cache2 = nil
+// Invalidate drops the cached schedules (of either rank) of one loop.
+func (e *Engine) Invalidate(name string) {
+	delete(e.cache, name)
+	delete(e.cache, "2d:"+name)
 }
 
-// Run executes one forall: schedule acquisition is timed under the
-// "inspector" phase (zero-cost when cached or compile-time analyzed),
-// execution under "executor".
+// InvalidateAll drops all cached schedules.
+func (e *Engine) InvalidateAll() {
+	e.cache = map[string]*Schedule{}
+}
+
+// Run executes one rank-1 forall: schedule acquisition is timed under
+// the "inspector" phase (zero-cost when cached or compile-time
+// analyzed), execution under "executor".
 func (e *Engine) Run(l *Loop) {
 	e.validate(l)
-	s := e.schedule(l)
-	phase := l.Phase
+	e.runCore(l.core())
+}
+
+// Run2 executes a two-dimensional forall through the same pipeline.
+func (e *Engine) Run2(l *Loop2) {
+	e.validate2(l)
+	e.runCore(l.core())
+}
+
+// runCore is the shared schedule-then-execute pipeline.
+func (e *Engine) runCore(c *loopCore) {
+	s := e.schedule(c)
+	phase := c.phase
 	if phase == "" {
 		phase = PhaseExecutor
 	}
 	e.node.StartPhase(phase)
-	e.execute(l, s)
+	e.execute(c, s)
 	e.node.StopPhase(phase)
 }
 
-// validate checks the loop specification once per Run.
+// validate checks a rank-1 loop specification once per Run.
 func (e *Engine) validate(l *Loop) {
 	if l.Name == "" {
 		panic("forall: loop needs a Name for schedule caching")
@@ -283,44 +403,70 @@ func (e *Engine) validate(l *Loop) {
 	}
 }
 
+// validate2 checks a rank-2 loop specification once per Run2.
+func (e *Engine) validate2(l *Loop2) {
+	if l.Name == "" {
+		panic("forall: Loop2 needs a Name")
+	}
+	if l.Body == nil {
+		panic(fmt.Sprintf("forall %s: Loop2 has no Body", l.Name))
+	}
+	on := l.On
+	if on == nil || on.Rank() != 2 || on.Replicated() {
+		panic(fmt.Sprintf("forall %s: Loop2 needs a rank-2 distributed on array", l.Name))
+	}
+	if on.Dist().Grid().Rank() != 2 || on.Dist().Pattern(0) == nil || on.Dist().Pattern(1) == nil {
+		panic(fmt.Sprintf("forall %s: Loop2 on array must distribute both dimensions over a rank-2 grid", l.Name))
+	}
+	for _, r := range l.Reads {
+		if r.Array == nil {
+			panic(fmt.Sprintf("forall %s: nil read array", l.Name))
+		}
+	}
+}
+
 // schedule returns a valid Schedule, consulting the cache first.
-func (e *Engine) schedule(l *Loop) *Schedule {
+func (e *Engine) schedule(c *loopCore) *Schedule {
 	if !e.NoCache {
-		if s, ok := e.cache[l.Name]; ok && s.lo == l.Lo && s.hi == l.Hi && depsFresh(l, s) {
+		// The rank check guards against key spoofing: a rank-1 loop
+		// literally named "2d:x" must not serve (or be served by) the
+		// schedule of a Loop2 named "x".
+		if s, ok := e.cache[c.key]; ok && s.rank == c.rank && s.bounds == c.bounds && depsFresh(c, s) {
 			e.lastKind = BuildCached
 			return s
 		}
 	}
 	e.node.StartPhase(PhaseInspector)
 	var s *Schedule
-	if l.allAffine() && !e.ForceInspector {
-		s = e.buildCompileTime(l)
+	if c.analyzable() && !e.ForceInspector {
+		s = e.buildCompileTime(c)
 	} else {
-		s = e.buildInspector(l)
+		s = e.buildInspector(c)
 	}
 	e.node.StopPhase(PhaseInspector)
-	s.lo, s.hi = l.Lo, l.Hi
-	s.depVersions = depVersions(l)
+	s.rank = c.rank
+	s.bounds = c.bounds
+	s.depVersions = depVersions(c)
 	if !e.NoCache {
-		e.cache[l.Name] = s
+		e.cache[c.key] = s
 	}
 	e.lastKind = s.kind
 	return s
 }
 
-func depVersions(l *Loop) []int {
-	out := make([]int, len(l.DependsOn))
-	for i, d := range l.DependsOn {
+func depVersions(c *loopCore) []int {
+	out := make([]int, len(c.deps))
+	for i, d := range c.deps {
 		out[i] = d.Version()
 	}
 	return out
 }
 
-func depsFresh(l *Loop, s *Schedule) bool {
-	if len(l.DependsOn) != len(s.depVersions) {
+func depsFresh(c *loopCore, s *Schedule) bool {
+	if len(c.deps) != len(s.depVersions) {
 		return false
 	}
-	for i, d := range l.DependsOn {
+	for i, d := range c.deps {
 		if d.Version() != s.depVersions[i] {
 			return false
 		}
@@ -328,11 +474,11 @@ func depsFresh(l *Loop, s *Schedule) bool {
 	return true
 }
 
-// distinctArrays returns the distinct arrays referenced by l.Reads, in
-// first-appearance order, and a lookup from array to slot.
-func distinctArrays(l *Loop) []*darray.Array {
+// distinctArrays returns the distinct arrays referenced by the loop's
+// reads, in first-appearance order.
+func distinctArrays(c *loopCore) []*darray.Array {
 	var out []*darray.Array
-	for _, r := range l.Reads {
+	for _, r := range c.reads {
 		found := false
 		for _, a := range out {
 			if a == r.Array {
@@ -347,23 +493,24 @@ func distinctArrays(l *Loop) []*darray.Array {
 	return out
 }
 
-// execSet computes exec(p) for this node as a sorted slice.
-func (e *Engine) execSet(l *Loop) []int {
+// execSet computes exec(p) for a rank-1 loop as a sorted slice.
+func (e *Engine) execSet(c *loopCore) []int {
 	me := e.node.ID()
-	if l.OnProc != nil {
+	lo, hi := c.bounds[0], c.bounds[1]
+	if c.onProc != nil {
 		// Run-time placement scan: evaluate the on expression for every
 		// iteration in range.
 		var out []int
-		for i := l.Lo; i <= l.Hi; i++ {
+		for i := lo; i <= hi; i++ {
 			e.node.Charge(machine.Cost{LoopIters: 1})
-			if l.OnProc(i) == me {
+			if c.onProc(i) == me {
 				out = append(out, i)
 			}
 		}
 		return out
 	}
-	pat := l.On.Dist().Pattern(0)
-	set := analysis.Exec(pat, l.OnF, l.Lo, l.Hi, me)
+	pat := c.on.Dist().Pattern(0)
+	set := analysis.Exec(pat, c.onF, lo, hi, me)
 	// Symbolic evaluation cost: one call's worth.
 	e.node.Charge(machine.Cost{Calls: 1})
 	return set.Slice()

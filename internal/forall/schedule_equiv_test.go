@@ -1,0 +1,276 @@
+package forall
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kali/internal/analysis"
+	"kali/internal/comm"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/index"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// schedSnap is the comparable projection of one node's schedule.
+type schedSnap struct {
+	Kind         BuildKind
+	ExecLocal    []iteration
+	ExecNonlocal []iteration
+	In           [][]comm.Range
+	InTotal      []int
+	Out          [][]comm.Range
+}
+
+// snapshot extracts the comparable parts of a schedule.  Out-set Buf
+// fields are receiver-side buffer offsets on the inspector path and
+// unused by the executor, so they are normalized away.
+func snapshot(s *Schedule) schedSnap {
+	snap := schedSnap{
+		Kind:         s.kind,
+		ExecLocal:    append([]iteration(nil), s.execLocal...),
+		ExecNonlocal: append([]iteration(nil), s.execNonlocal...),
+	}
+	for _, as := range s.arrays {
+		snap.In = append(snap.In, append([]comm.Range(nil), as.in.Ranges...))
+		snap.InTotal = append(snap.InTotal, as.in.Total)
+		outs := append([]comm.Range(nil), as.out.Ranges...)
+		for i := range outs {
+			outs[i].Buf = 0
+		}
+		snap.Out = append(snap.Out, outs)
+	}
+	return snap
+}
+
+// randDim picks a random distribution spec for one dimension.
+func randDim(r *rand.Rand, n, p int) dist.DimSpec {
+	switch r.Intn(4) {
+	case 0:
+		return dist.BlockDim()
+	case 1:
+		return dist.CyclicDim()
+	case 2:
+		return dist.BlockCyclicDim(1 + r.Intn(3))
+	default:
+		// User map: random owner per index — the interval-compressed
+		// pattern must agree with every closed-form one.
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = r.Intn(p)
+		}
+		return dist.MapDim(owners)
+	}
+}
+
+// TestScheduleCompileTimeMatchesInspector2D: for random grid shapes,
+// random per-dimension distributions (block / cyclic / block_cyclic /
+// user map) and random affine shifts, the rank-2 compile-time
+// schedules are element-for-element identical to what the run-time
+// inspector builds — same iteration lists, same in/out records, same
+// buffer layout — and the loop computes the same values.
+func TestScheduleCompileTimeMatchesInspector2D(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ny, nx := 4+r.Intn(10), 4+r.Intn(10)
+		grids := [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {2, 4}, {4, 2}}
+		gr := grids[r.Intn(len(grids))]
+		p := gr[0] * gr[1]
+
+		// Per-dimension affine subscripts for two reads of src — shifts
+		// most of the time, occasionally strided (a=2) or reflected
+		// (a=-1) so the non-unit coefficient paths stay compared.
+		randAff := func(n int) analysis.Affine {
+			switch r.Intn(6) {
+			case 0:
+				return analysis.Affine{A: -1, C: n + 1 - (r.Intn(3) - 1)}
+			case 1:
+				return analysis.Affine{A: 2, C: r.Intn(3) - 1}
+			default:
+				return analysis.Affine{A: 1, C: r.Intn(5) - 2}
+			}
+		}
+		g1 := analysis.Affine2{I: randAff(ny), J: randAff(nx)}
+		g2 := analysis.Affine2{I: randAff(ny), J: randAff(nx)}
+		// Loop bounds: iterations whose subscripts stay inside the array
+		// for both reads (each preimage of [1..n] is one interval, so
+		// the intersection is a contiguous range).
+		rowSet := index.Range(1, ny).
+			Intersect(g1.I.Preimage(index.Range(1, ny))).
+			Intersect(g2.I.Preimage(index.Range(1, ny)))
+		colSet := index.Range(1, nx).
+			Intersect(g1.J.Preimage(index.Range(1, nx))).
+			Intersect(g2.J.Preimage(index.Range(1, nx)))
+		if rowSet.Empty() || colSet.Empty() {
+			return true // degenerate range, nothing to compare
+		}
+		loI, hiI := rowSet.Min(), rowSet.Max()
+		loJ, hiJ := colSet.Min(), colSet.Max()
+
+		g := topology.MustGrid(gr[0], gr[1])
+		dOn := dist.Must([]int{ny, nx}, []dist.DimSpec{randDim(r, ny, gr[0]), randDim(r, nx, gr[1])}, g)
+		dSrc := dist.Must([]int{ny, nx}, []dist.DimSpec{randDim(r, ny, gr[0]), randDim(r, nx, gr[1])}, g)
+
+		run := func(force bool) ([]schedSnap, []float64) {
+			mach := machine.MustNew(p, machine.Ideal())
+			snaps := make([]schedSnap, p)
+			vals := make([]float64, ny*nx)
+			var mu sync.Mutex
+			mach.Run(func(nd *machine.Node) {
+				dst := darray.New("dst", dOn, nd)
+				src := darray.New("src", dSrc, nd)
+				for i := 1; i <= ny; i++ {
+					for j := 1; j <= nx; j++ {
+						if src.IsLocal(i, j) {
+							src.Set2(i, j, float64(i*1000+j))
+						}
+					}
+				}
+				eng := NewEngine(nd)
+				eng.ForceInspector = force
+				eng.Run2(&Loop2{
+					Name: "equiv", LoI: loI, HiI: hiI, LoJ: loJ, HiJ: hiJ,
+					On: dst,
+					Reads: []ReadSpec{
+						{Array: src, Affine2: &g1},
+						{Array: src, Affine2: &g2},
+					},
+					Body: func(i, j int, e *Env) {
+						v := e.ReadAt(src, g1.I.Apply(i), g1.J.Apply(j)) +
+							e.ReadAt(src, g2.I.Apply(i), g2.J.Apply(j))
+						e.WriteAt(dst, v, i, j)
+					},
+				})
+				mu.Lock()
+				snaps[nd.ID()] = snapshot(eng.Schedule2("equiv"))
+				for i := 1; i <= ny; i++ {
+					for j := 1; j <= nx; j++ {
+						if dst.IsLocal(i, j) {
+							vals[(i-1)*nx+(j-1)] = dst.Get2(i, j)
+						}
+					}
+				}
+				mu.Unlock()
+			})
+			return snaps, vals
+		}
+
+		ct, ctVals := run(false)
+		insp, inspVals := run(true)
+
+		for q := 0; q < p; q++ {
+			if ct[q].Kind != BuildCompileTime {
+				t.Logf("seed %d node %d: kind %v, want compile-time", seed, q, ct[q].Kind)
+				return false
+			}
+			if insp[q].Kind != BuildInspector {
+				t.Logf("seed %d node %d: kind %v, want inspector", seed, q, insp[q].Kind)
+				return false
+			}
+			a, b := ct[q], insp[q]
+			a.Kind, b.Kind = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Logf("seed %d node %d (ny=%d nx=%d grid=%v on=%v src=%v g1=%+v g2=%+v):\n  compile-time %+v\n  inspector    %+v",
+					seed, q, ny, nx, gr, dOn, dSrc, g1, g2, a, b)
+				return false
+			}
+		}
+
+		// Same answer, and it matches the sequential model.
+		for i := loI; i <= hiI; i++ {
+			for j := loJ; j <= hiJ; j++ {
+				want := float64(g1.I.Apply(i)*1000+g1.J.Apply(j)) +
+					float64(g2.I.Apply(i)*1000+g2.J.Apply(j))
+				k := (i-1)*nx + (j - 1)
+				if ctVals[k] != want || inspVals[k] != want {
+					t.Logf("seed %d: dst[%d,%d] = %g / %g, want %g", seed, i, j, ctVals[k], inspVals[k], want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleCompileTime2DBeatsInspectorCost: the point of the
+// closed-form path — schedule acquisition charges no per-iteration
+// inspector work and no exchange, so its simulated build time is
+// strictly lower.
+func TestScheduleCompileTime2DBeatsInspectorCost(t *testing.T) {
+	build := func(force bool) float64 {
+		const n, pr, pc = 64, 2, 2
+		g := topology.MustGrid(pr, pc)
+		d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
+		mach := machine.MustNew(pr*pc, machine.NCUBE7())
+		mach.Run(func(nd *machine.Node) {
+			a := darray.New("a", d, nd)
+			old := darray.New("old", d, nd)
+			eng := NewEngine(nd)
+			eng.ForceInspector = force
+			eng.NoCache = true
+			loop := &Loop2{
+				Name: "relax", LoI: 2, HiI: n - 1, LoJ: 2, HiJ: n - 1,
+				On:    a,
+				Reads: []ReadSpec{{Array: old, Affine2: affine2(1, -1, 1, 0)}, {Array: old, Affine2: affine2(1, 1, 1, 0)}, {Array: old, Affine2: affine2(1, 0, 1, -1)}, {Array: old, Affine2: affine2(1, 0, 1, 1)}},
+				Body: func(i, j int, e *Env) {
+					x := 0.25 * (e.ReadAt(old, i-1, j) + e.ReadAt(old, i+1, j) +
+						e.ReadAt(old, i, j-1) + e.ReadAt(old, i, j+1))
+					e.WriteAt(a, x, i, j)
+				},
+			}
+			for s := 0; s < 3; s++ {
+				eng.Run2(loop)
+			}
+		})
+		return mach.MaxPhase(PhaseInspector)
+	}
+	ct, insp := build(false), build(true)
+	if ct <= 0 || insp <= 0 {
+		t.Fatalf("phases not recorded: compile-time %g, inspector %g", ct, insp)
+	}
+	if ct*5 >= insp {
+		t.Fatalf("compile-time 2-D build (%gs) should be far cheaper than inspector (%gs)", ct, insp)
+	}
+}
+
+// TestScheduleCacheRankSeparation: a rank-1 loop literally named
+// "2d:x" must not collide with a Loop2 named "x" in the unified cache.
+func TestScheduleCacheRankSeparation(t *testing.T) {
+	g1 := topology.MustGrid(1)
+	g2 := topology.MustGrid(1, 1)
+	d1 := dist.Must([]int{6}, []dist.DimSpec{dist.BlockDim()}, g1)
+	d2 := dist.Must([]int{6, 6}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g2)
+	mach := machine.MustNew(1, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		a1 := darray.New("a1", d1, nd)
+		a2 := darray.New("a2", d2, nd)
+		eng := NewEngine(nd)
+		eng.Run(&Loop{
+			Name: "2d:x", Lo: 2, Hi: 5, On: a1, OnF: analysis.Identity,
+			Body: func(i int, e *Env) { e.Write(a1, i, 1) },
+		})
+		ran := 0
+		eng.Run2(&Loop2{
+			Name: "x", LoI: 2, HiI: 5, LoJ: 0, HiJ: 0,
+			On:   a2,
+			Body: func(i, j int, e *Env) { ran++ },
+		})
+		if eng.LastBuildKind() == BuildCached {
+			t.Error("Loop2 \"x\" reused the schedule of rank-1 loop \"2d:x\"")
+		}
+		if ran != 0 {
+			t.Errorf("Loop2 with empty j-range ran %d iterations (replayed rank-1 exec list?)", ran)
+		}
+	})
+}
+
+func affine2(aI, cI, aJ, cJ int) *analysis.Affine2 {
+	return &analysis.Affine2{I: analysis.Affine{A: aI, C: cI}, J: analysis.Affine{A: aJ, C: cJ}}
+}

@@ -329,6 +329,34 @@ func (s Set) InverseAffine(a, c int) Set {
 	return FromIntervals(out...)
 }
 
+// Linearize2 returns the row-major linearization of the rectangular
+// set rows × cols over a rank-2 space whose second dimension has
+// extent width: { (r-1)*width + c : r ∈ rows, c ∈ cols }.  cols must
+// lie within [1..width] so rows stay disjoint.  This is how the rank-2
+// communication analysis lowers its per-dimension rectangles onto the
+// 1-D interval machinery the schedules are built from: each row
+// contributes cols shifted by its row offset, and full-width rows of
+// adjacent indices merge into single intervals during normalization.
+func Linearize2(rows, cols Set, width int) Set {
+	if width < 1 {
+		panic("index: Linearize2 with non-positive width")
+	}
+	if cols.Empty() || rows.Empty() {
+		return Set{}
+	}
+	if cols.Min() < 1 || cols.Max() > width {
+		panic(fmt.Sprintf("index: Linearize2 cols %v outside [1..%d]", cols, width))
+	}
+	ivs := make([]Interval, 0, rows.Len()*cols.NumIntervals())
+	rows.Each(func(r int) {
+		off := (r - 1) * width
+		for _, iv := range cols.Intervals() {
+			ivs = append(ivs, iv.Shift(off))
+		}
+	})
+	return FromIntervals(ivs...)
+}
+
 // Each calls f for every element of the set in increasing order.
 func (s Set) Each(f func(x int)) {
 	for _, iv := range s.ivs {

@@ -397,3 +397,26 @@ func TestIntervalOverlapsAndShift(t *testing.T) {
 		t.Fatalf("Shift = %v", got)
 	}
 }
+
+// TestLinearize2 checks the row-major rectangle linearization.
+func TestLinearize2(t *testing.T) {
+	// 3 rows × cols {2,3} over width 4: rows 2..4.
+	got := Linearize2(Range(2, 4), Range(2, 3), 4)
+	want := FromIntervals(Interval{6, 7}, Interval{10, 11}, Interval{14, 15})
+	if !got.Equal(want) {
+		t.Fatalf("Linearize2 = %v, want %v", got, want)
+	}
+	// Full-width adjacent rows merge into one interval.
+	full := Linearize2(Range(2, 3), Range(1, 4), 4)
+	if full.NumIntervals() != 1 || !full.Equal(Range(5, 12)) {
+		t.Fatalf("full-width rows = %v, want {[5..12]}", full)
+	}
+	if !Linearize2(Set{}, Range(1, 2), 4).Empty() || !Linearize2(Range(1, 2), Set{}, 4).Empty() {
+		t.Fatal("empty factor should give empty product")
+	}
+	// Strided columns stay per-row.
+	s := Linearize2(Single(2), Strided(1, 4, 2), 4)
+	if !s.Equal(FromIntervals(Interval{5, 5}, Interval{7, 7})) {
+		t.Fatalf("strided = %v", s)
+	}
+}

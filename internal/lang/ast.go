@@ -55,8 +55,13 @@ type ConstDecl struct {
 
 // DistItem is one entry of a dist clause.
 type DistItem struct {
-	Kind  Kind // KWBlock, KWCyclic, KWBlockCyclic, STAR
+	Kind  Kind // KWBlock, KWCyclic, KWBlockCyclic, KWMap, STAR
 	Block Expr // block size for block_cyclic
+	// MapVar/MapExpr describe a user-defined distribution
+	// "map(v : expr)": the owner of global index v is expr, evaluated
+	// at elaboration time over the constants and P.
+	MapVar  string
+	MapExpr Expr
 }
 
 // VarDecl declares one or more names of a common type.
@@ -231,11 +236,14 @@ const (
 )
 
 // readInfo describes one distinct distributed-array read slot of a
-// forall (feeds forall.Loop.Reads).
+// forall (feeds forall.Loop.Reads / forall.Loop2.Reads).
 type readInfo struct {
 	array  string
 	affine bool
 	a, c   int // filled at elaboration for affine reads
 	aExpr  Expr
 	cExpr  Expr
+	// rank-2 affine reads X[aI*i+cI, aJ*j+cJ] inside two-index foralls:
+	affine2                        bool
+	aIExpr, cIExpr, aJExpr, cJExpr Expr
 }

@@ -72,6 +72,25 @@ func Check(f *File) error {
 				if d.Elem == TBool {
 					return errf(d.Line, 1, "%q: distributed boolean arrays are not supported", name)
 				}
+				for _, item := range d.Dist {
+					if item.Kind != KWMap {
+						continue
+					}
+					// The owner expression is evaluated per index at
+					// elaboration time, so it may use only constants, P,
+					// and the bound index variable.
+					t, err := c.exprType(item.MapExpr, locals{item.MapVar: TInt}, "")
+					if err != nil {
+						return err
+					}
+					if t != TInt {
+						return errf(d.Line, 1, "%q: map owner expression must be an integer", name)
+					}
+					if !c.constWith(item.MapExpr, item.MapVar) {
+						return errf(d.Line, 1, "%q: map owner expression must be computable from constants, P, and %q",
+							name, item.MapVar)
+					}
+				}
 			}
 			for _, dim := range d.Dims {
 				for _, b := range []Expr{dim.Lo, dim.Hi} {
@@ -385,8 +404,9 @@ func (c *checker) forall2(fa *Forall) error {
 }
 
 // classify2 annotates references inside a two-index forall: aligned
-// [i,j] accesses are local; every other distributed real read uses the
-// inspector.
+// [i,j] accesses are local; reads whose subscripts are per-dimension
+// affine — X[aI*i+cI, aJ*j+cJ] — get compile-time schedules from the
+// rank-2 closed forms; everything else uses the inspector.
 func (c *checker) classify2(fa *Forall) error {
 	seenIndirect := map[string]bool{}
 	seenDep := map[string]bool{}
@@ -417,10 +437,30 @@ func (c *checker) classify2(fa *Forall) error {
 			return
 		}
 		if len(d.Dims) == 2 {
+			// The [i,j] shortcut is provably local only when the read
+			// array shares the on array's declaration (hence its dist
+			// clause); an identically-subscripted array with a different
+			// distribution goes through the affine path below, which
+			// derives whatever communication the mismatch needs.
 			i1, ok1 := ref.Indexes[0].(*Ident)
 			i2, ok2 := ref.Indexes[1].(*Ident)
-			if ok1 && ok2 && i1.Name == fa.Var && i2.Name == fa.Var2 {
+			if ok1 && ok2 && i1.Name == fa.Var && i2.Name == fa.Var2 &&
+				(ref.Name == fa.OnArray || d == c.syms[fa.OnArray].decl) {
 				ref.access = accAligned
+				return
+			}
+			// Per-dimension affine: the first subscript in the first
+			// loop variable only, the second in the second only (a
+			// subscript mentioning the other variable is not affine in
+			// its own, because loop variables are not constants).
+			aIE, cIE, okI := c.affineOf(ref.Indexes[0], fa.Var)
+			aJE, cJE, okJ := c.affineOf(ref.Indexes[1], fa.Var2)
+			if okI && okJ {
+				ref.access = accAffine
+				fa.reads = append(fa.reads, &readInfo{
+					array: ref.Name, affine2: true,
+					aIExpr: aIE, cIExpr: cIE, aJExpr: aJE, cJExpr: cJE,
+				})
 				return
 			}
 		}
@@ -587,6 +627,33 @@ func mulExprs(k, e Expr) Expr {
 		return nil
 	}
 	return &Binary{Op: STAR, L: k, R: e}
+}
+
+// constWith is isConstExpr extended with one bound integer variable
+// (the index of a map dist clause), restricted to the integer forms
+// the elaboration evaluator computes: literals, consts, P, the bound
+// variable, unary minus, and +, -, *, div, mod.
+func (c *checker) constWith(e Expr, v string) bool {
+	switch e := e.(type) {
+	case *IntLit:
+		return true
+	case *Ident:
+		if e.Name == v {
+			return true
+		}
+		s := c.syms[e.Name]
+		return s != nil && (s.kind == symConst || s.kind == symProcSize)
+	case *Unary:
+		return e.Op == MINUS && c.constWith(e.X, v)
+	case *Binary:
+		switch e.Op {
+		case PLUS, MINUS, STAR, KWDiv, KWMod:
+			return c.constWith(e.L, v) && c.constWith(e.R, v)
+		}
+		return false
+	default:
+		return false
+	}
 }
 
 // isConstExpr reports whether e is evaluable at elaboration time:

@@ -245,3 +245,107 @@ end.
 		t.Fatalf("s=%g mx=%g mn=%g", res.Scalars["s"], res.Scalars["mx"], res.Scalars["mn"])
 	}
 }
+
+// TestMapDistClause: parsing, checking and running the map dist form.
+func TestMapDistClause(t *testing.T) {
+	// Well-formed: cyclic-by-hand via mod.
+	src := `
+processors Procs : array[1..P] with P in 1..8;
+const n = 12;
+var a : array[1..n] of real dist by [map(i : (i - 1) mod P)] on Procs;
+    i : integer;
+begin
+    for i in 1..n do
+        a[i] := float(i * i);
+    end;
+end.
+`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(core.Config{P: 4, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 12; i++ {
+		if res.Arrays["a"][i-1] != float64(i*i) {
+			t.Fatalf("a[%d] = %g", i, res.Arrays["a"][i-1])
+		}
+	}
+}
+
+// TestMapDistClauseErrors: malformed map clauses are rejected.
+func TestMapDistClauseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`
+processors Procs : array[1..P] with P in 1..8;
+const n = 8;
+var a : array[1..n] of real dist by [map(i : 0.5)] on Procs;
+begin end.`, "must be an integer"},
+		{`
+processors Procs : array[1..P] with P in 1..8;
+const n = 8;
+var x : real;
+    a : array[1..n] of real dist by [map(i : i + trunc(x))] on Procs;
+begin end.`, "computable from constants"},
+		{`
+processors Procs : array[1..P] with P in 1..8;
+const n = 8;
+var a : array[1..n] of real dist by [map(i)] on Procs;
+begin end.`, "expected :"},
+	}
+	for _, c := range cases {
+		compileErr(t, c.src, c.want)
+	}
+	// Owner values outside [0..P) surface at elaboration time.
+	p, err := Compile(`
+processors Procs : array[1..P] with P in 1..8;
+const n = 8;
+var a : array[1..n] of real dist by [map(i : n)] on Procs;
+begin end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(core.Config{P: 4, Params: machine.Ideal()}); err == nil || !strings.Contains(err.Error(), "out of [0..") {
+		t.Fatalf("want owner-range error, got %v", err)
+	}
+}
+
+// TestForall2CrossDistributionIdentityRead: an [i,j] read of an array
+// distributed differently from the on array must not take the aligned
+// local shortcut — the affine path derives the communication instead.
+func TestForall2CrossDistributionIdentityRead(t *testing.T) {
+	src := `
+processors Procs : array[1..2, 1..2];
+const n = 8;
+var a : array[1..n, 1..n] of real dist by [block, block] on Procs;
+    b : array[1..n, 1..n] of real dist by [cyclic, block] on Procs;
+    i, j : integer;
+begin
+    for i in 1..n do
+        for j in 1..n do
+            b[i, j] := float(i * 100 + j);
+        end;
+    end;
+    forall i in 1..n, j in 1..n on a[i,j].loc do
+        a[i, j] := b[i, j];
+    end;
+end.
+`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(core.Config{P: 4, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		for j := 1; j <= 8; j++ {
+			if got := res.Arrays["a"][(i-1)*8+j-1]; got != float64(i*100+j) {
+				t.Fatalf("a[%d,%d] = %g, want %d", i, j, got, i*100+j)
+			}
+		}
+	}
+}

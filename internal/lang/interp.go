@@ -333,6 +333,20 @@ func (in *interp) declareArrays() {
 						specs[k] = dist.CyclicDim()
 					case KWBlockCyclic:
 						specs[k] = dist.BlockCyclicDim(ev.evalConstInt(item.Block))
+					case KWMap:
+						// Evaluate the owner expression for every index of
+						// the dimension; dist compresses the table into
+						// owner runs.
+						owners := make([]int, shape[k])
+						mev := &evaluator{consts: map[string]value{}}
+						for cn, cv := range in.consts {
+							mev.consts[cn] = cv
+						}
+						for i := 1; i <= shape[k]; i++ {
+							mev.consts[item.MapVar] = intVal(i)
+							owners[i-1] = mev.evalConstInt(item.MapExpr)
+						}
+						specs[k] = dist.MapDim(owners)
 					case STAR:
 						specs[k] = dist.CollapsedDim()
 					}
@@ -493,13 +507,23 @@ func (in *interp) execForall(fa *Forall) {
 
 // buildLoop2 translates a two-index Forall into a forall.Loop2.
 func (in *interp) buildLoop2(fa *Forall) *forall.Loop2 {
+	ev := &evaluator{consts: in.consts}
 	onArr := in.arrays[fa.OnArray]
 	if onArr == nil {
 		panic(fmt.Sprintf("on-clause array %q is not a real array", fa.OnArray))
 	}
 	var reads []forall.ReadSpec
 	for _, ri := range fa.reads {
-		reads = append(reads, forall.ReadSpec{Array: in.arrays[ri.array]})
+		arr := in.arrays[ri.array]
+		if ri.affine2 {
+			aff := &analysis.Affine2{
+				I: analysis.Affine{A: evalCoeff(ev, ri.aIExpr), C: evalCoeff(ev, ri.cIExpr)},
+				J: analysis.Affine{A: evalCoeff(ev, ri.aJExpr), C: evalCoeff(ev, ri.cJExpr)},
+			}
+			reads = append(reads, forall.ReadSpec{Array: arr, Affine2: aff})
+			continue
+		}
+		reads = append(reads, forall.ReadSpec{Array: arr})
 	}
 	var deps []forall.Dep
 	for _, d := range fa.deps {

@@ -347,6 +347,28 @@ func (p *parser) distItem() (DistItem, error) {
 			return DistItem{}, err
 		}
 		return DistItem{Kind: KWBlockCyclic, Block: x}, nil
+	case KWMap:
+		// User-defined distribution: map(v : expr) owns index v on
+		// processor expr (paper §2.4's "mechanism for user-defined
+		// distributions").
+		if _, err := p.expect(LPAREN); err != nil {
+			return DistItem{}, err
+		}
+		v, err := p.expect(IDENT)
+		if err != nil {
+			return DistItem{}, err
+		}
+		if _, err := p.expect(COLON); err != nil {
+			return DistItem{}, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return DistItem{}, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return DistItem{}, err
+		}
+		return DistItem{Kind: KWMap, MapVar: v.Text, MapExpr: x}, nil
 	case STAR:
 		return DistItem{Kind: STAR}, nil
 	default:

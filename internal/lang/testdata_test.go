@@ -144,12 +144,43 @@ func TestCorpusJacobi2D(t *testing.T) {
 			t.Fatalf("u[%d] = %g, want %g", i+1, got[i], want[i])
 		}
 	}
-	// The neighbor reads must have used the inspector.
+	// The neighbor reads are per-dimension affine, so the rank-2
+	// compile-time analysis applies: no inspector-scale cost.
 	res2, err := loadProgram(t, "jacobi2d.kali").Run(core.Config{P: 4, Params: machine.NCUBE7()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Report.Inspector <= 0 {
-		t.Fatal("2-D forall should pay inspector cost")
+	if res2.Report.Inspector > 0.01 {
+		t.Fatalf("affine 2-D forall paid inspector-scale cost: %g s", res2.Report.Inspector)
+	}
+}
+
+// TestCorpusLoadbalance: the map dist clause builds a user-defined
+// distribution, the program computes the right answer, and the affine
+// reads over the map pattern still use compile-time analysis.
+func TestCorpusLoadbalance(t *testing.T) {
+	res, err := loadProgram(t, "loadbalance.kali").Run(core.Config{P: 4, Params: machine.NCUBE7()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, act, sweeps = 32, 8, 10
+	oracle := make([]float64, n+1)
+	old := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		oracle[i] = float64(i)
+	}
+	for s := 0; s < sweeps; s++ {
+		copy(old, oracle)
+		for i := 2; i <= act; i++ {
+			oracle[i] = 0.5*old[i-1] + 0.5*old[i+1]
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if math.Abs(res.Arrays["a"][i-1]-oracle[i]) > 1e-12 {
+			t.Fatalf("a[%d] = %g, oracle %g", i, res.Arrays["a"][i-1], oracle[i])
+		}
+	}
+	if res.Report.Inspector > 0.01 {
+		t.Fatalf("affine reads over a map distribution paid inspector-scale cost: %g s", res.Report.Inspector)
 	}
 }

@@ -69,6 +69,7 @@ const (
 	KWBlock
 	KWCyclic
 	KWBlockCyclic
+	KWMap
 
 	// punctuation / operators
 	ASSIGN // :=
@@ -105,8 +106,8 @@ var kindNames = map[Kind]string{
 	KWOr: "or", KWNot: "not", KWDiv: "div", KWMod: "mod",
 	KWTrue: "true", KWFalse: "false", KWReduce: "reduce", KWInto: "into",
 	KWLoc: "loc", KWBlock: "block", KWCyclic: "cyclic",
-	KWBlockCyclic: "block_cyclic",
-	ASSIGN:        ":=", SEMI: ";", COLON: ":", COMMA: ",", DOT: ".",
+	KWBlockCyclic: "block_cyclic", KWMap: "map",
+	ASSIGN: ":=", SEMI: ";", COLON: ":", COMMA: ",", DOT: ".",
 	DOTDOT: "..", LBRACK: "[", RBRACK: "]", LPAREN: "(", RPAREN: ")",
 	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", LT: "<", LE: "<=",
 	GT: ">", GE: ">=", EQ: "=", NE: "<>",
@@ -129,7 +130,7 @@ var keywords = map[string]Kind{
 	"or": KWOr, "not": KWNot, "div": KWDiv, "mod": KWMod,
 	"true": KWTrue, "false": KWFalse, "reduce": KWReduce, "into": KWInto,
 	"loc": KWLoc, "block": KWBlock, "cyclic": KWCyclic,
-	"block_cyclic": KWBlockCyclic,
+	"block_cyclic": KWBlockCyclic, "map": KWMap,
 }
 
 // Token is one lexical token with its source position.

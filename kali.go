@@ -67,6 +67,9 @@ type Dep = forall.Dep
 // Affine is the subscript form a*i + c.
 type Affine = analysis.Affine
 
+// Affine2 is the rank-2 subscript pair of a Loop2 read.
+type Affine2 = analysis.Affine2
+
 // Array is a distributed array of float64.
 type Array = darray.Array
 
@@ -81,6 +84,9 @@ type Params = machine.Params
 
 // Identity is the subscript i.
 var Identity = analysis.Identity
+
+// Identity2 is the subscript pair (i, j).
+var Identity2 = analysis.Identity2
 
 // Run executes an SPMD program on a fresh simulated machine.
 func Run(cfg Config, prog func(ctx *Context)) Report { return core.Run(cfg, prog) }
