@@ -10,6 +10,11 @@
 //	kalibench -quick           # shrunken sizes (seconds, for smoke tests)
 //	kalibench -json            # machine-readable output (CI artifacts)
 //	kalibench -list            # show experiment ids
+//	kalibench -quick -diff bench/baseline.json
+//	                           # regression gate: rerun and compare
+//	                           # against a committed -json baseline,
+//	                           # exit 1 if sim times or schedule memory
+//	                           # grew beyond -tol
 package main
 
 import (
@@ -26,6 +31,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use shrunken problem sizes")
 	asJSON := flag.Bool("json", false, "emit tables as JSON instead of text")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	diff := flag.String("diff", "", "baseline JSON file to compare this run against (CI regression gate)")
+	tol := flag.Float64("tol", 0.05, "relative tolerance for -diff cost comparisons")
 	flag.Parse()
 
 	if *list {
@@ -33,6 +40,38 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	// Load the baseline before generating anything, so a bad -diff path
+	// fails immediately instead of after the whole suite has run.
+	var baseline []*bench.Table
+	if *diff != "" {
+		raw, err := os.ReadFile(*diff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kalibench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "kalibench: bad baseline %s: %v\n", *diff, err)
+			os.Exit(1)
+		}
+		// Compare only what this invocation runs: with -table X the
+		// unselected baseline entries are not missing, just not rerun —
+		// but a selected table absent from the baseline would make the
+		// comparison vacuous, so refuse it.
+		if *table != "all" {
+			var kept []*bench.Table
+			for _, b := range baseline {
+				if b.ID == *table {
+					kept = append(kept, b)
+				}
+			}
+			if len(kept) == 0 {
+				fmt.Fprintf(os.Stderr, "kalibench: table %q not in baseline %s (regenerate it)\n", *table, *diff)
+				os.Exit(1)
+			}
+			baseline = kept
+		}
 	}
 
 	opt := bench.Options{Quick: *quick}
@@ -46,6 +85,26 @@ func main() {
 			os.Exit(2)
 		}
 		tables = []*bench.Table{gen(opt)}
+	}
+
+	if *diff != "" {
+		regs := bench.Compare(baseline, tables, *tol)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "kalibench: %d schedule-cost regression(s) vs %s (tol %.0f%%):\n",
+				len(regs), *diff, *tol*100)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			fmt.Fprintln(os.Stderr, "if the cost change is intentional, regenerate the baseline:")
+			fmt.Fprintln(os.Stderr, "  go run ./cmd/kalibench -quick -json > bench/baseline.json")
+			os.Exit(1)
+		}
+		// Report on stderr so -json -diff can emit the artifact and
+		// gate the costs in one suite run.
+		fmt.Fprintf(os.Stderr, "kalibench: %d table(s) within %.0f%% of %s\n", len(tables), *tol*100, *diff)
+		if !*asJSON {
+			return
+		}
 	}
 
 	if *asJSON {

@@ -18,9 +18,14 @@
 // analyzes: forall i in lo..hi on A[i].loc do ... A[a*i+c] ... end
 //
 //	kaliinspect -rank 2 [-n 8] [-n2 8] [-grid 2x2] [-dist ...] [-dist2 ...]
-//	            [-c 1] [-c2 0] [-force-inspector]
+//	            [-c 1] [-c2 0] [-oa 1] [-oc 0] [-oa2 1] [-oc2 0]
+//	            [-force-inspector]
 //
-// analyzes: forall i, j on A[i,j].loc do ... A[i+c, j+c2] ... end
+// analyzes: forall i, j on A[oa*i+oc, oa2*j+oc2].loc do ... A[a*i+c, a2*j+c2] ... end
+//
+// For rank-2 loops it additionally prints the §5 executor-variant
+// storage comparison: the same loop's schedule built compile-time, by
+// the run-time inspector, and by Saltz-style full enumeration.
 package main
 
 import (
@@ -96,10 +101,14 @@ func main() {
 	c := flag.Int("c", 1, "subscript offset")
 	a2 := flag.Int("a2", 1, "second-dimension subscript coefficient (-rank 2)")
 	c2 := flag.Int("c2", 0, "second-dimension subscript offset (-rank 2)")
+	oa := flag.Int("oa", 1, "on-clause subscript coefficient (-rank 2)")
+	oc := flag.Int("oc", 0, "on-clause subscript offset (-rank 2)")
+	oa2 := flag.Int("oa2", 1, "second-dimension on-clause coefficient (-rank 2)")
+	oc2 := flag.Int("oc2", 0, "second-dimension on-clause offset (-rank 2)")
 	force := flag.Bool("force-inspector", false, "disable compile-time analysis (contrast schedule cost)")
 	flag.Parse()
 
-	if *a == 0 || (*rank == 2 && *a2 == 0) {
+	if *a == 0 || (*rank == 2 && (*a2 == 0 || *oa == 0 || *oa2 == 0)) {
 		fmt.Fprintln(os.Stderr, "kaliinspect: subscript coefficients must be nonzero")
 		os.Exit(2)
 	}
@@ -108,7 +117,8 @@ func main() {
 		inspect1(*n, *p, *distName, *a, *c, *force)
 	case 2:
 		pr, pc := parseGrid(*gridSpec)
-		inspect2(*n, *n2, pr, pc, *distName, *dist2Name, *a, *c, *a2, *c2, *force)
+		onF := analysis.Affine2{I: analysis.Affine{A: *oa, C: *oc}, J: analysis.Affine{A: *oa2, C: *oc2}}
+		inspect2(*n, *n2, pr, pc, *distName, *dist2Name, *a, *c, *a2, *c2, onF, *force)
 	default:
 		fmt.Fprintln(os.Stderr, "kaliinspect: -rank must be 1 or 2")
 		os.Exit(2)
@@ -186,26 +196,32 @@ func inspect1(n, p int, distName string, a, c int, force bool) {
 	printSchedule(report)
 }
 
-func inspect2(ny, nx, pr, pc int, dI, dJ string, aI, cI, aJ, cJ int, force bool) {
+func inspect2(ny, nx, pr, pc int, dI, dJ string, aI, cI, aJ, cJ int, onF analysis.Affine2, force bool) {
 	specI, specJ := dimSpec(dI), dimSpec(dJ)
 	patI := pattern(specI, ny, pr)
 	patJ := pattern(specJ, nx, pc)
 	f2 := analysis.Affine2{I: analysis.Affine{A: aI, C: cI}, J: analysis.Affine{A: aJ, C: cJ}}
+	// The loop range must keep both the on-clause and the read
+	// subscripts inside the array.
 	loI, hiI := clampRange(f2.I, 1, ny, ny)
+	loI, hiI = clampRange(onF.I, loI, hiI, ny)
 	loJ, hiJ := clampRange(f2.J, 1, nx, nx)
+	loJ, hiJ = clampRange(onF.J, loJ, hiJ, nx)
 	if loI > hiI || loJ > hiJ {
 		fmt.Println("empty iteration range")
 		return
 	}
 
-	fmt.Printf("loop:  forall i in %d..%d, j in %d..%d on A[i,j].loc do ... A[%s, %s] ... end\n",
-		loI, hiI, loJ, hiJ, subscript(aI, cI, "i"), subscript(aJ, cJ, "j"))
+	fmt.Printf("loop:  forall i in %d..%d, j in %d..%d on A[%s, %s].loc do ... A[%s, %s] ... end\n",
+		loI, hiI, loJ, hiJ,
+		subscript(onF.I.A, onF.I.C, "i"), subscript(onF.J.A, onF.J.C, "j"),
+		subscript(aI, cI, "i"), subscript(aJ, cJ, "j"))
 	fmt.Printf("dist:  A [%s, %s] over a %dx%d grid\n\n", patI, patJ, pr, pc)
 
 	reads := []analysis.Read2{{PatI: patI, PatJ: patJ, G: f2, Width: nx}}
 	np := pr * pc
 	for q := 0; q < np; q++ {
-		s := analysis.Compute2(patI, patJ, analysis.Identity2, loI, hiI, loJ, hiJ, reads, q)
+		s := analysis.Compute2(patI, patJ, onF, loI, hiI, loJ, hiJ, reads, q)
 		fmt.Printf("processor %d (grid %d,%d):\n", q, q/pc, q%pc)
 		fmt.Printf("  exec(p)       = %v × %v\n", s.ExecRows, s.ExecCols)
 		fmt.Printf("  execLocal     = %v × %v\n", s.LocalRows, s.LocalCols)
@@ -219,19 +235,51 @@ func inspect2(ny, nx, pr, pc int, dI, dJ string, aI, cI, aJ, cJ int, force bool)
 
 	grid := topology.MustGrid(pr, pc)
 	d := dist.Must([]int{ny, nx}, []dist.DimSpec{specI, specJ}, grid)
-	report := runSchedule(np, func(nd *machine.Node, eng *forall.Engine) *forall.Schedule {
-		arr := darray.New("A", d, nd)
-		eng.Run2(&forall.Loop2{
-			Name: "inspect2", LoI: loI, HiI: hiI, LoJ: loJ, HiJ: hiJ,
-			On:    arr,
-			Reads: []forall.ReadSpec{{Array: arr, Affine2: &f2}},
-			Body: func(i, j int, e *forall.Env) {
-				_ = e.ReadAt(arr, f2.I.Apply(i), f2.J.Apply(j))
-			},
-		})
-		return eng.Schedule2("inspect2")
-	}, force)
-	printSchedule(report)
+	mkRun := func(enum bool) func(*machine.Node, *forall.Engine) *forall.Schedule {
+		return func(nd *machine.Node, eng *forall.Engine) *forall.Schedule {
+			arr := darray.New("A", d, nd)
+			eng.Run2(&forall.Loop2{
+				Name: "inspect2", LoI: loI, HiI: hiI, LoJ: loJ, HiJ: hiJ,
+				On:        arr,
+				OnF2:      onF,
+				Reads:     []forall.ReadSpec{{Array: arr, Affine2: &f2}},
+				Enumerate: enum,
+				Body: func(i, j int, e *forall.Env) {
+					_ = e.ReadAt(arr, f2.I.Apply(i), f2.J.Apply(j))
+				},
+			})
+			return eng.Schedule2("inspect2")
+		}
+	}
+	mainRep := runSchedule(np, mkRun(false), force)
+	printSchedule(mainRep)
+
+	// §5 storage comparison: the same loop's schedule under all three
+	// executor variants.  The main report above already built one of
+	// the precomputed variants, so only the other one is simulated.
+	ctRep, inspRep := mainRep, runSchedule(np, mkRun(false), !force)
+	if force {
+		ctRep, inspRep = inspRep, ctRep
+	}
+	enumRep := runSchedule(np, mkRun(true), false)
+	fmt.Printf("\nexecutor-variant storage (paper §5):\n")
+	fmt.Printf("  %-20s %s\n", "variant", "schedule bytes/proc (max)")
+	for _, v := range []struct {
+		name string
+		rep  schedReport
+	}{
+		{"kali (compile-time)", ctRep},
+		{"kali (inspector)", inspRep},
+		{"saltz (enumerate)", enumRep},
+	} {
+		mem := 0
+		for _, m := range v.rep.mem {
+			if m > mem {
+				mem = m
+			}
+		}
+		fmt.Printf("  %-20s %d\n", v.name, mem)
+	}
 }
 
 // schedReport is the per-processor outcome of an actual schedule build.

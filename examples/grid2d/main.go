@@ -57,6 +57,58 @@ func main() {
 	}
 	fmt.Println("\ntiles win at P=16: each tile's perimeter (4·n/√P) is half the row")
 	fmt.Println("band's boundary (2·n), halving both messages and buffer searches.")
+
+	// §5 executor variants in 2-D: the same relaxation, written with a
+	// shifted (non-identity) affine on clause, still builds its
+	// schedule at compile time; the Saltz-style enumerated executor
+	// must instead run the inspector and keep a per-reference list,
+	// which needs strictly more schedule storage.
+	kindPre, memPre := variantStorage2D(*side, false)
+	kindEnum, memEnum := variantStorage2D(*side, true)
+	fmt.Printf("\nshifted on clause (on a[i+1,j+1].loc) on 2x2 tiles:\n")
+	fmt.Printf("  precomputed: build %-12v %6d schedule B/proc\n", kindPre, memPre)
+	fmt.Printf("  enumerated:  build %-12v %6d schedule B/proc\n", kindEnum, memEnum)
+}
+
+// variantStorage2D runs one relaxation sweep on a 2x2 grid with a
+// shifted affine on clause and reports the schedule's provenance and
+// worst per-node storage for the chosen executor variant.
+func variantStorage2D(n int, enumerate bool) (forall.BuildKind, int) {
+	g := topology.MustGrid(2, 2)
+	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
+	mach := machine.MustNew(4, kali.NCUBE7())
+	var kind forall.BuildKind
+	mem := 0
+	var mu sync.Mutex
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		old := darray.New("old", d, nd)
+		eng := forall.NewEngine(nd)
+		eng.Run2(&forall.Loop2{
+			Name: "relax-shifted", LoI: 1, HiI: n - 2, LoJ: 1, HiJ: n - 2,
+			On:   a,
+			OnF2: kali.Affine2{I: kali.Affine{A: 1, C: 1}, J: kali.Affine{A: 1, C: 1}},
+			Reads: []forall.ReadSpec{
+				{Array: old, Affine2: analysis.Shift2(0, 1)}, {Array: old, Affine2: analysis.Shift2(2, 1)},
+				{Array: old, Affine2: analysis.Shift2(1, 0)}, {Array: old, Affine2: analysis.Shift2(1, 2)},
+			},
+			Enumerate: enumerate,
+			Body: func(i, j int, e *forall.Env) {
+				x := 0.25 * (e.ReadAt(old, i, j+1) + e.ReadAt(old, i+2, j+1) +
+					e.ReadAt(old, i+1, j) + e.ReadAt(old, i+1, j+2))
+				e.Flops(9)
+				e.WriteAt(a, x, i+1, j+1)
+			},
+		})
+		mu.Lock()
+		s := eng.Schedule2("relax-shifted")
+		kind = s.Kind()
+		if mb := s.MemBytes(); mb > mem {
+			mem = mb
+		}
+		mu.Unlock()
+	})
+	return kind, mem
 }
 
 // run2D runs the relaxation as 2-D foralls on a pr×pc grid.  The

@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"kali/internal/analysis"
 	"kali/internal/baseline"
@@ -87,6 +88,7 @@ var Registry = map[string]Generator{
 	"ctvsrt2d":     CompileVsRuntime2D,
 	"distchoice":   DistChoice,
 	"enumeration":  Enumeration,
+	"enumerate2d":  Enumeration2D,
 	"granularity":  Granularity,
 }
 
@@ -94,7 +96,7 @@ var Registry = map[string]Generator{
 var Order = []string{
 	"fig7", "fig8", "fig9", "fig10",
 	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "ctvsrt2d",
-	"distchoice", "enumeration", "granularity",
+	"distchoice", "enumeration", "enumerate2d", "granularity",
 }
 
 const sweeps = 100
@@ -570,6 +572,75 @@ func Enumeration(opt Options) *Table {
 		})
 	}
 	return t
+}
+
+// Enumeration2D ports the §5 storage comparison to rank 2: the same
+// five-point stencil Loop2 built all three ways the executor supports.
+// The compile-time and inspector variants produce byte-identical
+// range-record schedules (the property test pins this); the Saltz-
+// style enumerated variant replays a per-reference list instead of
+// searching, which is faster per sweep but needs strictly more
+// schedule storage.
+func Enumeration2D(opt Options) *Table {
+	n, pr, pc, reps := 96, 4, 4, 5
+	if opt.Quick {
+		n, pr, pc, reps = 32, 2, 2, 3
+	}
+	t := &Table{
+		ID:     "enumerate2d",
+		Title:  "2-D executor variants: precomputed search vs Saltz enumeration (paper §5)",
+		Header: []string{"executor", "build", "schedule time", "executor time", "schedule bytes/proc"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, %dx%d [block,block] on a %dx%d grid, %d executions, schedule cached after the first", n, n, pr, pc, reps),
+		},
+	}
+	for _, v := range []struct {
+		name        string
+		force, enum bool
+	}{
+		{"kali (compile-time)", false, false},
+		{"kali (inspector)", true, false},
+		{"saltz (enumerate)", false, true},
+	} {
+		kind, sched, exec, mem := run2DVariant(n, pr, pc, reps, machine.NCUBE7(), v.force, v.enum)
+		t.Rows = append(t.Rows, []string{
+			v.name, kind.String(), f2(sched), f2(exec), fmt.Sprint(mem),
+		})
+	}
+	return t
+}
+
+// run2DVariant executes the shared stencil loop reps times with the
+// chosen executor variant (schedule cache on, so the build cost is
+// paid once) and reports the first build's kind, the simulated
+// schedule and executor times, and the worst per-node schedule bytes.
+func run2DVariant(n, pr, pc, reps int, params machine.Params, forceInspector, enumerate bool) (kind forall.BuildKind, sched, exec float64, mem int) {
+	g := topology.MustGrid(pr, pc)
+	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
+	mach := machine.MustNew(pr*pc, params)
+	var mu sync.Mutex
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		old := darray.New("old", d, nd)
+		eng := forall.NewEngine(nd)
+		eng.ForceInspector = forceInspector
+		loop := Relax2DLoop(a, old, n)
+		loop.Enumerate = enumerate
+		first := forall.BuildKind(0)
+		for r := 0; r < reps; r++ {
+			eng.Run2(loop)
+			if r == 0 {
+				first = eng.LastBuildKind()
+			}
+		}
+		mu.Lock()
+		kind = first
+		if mb := eng.Schedule2(loop.Name).MemBytes(); mb > mem {
+			mem = mb
+		}
+		mu.Unlock()
+	})
+	return kind, mach.MaxPhase(forall.PhaseInspector), mach.MaxPhase(forall.PhaseExecutor), mem
 }
 
 // Granularity regenerates TXT3: §2.1's remark that the real estate

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the CI regression gate for schedule costs: a
+// committed kalibench -json run (bench/baseline.json) is compared
+// against a fresh run of the same experiments, and any cost-like cell
+// — simulated times, overhead percentages, schedule memory — that
+// grew beyond the tolerance fails the build.  The simulator is
+// deterministic, so the tolerance only has to absorb intentional
+// small cost-model drift, not run-to-run noise; regenerate the
+// baseline (kalibench -quick -json > bench/baseline.json) when a
+// change moves costs on purpose.
+
+// Regression is one baseline comparison failure: either a cost cell
+// that grew past tolerance, or a structural mismatch between the
+// baseline and the fresh run.
+type Regression struct {
+	Table, Row, Column string
+	Base, Cur          float64
+	// Structural describes a shape mismatch (missing table, row-count
+	// change); Base/Cur are meaningless when it is non-empty.
+	Structural string
+}
+
+func (r Regression) String() string {
+	if r.Structural != "" {
+		return fmt.Sprintf("%s: %s", r.Table, r.Structural)
+	}
+	if r.Base == 0 {
+		return fmt.Sprintf("%s [%s / %s]: %.4g -> %.4g", r.Table, r.Row, r.Column, r.Base, r.Cur)
+	}
+	return fmt.Sprintf("%s [%s / %s]: %.4g -> %.4g (+%.1f%%)",
+		r.Table, r.Row, r.Column, r.Base, r.Cur, 100*(r.Cur/r.Base-1))
+}
+
+// costColumn reports whether a header names a cost the gate should
+// bound: times, overheads, and schedule storage, but never the
+// paper's published reference columns (constants) and never identity
+// columns like "procs" or "mesh".
+func costColumn(header string) bool {
+	h := strings.ToLower(header)
+	if strings.Contains(h, "paper") {
+		return false
+	}
+	for _, key := range []string{"total", "executor", "inspector", "insp", "schedule", "time", "overhead", "ovh", "bytes", "mem"} {
+		if strings.Contains(h, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// cellValue parses a rendered table cell ("12.64", "4.7%", "4480");
+// ok is false for markers like "-" and non-numeric cells.
+func cellValue(cell string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	return v, err == nil
+}
+
+// diffEps absorbs two-decimal rendering granularity: a cell printed as
+// 0.00 must not fail against a baseline 0.00 however small tol is.
+const diffEps = 0.01
+
+// Compare checks a fresh run against the baseline.  For every table
+// of the baseline, the matching current table must exist with the same
+// shape, and each cost-column cell may not exceed
+// base*(1+tol) + diffEps.  Improvements (smaller values) always pass;
+// tables present only in the current run are ignored (the baseline
+// needs regenerating, but nothing regressed).
+func Compare(baseline, current []*Table, tol float64) []Regression {
+	curByID := map[string]*Table{}
+	for _, t := range current {
+		curByID[t.ID] = t
+	}
+	var regs []Regression
+	for _, base := range baseline {
+		cur, ok := curByID[base.ID]
+		if !ok {
+			regs = append(regs, Regression{Table: base.ID, Structural: "table missing from current run"})
+			continue
+		}
+		if len(cur.Rows) != len(base.Rows) {
+			regs = append(regs, Regression{Table: base.ID,
+				Structural: fmt.Sprintf("row count changed: %d -> %d", len(base.Rows), len(cur.Rows))})
+			continue
+		}
+		if len(cur.Header) != len(base.Header) {
+			regs = append(regs, Regression{Table: base.ID,
+				Structural: fmt.Sprintf("column count changed: %d -> %d", len(base.Header), len(cur.Header))})
+			continue
+		}
+		// The notes embed the problem sizes (mesh, processors, quick vs
+		// full), so comparing them catches a full-size run diffed
+		// against a -quick baseline before the numbers mislead anyone.
+		if strings.Join(cur.Notes, "\n") != strings.Join(base.Notes, "\n") {
+			regs = append(regs, Regression{Table: base.ID,
+				Structural: fmt.Sprintf("problem sizing changed (run modes differ?): %q vs baseline %q",
+					strings.Join(cur.Notes, "; "), strings.Join(base.Notes, "; "))})
+			continue
+		}
+		for ri, baseRow := range base.Rows {
+			curRow := cur.Rows[ri]
+			label := fmt.Sprintf("row %d", ri)
+			if len(baseRow) > 0 {
+				label = baseRow[0]
+			}
+			for ci, baseCell := range baseRow {
+				if ci >= len(curRow) || !costColumn(base.Header[ci]) {
+					continue
+				}
+				bv, bok := cellValue(baseCell)
+				cv, cok := cellValue(curRow[ci])
+				if !bok || !cok {
+					continue
+				}
+				if cv > bv*(1+tol)+diffEps {
+					regs = append(regs, Regression{
+						Table: base.ID, Row: label, Column: base.Header[ci],
+						Base: bv, Cur: cv,
+					})
+				}
+			}
+		}
+	}
+	return regs
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkTable(id string, rows ...[]string) *Table {
+	return &Table{
+		ID:     id,
+		Header: []string{"procs", "total", "inspector", "paper total", "schedule bytes/proc"},
+		Rows:   rows,
+	}
+}
+
+func TestCompareWithinToleranceAndImprovementsPass(t *testing.T) {
+	base := []*Table{mkTable("x", []string{"4", "10.00", "1.00", "12.00", "4480"})}
+	cur := []*Table{mkTable("x", []string{"4", "10.40", "0.50", "99.00", "4480"})}
+	// +4% total is inside a 5% tolerance, the inspector improved, and
+	// the paper column is exempt however far it moves.
+	if regs := Compare(base, cur, 0.05); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsCostGrowth(t *testing.T) {
+	base := []*Table{mkTable("x", []string{"4", "10.00", "1.00", "12.00", "4480"})}
+	cur := []*Table{mkTable("x", []string{"4", "11.00", "1.00", "12.00", "5000"})}
+	regs := Compare(base, cur, 0.05)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (total, bytes), got %v", regs)
+	}
+	if regs[0].Column != "total" || regs[1].Column != "schedule bytes/proc" {
+		t.Fatalf("wrong columns flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "10 -> 11") {
+		t.Fatalf("unhelpful message: %s", regs[0])
+	}
+}
+
+func TestCompareEpsilonAbsorbsRenderingGranularity(t *testing.T) {
+	base := []*Table{mkTable("x", []string{"4", "0.00", "0.00", "-", "0"})}
+	cur := []*Table{mkTable("x", []string{"4", "0.01", "0.00", "-", "0"})}
+	// A two-decimal cell can wobble by one ulp of the rendering
+	// without meaning anything.
+	if regs := Compare(base, cur, 0.0); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsSizingMismatch(t *testing.T) {
+	base := []*Table{mkTable("x", []string{"4", "1.00", "1.00", "-", "0"})}
+	base[0].Notes = []string{"NCUBE/7, 32x32 mesh (quick)"}
+	cur := []*Table{mkTable("x", []string{"4", "99.00", "9.00", "-", "0"})}
+	cur[0].Notes = []string{"NCUBE/7, 128x128 mesh"}
+	// A full-size run against a -quick baseline is a mode mismatch,
+	// not dozens of cost regressions.
+	regs := Compare(base, cur, 0.05)
+	if len(regs) != 1 || regs[0].Structural == "" {
+		t.Fatalf("want one structural sizing mismatch, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "sizing") {
+		t.Fatalf("unhelpful message: %s", regs[0])
+	}
+}
+
+func TestCompareZeroBaseMessage(t *testing.T) {
+	r := Regression{Table: "x", Row: "4", Column: "inspector", Base: 0, Cur: 0.02}
+	if s := r.String(); strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
+		t.Fatalf("nonsense growth figure: %s", s)
+	}
+}
+
+func TestCompareStructuralMismatches(t *testing.T) {
+	base := []*Table{
+		mkTable("gone", []string{"4", "1.00", "1.00", "-", "0"}),
+		mkTable("shrunk", []string{"4", "1.00", "1.00", "-", "0"}, []string{"8", "1.00", "1.00", "-", "0"}),
+	}
+	cur := []*Table{
+		mkTable("shrunk", []string{"4", "1.00", "1.00", "-", "0"}),
+		mkTable("brandnew", []string{"4", "1.00", "1.00", "-", "0"}),
+	}
+	regs := Compare(base, cur, 0.05)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 structural regressions, got %v", regs)
+	}
+	for _, r := range regs {
+		if r.Structural == "" {
+			t.Fatalf("expected structural flag: %v", r)
+		}
+	}
+}
+
+// TestCompareQuickRunAgainstItself: a fresh quick suite compared to
+// itself is clean — the simulator is deterministic, so this is the
+// exact invariant the CI gate relies on.
+func TestCompareQuickRunAgainstItself(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick bench suite twice")
+	}
+	opt := Options{Quick: true}
+	a, b := All(opt), All(opt)
+	if regs := Compare(a, b, 0); len(regs) != 0 {
+		t.Fatalf("deterministic suite diffed against itself: %v", regs)
+	}
+}

@@ -62,7 +62,7 @@ func (e *Engine) buildCompileTime2(c *loopCore) *Schedule {
 			Width: r.Array.Shape()[1],
 		}
 	}
-	sets := analysis.Compute2(onI, onJ, analysis.Identity2,
+	sets := analysis.Compute2(onI, onJ, c.onF2,
 		c.bounds[0], c.bounds[1], c.bounds[2], c.bounds[3], reads, me)
 	e.node.Charge(machine.Cost{Calls: 2 + len(c.reads)})
 
@@ -188,13 +188,14 @@ func (e *Engine) inspectIters(c *loopCore) []iteration {
 		return out
 	}
 	// Rank 2: the exec rectangle is the cross product of the
-	// per-dimension local sets clipped to the loop bounds (block/cyclic
-	// distributions are separable by construction).
+	// per-dimension on-clause preimages of the local sets, clipped to
+	// the loop bounds (block/cyclic distributions are separable by
+	// construction; the affine on-clause preimage of an interval is
+	// still an interval).
 	me := e.node.ID()
 	d := c.on.Dist()
-	gcoord := d.Grid().Coord(me)
-	rows := d.Pattern(0).Local(gcoord[0]).Intersect(index.Range(c.bounds[0], c.bounds[1]))
-	cols := d.Pattern(1).Local(gcoord[1]).Intersect(index.Range(c.bounds[2], c.bounds[3]))
+	rows, cols := analysis.Exec2(d.Pattern(0), d.Pattern(1), c.onF2,
+		c.bounds[0], c.bounds[1], c.bounds[2], c.bounds[3], me)
 	e.node.Charge(machine.Cost{Calls: 1})
 	out := make([]iteration, 0, rows.Len()*cols.Len())
 	rows.Each(func(i int) {

@@ -43,10 +43,12 @@ type Env struct {
 	iterNonlocal bool
 	writes       []write
 
-	// Saltz-style enumeration (Loop.Enumerate): during inspection,
-	// enumRecord collects every reference of the current iteration
-	// (Buf holds the owner, or -1 when local); during execution,
-	// enumList/enumPos replay the resolved references in order.
+	// Saltz-style enumeration (Loop.Enumerate / Loop2.Enumerate):
+	// during inspection, enumRecord collects every reference of the
+	// current iteration (Buf holds the owner, or -1 when local; rank-2
+	// references are recorded by their row-major linearized index);
+	// during execution, enumList/enumPos replay the resolved
+	// references in order.
 	enumRecord []enumRef
 	enumList   []enumRef
 	enumPos    int

@@ -103,10 +103,12 @@ type Loop struct {
 // a rank-2 processor grid — the paper's "multi-dimensional processor
 // arrays can be declared similarly" taken at its word:
 //
-//	forall i in LoI..HiI, j in LoJ..HiJ on A[i,j].loc do ... end
+//	forall i in LoI..HiI, j in LoJ..HiJ on A[fI(i), fJ(j)].loc do ... end
 //
-// Placement is owner-computes on A[i,j] directly (identity subscripts;
-// that is the only form the paper's examples would need).  Reads go
+// Placement is owner-computes on A[OnF2.I(i), OnF2.J(j)]: each on-
+// clause subscript is an affine function of its own index variable
+// (identity by default), so strided and reflected placements like
+// "on A[2*i-1, j+1].loc" stay on the compile-time path.  Reads go
 // through the same Env as 1-D loops — aligned accesses via ReadLocal2,
 // potentially-nonlocal ones via Read/ReadAt on linearized indices.
 // Reads whose per-dimension subscripts are affine (ReadSpec.Affine2)
@@ -117,11 +119,21 @@ type Loop2 struct {
 	LoI, HiI, LoJ, HiJ int
 	// On must be rank-2 with both dimensions distributed over a rank-2
 	// grid.
-	On        *darray.Array
+	On *darray.Array
+	// OnF2 is the on-clause subscript pair (fI, fJ); the zero value
+	// means analysis.Identity2 ("on A[i,j].loc").  Both coefficients
+	// must be nonzero otherwise.
+	OnF2      analysis.Affine2
 	Reads     []ReadSpec
 	DependsOn []Dep
 	Body      func(i, j int, e *Env)
 	Phase     string
+	// Enumerate selects the Saltz-style executor for rank-2 loops, the
+	// same §5 contrast Loop.Enumerate provides in 1-D: every reference
+	// of every nonlocal iteration is resolved into a list (row-major
+	// body order), trading schedule storage for executor-time searches.
+	// It forces the run-time inspector.
+	Enumerate bool
 }
 
 // iteration is one loop iteration of either rank; j is unused (zero)
@@ -133,11 +145,11 @@ type iteration struct{ i, j int }
 type loopCore struct {
 	name      string
 	rank      int
-	key       string // cache key (rank-2 keys are prefixed)
 	bounds    [4]int // Lo, Hi, LoJ, HiJ (rank-1: trailing zeros)
 	on        *darray.Array
-	onF       analysis.Affine // rank-1 on-clause subscript
-	onProc    func(i int) int // rank-1 direct placement (nil otherwise)
+	onF       analysis.Affine  // rank-1 on-clause subscript
+	onF2      analysis.Affine2 // rank-2 on-clause subscript pair
+	onProc    func(i int) int  // rank-1 direct placement (nil otherwise)
 	reads     []ReadSpec
 	deps      []Dep
 	phase     string
@@ -149,7 +161,7 @@ type loopCore struct {
 // core lowers a rank-1 loop.
 func (l *Loop) core() *loopCore {
 	return &loopCore{
-		name: l.Name, rank: 1, key: l.Name,
+		name: l.Name, rank: 1,
 		bounds: [4]int{l.Lo, l.Hi, 0, 0},
 		on:     l.On, onF: l.OnF, onProc: l.OnProc,
 		reads: l.Reads, deps: l.DependsOn, phase: l.Phase,
@@ -158,15 +170,21 @@ func (l *Loop) core() *loopCore {
 	}
 }
 
-// core lowers a rank-2 loop.  The cache key is prefixed so a Loop and
-// a Loop2 sharing a name cannot collide.
+// core lowers a rank-2 loop, normalizing the zero-value on clause to
+// identity here rather than by mutating the caller's Loop2 (which may
+// be shared across the per-node goroutines).
 func (l *Loop2) core() *loopCore {
+	onF2 := l.OnF2
+	if (onF2 == analysis.Affine2{}) {
+		onF2 = analysis.Identity2
+	}
 	return &loopCore{
-		name: l.Name, rank: 2, key: "2d:" + l.Name,
+		name: l.Name, rank: 2,
 		bounds: [4]int{l.LoI, l.HiI, l.LoJ, l.HiJ},
-		on:     l.On,
-		reads:  l.Reads, deps: l.DependsOn, phase: l.Phase,
-		run: func(it iteration, e *Env) { l.Body(it.i, it.j, e) },
+		on:     l.On, onF2: onF2,
+		reads: l.Reads, deps: l.DependsOn, phase: l.Phase,
+		enumerate: l.Enumerate,
+		run:       func(it iteration, e *Env) { l.Body(it.i, it.j, e) },
 	}
 }
 
@@ -249,8 +267,17 @@ type Schedule struct {
 	kind         BuildKind
 	bounds       [4]int
 	depVersions  []int
+	// onF/onF2/enumerate/reads record the loop shape the schedule was
+	// built for: reusing a cached schedule under a different placement,
+	// executor variant, or read pattern would execute the wrong
+	// iterations or miss communicated elements.
+	onF       analysis.Affine
+	onF2      analysis.Affine2
+	enumerate bool
+	readSigs  []readSig
 	// enum[k] lists every resolved reference of nonlocal iteration
-	// execNonlocal[k], in body order (Loop.Enumerate only).
+	// execNonlocal[k], in body order — row-major for rank-2 loops
+	// (Loop.Enumerate / Loop2.Enumerate only).
 	enum [][]enumRef
 }
 
@@ -298,10 +325,19 @@ func (s *Schedule) MemBytes() int {
 	return n
 }
 
+// schedKey identifies one cached schedule.  Keying by (rank, name)
+// keeps loops of different ranks in disjoint keyspaces: a rank-1 loop
+// literally named "2d:foo" can never collide with a Loop2 named "foo",
+// which the old string-prefix scheme allowed.
+type schedKey struct {
+	rank int
+	name string
+}
+
 // Engine executes forall loops on one node and caches their schedules.
 type Engine struct {
 	node  *machine.Node
-	cache map[string]*Schedule // rank-1 and rank-2 schedules, one keyspace
+	cache map[schedKey]*Schedule
 	// NoCache disables schedule reuse (benchmark ABL1 measures the
 	// cost of re-inspecting on every execution).
 	NoCache bool
@@ -320,7 +356,7 @@ type Engine struct {
 
 // NewEngine creates the per-node forall engine.
 func NewEngine(n *machine.Node) *Engine {
-	return &Engine{node: n, cache: map[string]*Schedule{}}
+	return &Engine{node: n, cache: map[schedKey]*Schedule{}}
 }
 
 // Node returns the engine's node.
@@ -332,20 +368,20 @@ func (e *Engine) LastBuildKind() BuildKind { return e.lastKind }
 
 // Schedule returns the cached schedule of a rank-1 loop, or nil if the
 // loop has not run (or caching is disabled).
-func (e *Engine) Schedule(name string) *Schedule { return e.cache[name] }
+func (e *Engine) Schedule(name string) *Schedule { return e.cache[schedKey{1, name}] }
 
 // Schedule2 returns the cached schedule of a rank-2 loop.
-func (e *Engine) Schedule2(name string) *Schedule { return e.cache["2d:"+name] }
+func (e *Engine) Schedule2(name string) *Schedule { return e.cache[schedKey{2, name}] }
 
 // Invalidate drops the cached schedules (of either rank) of one loop.
 func (e *Engine) Invalidate(name string) {
-	delete(e.cache, name)
-	delete(e.cache, "2d:"+name)
+	delete(e.cache, schedKey{1, name})
+	delete(e.cache, schedKey{2, name})
 }
 
 // InvalidateAll drops all cached schedules.
 func (e *Engine) InvalidateAll() {
-	e.cache = map[string]*Schedule{}
+	e.cache = map[schedKey]*Schedule{}
 }
 
 // Run executes one rank-1 forall: schedule acquisition is timed under
@@ -418,6 +454,9 @@ func (e *Engine) validate2(l *Loop2) {
 	if on.Dist().Grid().Rank() != 2 || on.Dist().Pattern(0) == nil || on.Dist().Pattern(1) == nil {
 		panic(fmt.Sprintf("forall %s: Loop2 on array must distribute both dimensions over a rank-2 grid", l.Name))
 	}
+	if (l.OnF2 != analysis.Affine2{}) && (l.OnF2.I.A == 0 || l.OnF2.J.A == 0) {
+		panic(fmt.Sprintf("forall %s: OnF2 coefficients must be nonzero (use analysis.Identity2)", l.Name))
+	}
 	for _, r := range l.Reads {
 		if r.Array == nil {
 			panic(fmt.Sprintf("forall %s: nil read array", l.Name))
@@ -427,11 +466,12 @@ func (e *Engine) validate2(l *Loop2) {
 
 // schedule returns a valid Schedule, consulting the cache first.
 func (e *Engine) schedule(c *loopCore) *Schedule {
+	key := schedKey{c.rank, c.name}
+	sigs := readSigs(c)
 	if !e.NoCache {
-		// The rank check guards against key spoofing: a rank-1 loop
-		// literally named "2d:x" must not serve (or be served by) the
-		// schedule of a Loop2 named "x".
-		if s, ok := e.cache[c.key]; ok && s.rank == c.rank && s.bounds == c.bounds && depsFresh(c, s) {
+		if s, ok := e.cache[key]; ok && s.bounds == c.bounds &&
+			s.onF == c.onF && s.onF2 == c.onF2 && s.enumerate == c.enumerate &&
+			sigsEqual(s.readSigs, sigs) && depsFresh(c, s) {
 			e.lastKind = BuildCached
 			return s
 		}
@@ -446,12 +486,48 @@ func (e *Engine) schedule(c *loopCore) *Schedule {
 	e.node.StopPhase(PhaseInspector)
 	s.rank = c.rank
 	s.bounds = c.bounds
+	s.onF, s.onF2, s.enumerate = c.onF, c.onF2, c.enumerate
+	s.readSigs = sigs
 	s.depVersions = depVersions(c)
 	if !e.NoCache {
-		e.cache[c.key] = s
+		e.cache[key] = s
 	}
 	e.lastKind = s.kind
 	return s
+}
+
+// readSig is the comparable shape of one ReadSpec; form distinguishes
+// indirect (0), rank-1 affine (1), and rank-2 affine (2) reads.
+type readSig struct {
+	arr  *darray.Array
+	form uint8
+	aff  analysis.Affine
+	aff2 analysis.Affine2
+}
+
+func readSigs(c *loopCore) []readSig {
+	out := make([]readSig, len(c.reads))
+	for i, r := range c.reads {
+		out[i] = readSig{arr: r.Array}
+		if r.Affine != nil {
+			out[i].form, out[i].aff = 1, *r.Affine
+		} else if r.Affine2 != nil {
+			out[i].form, out[i].aff2 = 2, *r.Affine2
+		}
+	}
+	return out
+}
+
+func sigsEqual(a, b []readSig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func depVersions(c *loopCore) []int {

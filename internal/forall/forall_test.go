@@ -642,7 +642,7 @@ func TestScheduleCounts(t *testing.T) {
 			Body:  func(i int, e *Env) { e.Write(a, i, e.Read(a, i+1)) },
 		}
 		eng.Run(loop)
-		s := eng.cache["counts"]
+		s := eng.Schedule("counts")
 		// Procs 0..2 have one boundary iteration; proc 3 has none.
 		wantNonlocal := 1
 		if nd.ID() == p-1 {

@@ -67,12 +67,15 @@ func randDim(r *rand.Rand, n, p int) dist.DimSpec {
 	}
 }
 
-// TestScheduleCompileTimeMatchesInspector2D: for random grid shapes,
-// random per-dimension distributions (block / cyclic / block_cyclic /
-// user map) and random affine shifts, the rank-2 compile-time
-// schedules are element-for-element identical to what the run-time
-// inspector builds — same iteration lists, same in/out records, same
-// buffer layout — and the loop computes the same values.
+// TestScheduleCompileTimeMatchesInspector2D is the rank-2 executor
+// equivalence matrix: for random grid shapes, random per-dimension
+// distributions (block / cyclic / block_cyclic / user map), random
+// affine *read* subscripts AND random affine *on-clause* subscripts
+// (shifts, strides, reflections), all three executor variants —
+// compile-time, forced inspector, and Saltz-style enumeration — build
+// element-for-element identical communication schedules (same
+// iteration lists, same in/out records, same buffer layout, same
+// receive counts) and compute the same values.
 func TestScheduleCompileTimeMatchesInspector2D(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -94,15 +97,32 @@ func TestScheduleCompileTimeMatchesInspector2D(t *testing.T) {
 				return analysis.Affine{A: 1, C: r.Intn(5) - 2}
 			}
 		}
+		// On-clause subscripts: identity half the time, else shifted,
+		// strided, or reflected placement.
+		randOn := func(n int) analysis.Affine {
+			switch r.Intn(6) {
+			case 0:
+				return analysis.Affine{A: 2, C: r.Intn(2)}
+			case 1:
+				return analysis.Affine{A: -1, C: n + 1}
+			case 2:
+				return analysis.Affine{A: 1, C: r.Intn(3) - 1}
+			default:
+				return analysis.Identity
+			}
+		}
+		onF := analysis.Affine2{I: randOn(ny), J: randOn(nx)}
 		g1 := analysis.Affine2{I: randAff(ny), J: randAff(nx)}
 		g2 := analysis.Affine2{I: randAff(ny), J: randAff(nx)}
 		// Loop bounds: iterations whose subscripts stay inside the array
-		// for both reads (each preimage of [1..n] is one interval, so
-		// the intersection is a contiguous range).
+		// for the on clause and both reads (each preimage of [1..n] is
+		// one interval, so the intersection is a contiguous range).
 		rowSet := index.Range(1, ny).
+			Intersect(onF.I.Preimage(index.Range(1, ny))).
 			Intersect(g1.I.Preimage(index.Range(1, ny))).
 			Intersect(g2.I.Preimage(index.Range(1, ny)))
 		colSet := index.Range(1, nx).
+			Intersect(onF.J.Preimage(index.Range(1, nx))).
 			Intersect(g1.J.Preimage(index.Range(1, nx))).
 			Intersect(g2.J.Preimage(index.Range(1, nx)))
 		if rowSet.Empty() || colSet.Empty() {
@@ -115,9 +135,10 @@ func TestScheduleCompileTimeMatchesInspector2D(t *testing.T) {
 		dOn := dist.Must([]int{ny, nx}, []dist.DimSpec{randDim(r, ny, gr[0]), randDim(r, nx, gr[1])}, g)
 		dSrc := dist.Must([]int{ny, nx}, []dist.DimSpec{randDim(r, ny, gr[0]), randDim(r, nx, gr[1])}, g)
 
-		run := func(force bool) ([]schedSnap, []float64) {
+		run := func(force, enum bool) ([]schedSnap, []float64, []int) {
 			mach := machine.MustNew(p, machine.Ideal())
 			snaps := make([]schedSnap, p)
+			recvs := make([]int, p)
 			vals := make([]float64, ny*nx)
 			var mu sync.Mutex
 			mach.Run(func(nd *machine.Node) {
@@ -134,19 +155,22 @@ func TestScheduleCompileTimeMatchesInspector2D(t *testing.T) {
 				eng.ForceInspector = force
 				eng.Run2(&Loop2{
 					Name: "equiv", LoI: loI, HiI: hiI, LoJ: loJ, HiJ: hiJ,
-					On: dst,
+					On:   dst,
+					OnF2: onF,
 					Reads: []ReadSpec{
 						{Array: src, Affine2: &g1},
 						{Array: src, Affine2: &g2},
 					},
+					Enumerate: enum,
 					Body: func(i, j int, e *Env) {
 						v := e.ReadAt(src, g1.I.Apply(i), g1.J.Apply(j)) +
 							e.ReadAt(src, g2.I.Apply(i), g2.J.Apply(j))
-						e.WriteAt(dst, v, i, j)
+						e.WriteAt(dst, v, onF.I.Apply(i), onF.J.Apply(j))
 					},
 				})
 				mu.Lock()
 				snaps[nd.ID()] = snapshot(eng.Schedule2("equiv"))
+				recvs[nd.ID()] = eng.Schedule2("equiv").RecvCount()
 				for i := 1; i <= ny; i++ {
 					for j := 1; j <= nx; j++ {
 						if dst.IsLocal(i, j) {
@@ -156,38 +180,45 @@ func TestScheduleCompileTimeMatchesInspector2D(t *testing.T) {
 				}
 				mu.Unlock()
 			})
-			return snaps, vals
+			return snaps, vals, recvs
 		}
 
-		ct, ctVals := run(false)
-		insp, inspVals := run(true)
+		ct, ctVals, ctRecv := run(false, false)
+		insp, inspVals, inspRecv := run(true, false)
+		enum, enumVals, enumRecv := run(false, true)
 
 		for q := 0; q < p; q++ {
 			if ct[q].Kind != BuildCompileTime {
 				t.Logf("seed %d node %d: kind %v, want compile-time", seed, q, ct[q].Kind)
 				return false
 			}
-			if insp[q].Kind != BuildInspector {
-				t.Logf("seed %d node %d: kind %v, want inspector", seed, q, insp[q].Kind)
+			if insp[q].Kind != BuildInspector || enum[q].Kind != BuildInspector {
+				t.Logf("seed %d node %d: kinds %v/%v, want inspector", seed, q, insp[q].Kind, enum[q].Kind)
 				return false
 			}
-			a, b := ct[q], insp[q]
-			a.Kind, b.Kind = 0, 0
-			if !reflect.DeepEqual(a, b) {
-				t.Logf("seed %d node %d (ny=%d nx=%d grid=%v on=%v src=%v g1=%+v g2=%+v):\n  compile-time %+v\n  inspector    %+v",
-					seed, q, ny, nx, gr, dOn, dSrc, g1, g2, a, b)
+			if ctRecv[q] != inspRecv[q] || ctRecv[q] != enumRecv[q] {
+				t.Logf("seed %d node %d: recv counts %d/%d/%d differ", seed, q, ctRecv[q], inspRecv[q], enumRecv[q])
+				return false
+			}
+			a, b, c := ct[q], insp[q], enum[q]
+			a.Kind, b.Kind, c.Kind = 0, 0, 0
+			if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+				t.Logf("seed %d node %d (ny=%d nx=%d grid=%v on=%v src=%v onF=%+v g1=%+v g2=%+v):\n  compile-time %+v\n  inspector    %+v\n  enumerate    %+v",
+					seed, q, ny, nx, gr, dOn, dSrc, onF, g1, g2, a, b, c)
 				return false
 			}
 		}
 
-		// Same answer, and it matches the sequential model.
+		// Same answer from all three executors, matching the sequential
+		// model at the placed (on-clause-mapped) element.
 		for i := loI; i <= hiI; i++ {
 			for j := loJ; j <= hiJ; j++ {
 				want := float64(g1.I.Apply(i)*1000+g1.J.Apply(j)) +
 					float64(g2.I.Apply(i)*1000+g2.J.Apply(j))
-				k := (i-1)*nx + (j - 1)
-				if ctVals[k] != want || inspVals[k] != want {
-					t.Logf("seed %d: dst[%d,%d] = %g / %g, want %g", seed, i, j, ctVals[k], inspVals[k], want)
+				k := (onF.I.Apply(i)-1)*nx + (onF.J.Apply(j) - 1)
+				if ctVals[k] != want || inspVals[k] != want || enumVals[k] != want {
+					t.Logf("seed %d: dst[%d,%d] = %g / %g / %g, want %g",
+						seed, onF.I.Apply(i), onF.J.Apply(j), ctVals[k], inspVals[k], enumVals[k], want)
 					return false
 				}
 			}
@@ -273,4 +304,156 @@ func TestScheduleCacheRankSeparation(t *testing.T) {
 
 func affine2(aI, cI, aJ, cJ int) *analysis.Affine2 {
 	return &analysis.Affine2{I: analysis.Affine{A: aI, C: cI}, J: analysis.Affine{A: aJ, C: cJ}}
+}
+
+// TestScheduleCacheShapeChangeRebuilds: a cached schedule must not be
+// replayed when the same-named loop comes back with a different
+// on-clause placement or executor variant — both knobs change which
+// iterations run where.
+func TestScheduleCacheShapeChangeRebuilds(t *testing.T) {
+	const n = 8
+	g := topology.MustGrid(2, 2)
+	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
+	mach := machine.MustNew(4, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("a", d, nd)
+		src := darray.New("src", d, nd)
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if src.IsLocal(i, j) {
+					src.Set2(i, j, float64(i*100+j))
+				}
+			}
+		}
+		eng := NewEngine(nd)
+		mk := func(onF analysis.Affine2, enum bool) *Loop2 {
+			return &Loop2{
+				Name: "shape", LoI: 1, HiI: n - 1, LoJ: 1, HiJ: n - 1,
+				On: a, OnF2: onF,
+				Reads:     []ReadSpec{{Array: src, Affine2: &analysis.Identity2}},
+				Enumerate: enum,
+				Body: func(i, j int, e *Env) {
+					e.WriteAt(a, e.ReadAt(src, i, j), onF.I.Apply(i), onF.J.Apply(j))
+				},
+			}
+		}
+		ident := analysis.Identity2
+		shift := analysis.Affine2{I: analysis.Affine{A: 1, C: 1}, J: analysis.Affine{A: 1, C: 1}}
+		eng.Run2(mk(ident, false))
+		// Different placement, same name/bounds: must rebuild, and the
+		// shifted writes must land on their owners (a stale exec set
+		// would panic with a non-owner write).
+		eng.Run2(mk(shift, false))
+		if eng.LastBuildKind() == BuildCached {
+			t.Error("OnF2 change replayed a stale schedule")
+		}
+		// Executor-variant flip: must rebuild with the enum lists.
+		eng.Run2(mk(shift, true))
+		if eng.LastBuildKind() == BuildCached {
+			t.Error("Enumerate flip replayed a stale schedule")
+		}
+		// Unchanged shape still hits the cache.
+		eng.Run2(mk(shift, true))
+		if eng.LastBuildKind() != BuildCached {
+			t.Errorf("identical rerun: %v, want cached", eng.LastBuildKind())
+		}
+		// Read-pattern change, same name/placement/variant: the in/out
+		// sets move, so it must rebuild as well.
+		eng.Run2(&Loop2{
+			Name: "shape", LoI: 1, HiI: n - 1, LoJ: 1, HiJ: n - 1,
+			On: a, OnF2: shift,
+			Reads:     []ReadSpec{{Array: src, Affine2: analysis.Shift2(0, 1)}},
+			Enumerate: true,
+			Body: func(i, j int, e *Env) {
+				e.WriteAt(a, e.ReadAt(src, i, j+1), shift.I.Apply(i), shift.J.Apply(j))
+			},
+		})
+		if eng.LastBuildKind() == BuildCached {
+			t.Error("read-affine change replayed a stale schedule")
+		}
+	})
+}
+
+// TestScheduleCacheKeyByRank: the (rank, name) cache key scheme keeps
+// rank-1 and rank-2 loops in disjoint keyspaces even for names that
+// would have collided under the old "2d:"+name string prefixing, and
+// Invalidate/InvalidateAll drop schedules of both ranks.
+func TestScheduleCacheKeyByRank(t *testing.T) {
+	g1 := topology.MustGrid(1)
+	g2 := topology.MustGrid(1, 1)
+	d1 := dist.Must([]int{6}, []dist.DimSpec{dist.BlockDim()}, g1)
+	d2 := dist.Must([]int{6, 6}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g2)
+	mach := machine.MustNew(1, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		a1 := darray.New("a1", d1, nd)
+		a2 := darray.New("a2", d2, nd)
+		eng := NewEngine(nd)
+		l1 := &Loop{
+			Name: "2d:foo", Lo: 1, Hi: 6, On: a1, OnF: analysis.Identity,
+			Body: func(i int, e *Env) { e.Write(a1, i, 1) },
+		}
+		l2 := &Loop2{
+			Name: "foo", LoI: 1, HiI: 6, LoJ: 1, HiJ: 6, On: a2,
+			Body: func(i, j int, e *Env) { e.WriteAt(a2, 2, i, j) },
+		}
+		eng.Run(l1)
+		// Under the string-prefix scheme the rank-1 loop "2d:foo" was
+		// stored at the key Schedule2("foo") reads.
+		if eng.Schedule2("foo") != nil {
+			t.Error(`rank-1 loop "2d:foo" is visible as the Loop2 schedule "foo"`)
+		}
+		if eng.Schedule("2d:foo") == nil {
+			t.Error(`rank-1 schedule "2d:foo" not cached under its own name`)
+		}
+		eng.Run2(l2)
+		if eng.LastBuildKind() == BuildCached {
+			t.Error(`Loop2 "foo" reused the schedule of rank-1 loop "2d:foo"`)
+		}
+		if s := eng.Schedule2("foo"); s == nil || s.Rank() != 2 {
+			t.Errorf("Schedule2(foo) = %v, want a rank-2 schedule", s)
+		}
+
+		// Both ranks cached under one name: rerunning hits the cache.
+		l1.Name = "x"
+		l2.Name = "x"
+		eng.Run(l1)
+		eng.Run2(l2)
+		eng.Run(l1)
+		if eng.LastBuildKind() != BuildCached {
+			t.Errorf("rank-1 rerun: %v, want cached", eng.LastBuildKind())
+		}
+		eng.Run2(l2)
+		if eng.LastBuildKind() != BuildCached {
+			t.Errorf("rank-2 rerun: %v, want cached", eng.LastBuildKind())
+		}
+
+		// Invalidate drops both ranks of that name only.
+		eng.Invalidate("x")
+		if eng.Schedule("x") != nil || eng.Schedule2("x") != nil {
+			t.Error(`Invalidate("x") left a schedule behind`)
+		}
+		if eng.Schedule("2d:foo") == nil || eng.Schedule2("foo") == nil {
+			t.Error(`Invalidate("x") dropped unrelated names`)
+		}
+		eng.Run(l1)
+		if eng.LastBuildKind() == BuildCached {
+			t.Error("rank-1 run after Invalidate should rebuild")
+		}
+		eng.Run2(l2)
+		if eng.LastBuildKind() == BuildCached {
+			t.Error("rank-2 run after Invalidate should rebuild")
+		}
+
+		// InvalidateAll drops everything of every rank.
+		eng.InvalidateAll()
+		for _, name := range []string{"x", "2d:foo", "foo"} {
+			if eng.Schedule(name) != nil || eng.Schedule2(name) != nil {
+				t.Errorf("InvalidateAll left %q behind", name)
+			}
+		}
+		eng.Run2(l2)
+		if eng.LastBuildKind() == BuildCached {
+			t.Error("rank-2 run after InvalidateAll should rebuild")
+		}
+	})
 }

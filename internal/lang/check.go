@@ -355,10 +355,13 @@ func (c *checker) forall(fa *Forall) error {
 }
 
 // forall2 checks a two-index forall over a 2-D processor array:
-// "forall i in a..b, j in c..d on A[i,j].loc do ... end".  The on
-// clause must use the two loop variables identically (owner-computes
-// on A[i,j]); body references aligned with [i,j] are local, all other
-// distributed reads go through the inspector.
+// "forall i in a..b, j in c..d on A[fI(i), fJ(j)].loc do ... end".
+// Each on-clause subscript must be affine in its own index variable
+// (identity, shifted, strided, or reflected placement — paper §3.1
+// lifted per dimension); body references aligned with [i,j] under an
+// identity on clause are local, per-dimension affine reads get
+// compile-time schedules, all other distributed reads go through the
+// inspector.
 func (c *checker) forall2(fa *Forall) error {
 	if !c.procs.Rank2() {
 		return errf(fa.Line, 1, "two-index forall needs a 2-D processor array")
@@ -370,15 +373,28 @@ func (c *checker) forall2(fa *Forall) error {
 	if fa.OnIndex2 == nil {
 		return errf(fa.Line, 1, "2-D on clause needs two subscripts")
 	}
-	id1, ok1 := fa.OnIndex.(*Ident)
-	id2, ok2 := fa.OnIndex2.(*Ident)
-	if !ok1 || !ok2 || id1.Name != fa.Var || id2.Name != fa.Var2 {
-		return errf(fa.Line, 1, "2-D on clause must be %s[%s,%s].loc", fa.OnArray, fa.Var, fa.Var2)
-	}
 	if fa.Var == fa.Var2 {
 		return errf(fa.Line, 1, "forall index variables must differ")
 	}
+	// Per-dimension affine on-clause subscripts with nonzero
+	// coefficients: the first may mention only the first index
+	// variable, the second only the second (cross-variable forms are
+	// not affine in their own variable, because loop variables are not
+	// constants).
+	if aE, _, ok := c.affineOf(fa.OnIndex, fa.Var); !ok || aE == nil {
+		return errf(fa.Line, 1, "on clause subscript must be affine in %q", fa.Var)
+	}
+	if aE, _, ok := c.affineOf(fa.OnIndex2, fa.Var2); !ok || aE == nil {
+		return errf(fa.Line, 1, "on clause subscript must be affine in %q", fa.Var2)
+	}
 	loc := locals{fa.Var: TInt, fa.Var2: TInt}
+	for _, e := range []Expr{fa.OnIndex, fa.OnIndex2} {
+		if t, err := c.exprType(e, loc, fa.Var); err != nil {
+			return err
+		} else if t != TInt {
+			return errf(fa.Line, 1, "on clause subscript must be an integer")
+		}
+	}
 	for _, d := range fa.Decls {
 		if _, dup := loc[d.Name]; dup {
 			return errf(d.Line, 1, "duplicate forall local %q", d.Name)
@@ -404,10 +420,21 @@ func (c *checker) forall2(fa *Forall) error {
 }
 
 // classify2 annotates references inside a two-index forall: aligned
-// [i,j] accesses are local; reads whose subscripts are per-dimension
-// affine — X[aI*i+cI, aJ*j+cJ] — get compile-time schedules from the
-// rank-2 closed forms; everything else uses the inspector.
+// [i,j] accesses under an identity on clause are local; reads whose
+// subscripts are per-dimension affine — X[aI*i+cI, aJ*j+cJ] — get
+// compile-time schedules from the rank-2 closed forms; everything else
+// uses the inspector.
 func (c *checker) classify2(fa *Forall) error {
+	// The [i,j]-aligned local shortcut is sound only when placement is
+	// the identity "on A[i,j].loc"; under a shifted/strided on clause
+	// even an identically-subscripted read of the on array itself can
+	// be remote, so it must take the affine schedule path below.
+	onIdentity := false
+	if i1, ok1 := fa.OnIndex.(*Ident); ok1 {
+		if i2, ok2 := fa.OnIndex2.(*Ident); ok2 {
+			onIdentity = i1.Name == fa.Var && i2.Name == fa.Var2
+		}
+	}
 	seenIndirect := map[string]bool{}
 	seenDep := map[string]bool{}
 	var err error
@@ -444,8 +471,8 @@ func (c *checker) classify2(fa *Forall) error {
 			// derives whatever communication the mismatch needs.
 			i1, ok1 := ref.Indexes[0].(*Ident)
 			i2, ok2 := ref.Indexes[1].(*Ident)
-			if ok1 && ok2 && i1.Name == fa.Var && i2.Name == fa.Var2 &&
-				(ref.Name == fa.OnArray || d == c.syms[fa.OnArray].decl) {
+			if onIdentity && ok1 && ok2 && i1.Name == fa.Var && i2.Name == fa.Var2 &&
+				d == c.syms[fa.OnArray].decl {
 				ref.access = accAligned
 				return
 			}

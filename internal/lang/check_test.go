@@ -312,6 +312,118 @@ begin end.`)
 	}
 }
 
+// header2 declares a 2-D processor grid and tiled arrays for the
+// two-index forall tests.
+const header2 = `
+processors Procs : array[1..2, 1..2];
+const n = 8;
+var a2, b2 : array[1..n, 1..n] of real dist by [block, block] on Procs;
+    i, j : integer;
+`
+
+// TestAffineOnClause2DAccepted: per-dimension affine on-clause
+// subscripts (shifted, strided, reflected) are accepted, the placement
+// does not change the computed values, and the loop stays on the
+// compile-time path (no inspector-scale cost).
+func TestAffineOnClause2DAccepted(t *testing.T) {
+	cases := []struct {
+		onI, onJ           string
+		loI, hiI, loJ, hiJ string
+		// mapI/mapJ mirror the on-clause subscripts in Go.
+		mapI, mapJ func(int) int
+		rI, rJ     [2]int // iteration ranges, inclusive
+	}{
+		{"i", "j", "1", "n", "1", "n",
+			func(i int) int { return i }, func(j int) int { return j }, [2]int{1, 8}, [2]int{1, 8}},
+		{"2*i", "j-1", "1", "n div 2", "2", "n",
+			func(i int) int { return 2 * i }, func(j int) int { return j - 1 }, [2]int{1, 4}, [2]int{2, 8}},
+		{"i+1", "2*j", "1", "n-1", "1", "n div 2",
+			func(i int) int { return i + 1 }, func(j int) int { return 2 * j }, [2]int{1, 7}, [2]int{1, 4}},
+		{"n-i", "j", "1", "n-1", "1", "n",
+			func(i int) int { return 8 - i }, func(j int) int { return j }, [2]int{1, 7}, [2]int{1, 8}},
+	}
+	for _, cse := range cases {
+		src := header2 + `
+begin
+    for i in 1..n do
+        for j in 1..n do
+            b2[i, j] := float(i*10 + j);
+        end;
+    end;
+    forall i in ` + cse.loI + `..` + cse.hiI + `, j in ` + cse.loJ + `..` + cse.hiJ +
+			` on a2[` + cse.onI + `, ` + cse.onJ + `].loc do
+        a2[` + cse.onI + `, ` + cse.onJ + `] := b2[` + cse.onI + `, ` + cse.onJ + `];
+    end;
+end.
+`
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("on [%s, %s]: %v", cse.onI, cse.onJ, err)
+		}
+		res, err := p.Run(core.Config{P: 4, Params: machine.NCUBE7()})
+		if err != nil {
+			t.Fatalf("on [%s, %s]: %v", cse.onI, cse.onJ, err)
+		}
+		want := make([]float64, 64)
+		for i := cse.rI[0]; i <= cse.rI[1]; i++ {
+			for j := cse.rJ[0]; j <= cse.rJ[1]; j++ {
+				r, c := cse.mapI(i), cse.mapJ(j)
+				want[(r-1)*8+c-1] = float64(r*10 + c)
+			}
+		}
+		for k, w := range want {
+			if res.Arrays["a2"][k] != w {
+				t.Fatalf("on [%s, %s]: a2[%d,%d] = %g, want %g",
+					cse.onI, cse.onJ, k/8+1, k%8+1, res.Arrays["a2"][k], w)
+			}
+		}
+		// Affine on clause + affine reads: compile-time, no inspector.
+		if res.Report.Inspector > 0.001 {
+			t.Fatalf("on [%s, %s]: paid inspector-scale cost (%g s)", cse.onI, cse.onJ, res.Report.Inspector)
+		}
+	}
+}
+
+// TestAffineOnClause2DRejected: non-affine, cross-variable, and
+// variable-free on-clause subscripts are still rejected with the
+// existing error code.
+func TestAffineOnClause2DRejected(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{header2 + "begin forall i in 1..n, j in 1..n on a2[i*i, j].loc do a2[i*i, j] := 1.0; end; end.",
+			"must be affine"},
+		{header2 + "begin forall i in 1..n, j in 1..n on a2[j, i].loc do a2[j, i] := 1.0; end; end.",
+			"must be affine"},
+		{header2 + "begin forall i in 1..n, j in 1..n on a2[i, i].loc do a2[i, i] := 1.0; end; end.",
+			"must be affine"},
+		{header2 + "begin forall i in 1..n, j in 1..n on a2[3, j].loc do a2[3, j] := 1.0; end; end.",
+			"must be affine"},
+	}
+	for _, c := range cases {
+		compileErr(t, c.src, c.want)
+	}
+	// A constant coefficient that evaluates to zero passes the check
+	// phase (only elaboration knows const values) but is diagnosed
+	// with its source line at run time.
+	p, err := Compile(`
+processors Procs : array[1..2, 1..2];
+const n = 8;
+      z = 0;
+var a2 : array[1..n, 1..n] of real dist by [block, block] on Procs;
+begin
+    forall i in 1..n, j in 1..n on a2[z*i, j].loc do
+        a2[z*i, j] := 1.0;
+    end;
+end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(core.Config{P: 4, Params: machine.Ideal()}); err == nil ||
+		!strings.Contains(err.Error(), "evaluates to zero") || !strings.Contains(err.Error(), "line 7") {
+		t.Fatalf("want line-numbered zero-coefficient error, got %v", err)
+	}
+}
+
 // TestForall2CrossDistributionIdentityRead: an [i,j] read of an array
 // distributed differently from the on array must not take the aligned
 // local shortcut — the affine path derives the communication instead.

@@ -512,6 +512,23 @@ func (in *interp) buildLoop2(fa *Forall) *forall.Loop2 {
 	if onArr == nil {
 		panic(fmt.Sprintf("on-clause array %q is not a real array", fa.OnArray))
 	}
+	// Elaborate the per-dimension affine on-clause subscripts.
+	ck := &checker{syms: in.checkerSyms()}
+	aIE, cIE, okI := ck.affineOf(fa.OnIndex, fa.Var)
+	aJE, cJE, okJ := ck.affineOf(fa.OnIndex2, fa.Var2)
+	if !okI || !okJ {
+		panic("2-D on clause subscripts not affine (checker should have caught this)")
+	}
+	onF2 := analysis.Affine2{
+		I: analysis.Affine{A: evalCoeff(ev, aIE), C: evalCoeff(ev, cIE)},
+		J: analysis.Affine{A: evalCoeff(ev, aJE), C: evalCoeff(ev, cJE)},
+	}
+	// A constant coefficient expression can evaluate to zero (only
+	// elaboration knows the const values); diagnose it with the source
+	// line instead of letting the engine panic.
+	if onF2.I.A == 0 || onF2.J.A == 0 {
+		panic(fmt.Sprintf("line %d: on clause subscript coefficient evaluates to zero (not affine in the index variable)", fa.Line))
+	}
 	var reads []forall.ReadSpec
 	for _, ri := range fa.reads {
 		arr := in.arrays[ri.array]
@@ -532,6 +549,7 @@ func (in *interp) buildLoop2(fa *Forall) *forall.Loop2 {
 	loop := &forall.Loop2{
 		Name:      fmt.Sprintf("forall2@%d", fa.Line),
 		On:        onArr,
+		OnF2:      onF2,
 		Reads:     reads,
 		DependsOn: deps,
 	}
@@ -562,6 +580,9 @@ func (in *interp) buildLoop(fa *Forall) *forall.Loop {
 		panic("on clause subscript not affine (checker should have caught this)")
 	}
 	onF := analysis.Affine{A: evalCoeff(ev, aE), C: evalCoeff(ev, cE)}
+	if onF.A == 0 {
+		panic(fmt.Sprintf("line %d: on clause subscript coefficient evaluates to zero (not affine in the index variable)", fa.Line))
+	}
 
 	var reads []forall.ReadSpec
 	for _, ri := range fa.reads {

@@ -155,6 +155,44 @@ func TestCorpusJacobi2D(t *testing.T) {
 	}
 }
 
+// TestCorpusRedBlack2D: the strided on-clause program matches the
+// sequential red-black oracle column by column, and both strided
+// foralls stay on the compile-time path.
+func TestCorpusRedBlack2D(t *testing.T) {
+	res, err := loadProgram(t, "redblack2d.kali").Run(core.Config{P: 4, Params: machine.NCUBE7()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 4 {
+		t.Fatalf("P = %d", res.P)
+	}
+	// Every column relaxes independently between the fixed boundary
+	// rows, so one 1-D red-black oracle covers them all.
+	const n, sweeps = 16, 10
+	oracle := make([]float64, n+1)
+	oracle[1], oracle[n] = 1, 5
+	for s := 0; s < sweeps; s++ {
+		for r := 3; r <= n-1; r += 2 {
+			oracle[r] = 0.5 * (oracle[r-1] + oracle[r+1])
+		}
+		for r := 2; r <= n-1; r += 2 {
+			oracle[r] = 0.5 * (oracle[r-1] + oracle[r+1])
+		}
+	}
+	u := res.Arrays["u"]
+	for r := 1; r <= n; r++ {
+		for c := 1; c <= n; c++ {
+			if math.Abs(u[(r-1)*n+c-1]-oracle[r]) > 1e-12 {
+				t.Fatalf("u[%d,%d] = %g, oracle %g", r, c, u[(r-1)*n+c-1], oracle[r])
+			}
+		}
+	}
+	// Strided affine on clauses + affine reads: compile-time analyzed.
+	if res.Report.Inspector > 0.01 {
+		t.Fatalf("strided 2-D on clauses paid inspector-scale cost: %g s", res.Report.Inspector)
+	}
+}
+
 // TestCorpusLoadbalance: the map dist clause builds a user-defined
 // distribution, the program computes the right answer, and the affine
 // reads over the map pattern still use compile-time analysis.
