@@ -1,5 +1,6 @@
 // Package baseline is the comparison point the paper claims parity
-// with: the same Jacobi relaxation written *directly* in message
+// with (§1: code "virtually identical" to hand-written message
+// passing): the same Jacobi relaxation written *directly* in message
 // passing by a programmer, with the decomposition, ghost rows and
 // sends/receives hand-coded for the rectangular mesh.
 //

@@ -89,6 +89,7 @@ var Registry = map[string]Generator{
 	"distchoice":   DistChoice,
 	"enumeration":  Enumeration,
 	"enumerate2d":  Enumeration2D,
+	"commvec":      CommVec,
 	"granularity":  Granularity,
 }
 
@@ -96,7 +97,7 @@ var Registry = map[string]Generator{
 var Order = []string{
 	"fig7", "fig8", "fig9", "fig10",
 	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "ctvsrt2d",
-	"distchoice", "enumeration", "enumerate2d", "granularity",
+	"distchoice", "enumeration", "enumerate2d", "commvec", "granularity",
 }
 
 const sweeps = 100

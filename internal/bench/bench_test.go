@@ -142,6 +142,29 @@ func TestEnumerationQuickTradeoff(t *testing.T) {
 	}
 }
 
+// TestCommVecQuick: the commvec acceptance criteria — coalescing
+// strictly reduces the message count at equal bytes, cached replay is
+// allocation-free, and the second identically-shaped loop shares the
+// first loop's schedule instead of building its own.
+func TestCommVecQuick(t *testing.T) {
+	tab := CommVec(Options{Quick: true})
+	perArray, coalesced, shared := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+	if parse(t, coalesced[3]) >= parse(t, perArray[3]) {
+		t.Fatalf("coalescing did not reduce messages: %v vs %v", coalesced, perArray)
+	}
+	if parse(t, coalesced[4]) != parse(t, perArray[4]) {
+		t.Fatalf("coalescing changed bytes moved: %v vs %v", coalesced, perArray)
+	}
+	for _, row := range tab.Rows {
+		if parse(t, row[5]) != 0 {
+			t.Fatalf("cached replay allocated (%s allocs/replay): %v", row[5], row)
+		}
+	}
+	if parse(t, shared[1]) != 1 || parse(t, shared[2]) != 1 {
+		t.Fatalf("two same-shaped loops should cost 1 build + 1 shared hit: %v", shared)
+	}
+}
+
 // TestDistChoiceQuickBlockWins: block is the fastest distribution for
 // the stencil (ABL5).
 func TestDistChoiceQuickBlockWins(t *testing.T) {

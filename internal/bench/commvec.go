@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"kali/internal/analysis"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/forall"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// CommVec measures the vectorized communication path: per-Range bulk
+// packing, message coalescing (all of a loop's reads in one message
+// per processor pair), content-addressed schedule sharing, and the
+// pooled zero-allocation replay.  Three variants of the same two-array
+// shift run on identical data:
+//
+//   - "per-array" disables coalescing (Engine.NoCombine): each read
+//     array's data travels in its own message, the pre-combining
+//     behavior the paper improves on ("sorting by processor id also
+//     allowed us to combine messages ...").
+//   - "coalesced" is the default executor: strictly fewer, larger
+//     messages.
+//   - "coalesced+shared" runs a second identically-shaped loop over
+//     different arrays: it adopts the first loop's schedule from the
+//     content-addressed store, so two loops cost one build.
+//
+// Message and byte counts come from the machine's per-node Stats;
+// allocs/replay is the machine-wide malloc count during the cached
+// replays divided by the number of replays, measured with the GC
+// parked — 0.00 means the replay path allocates nothing at all.
+func CommVec(opt Options) *Table {
+	n, p, reps := 1<<14, 8, 40
+	if opt.Quick {
+		n, p, reps = 1<<10, 4, 25
+	}
+	t := &Table{
+		ID:     "commvec",
+		Title:  "vectorized communication: coalescing, sharing, allocation-free replay",
+		Header: []string{"variant", "builds", "shared hits", "msgs/exec", "bytes/exec", "allocs/replay", "executor time"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, N=%d block-distributed, %d processors, two read arrays, %d cached replays", n, p, reps),
+		},
+	}
+	for _, v := range []struct {
+		name              string
+		noCombine, second bool
+	}{
+		{"per-array (no combine)", true, false},
+		{"coalesced", false, false},
+		{"coalesced+shared", false, true},
+	} {
+		r := commVecRun(n, p, reps, machine.NCUBE7(), v.noCombine, v.second)
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmt.Sprint(r.builds), fmt.Sprint(r.sharedHits),
+			fmt.Sprintf("%.1f", r.msgsPerExec), fmt.Sprintf("%.0f", r.bytesPerExec),
+			fmt.Sprintf("%.2f", r.allocsPerReplay), f2(r.execTime),
+		})
+	}
+	return t
+}
+
+// commVecResult carries one variant's measurements.
+type commVecResult struct {
+	builds, sharedHits        int
+	msgsPerExec, bytesPerExec float64
+	allocsPerReplay, execTime float64
+}
+
+// commVecRun executes the two-array shift (one loop, or two
+// identically-shaped loops when second is set) reps times from the
+// schedule cache and measures machine-wide data messages, bytes,
+// mallocs and executor time over exactly that replay window.
+func commVecRun(n, p, reps int, params machine.Params, noCombine, second bool) commVecResult {
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := machine.MustNew(p, params)
+
+	// Park the GC so the malloc count is exact and the payload pool is
+	// never drained mid-measurement.
+	oldGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(oldGC)
+
+	var res commVecResult
+	var mu sync.Mutex
+	var beforeAgg machine.Stats
+	mach.Run(func(nd *machine.Node) {
+		mkLoop := func(name string, out, u, v *darray.Array) *forall.Loop {
+			return &forall.Loop{
+				Name: name, Lo: 1, Hi: n - 1,
+				On: out, OnF: analysis.Identity,
+				Reads: []forall.ReadSpec{
+					{Array: u, Affine: &analysis.Affine{A: 1, C: 1}},
+					{Array: v, Affine: &analysis.Affine{A: 1, C: 1}},
+				},
+				Body: func(i int, e *forall.Env) {
+					e.Write(out, i, e.Read(u, i+1)+e.Read(v, i+1))
+				},
+			}
+		}
+		mkArrays := func(tag string) (*darray.Array, *darray.Array, *darray.Array) {
+			out := darray.New("out"+tag, d, nd)
+			u := darray.New("u"+tag, d, nd)
+			v := darray.New("v"+tag, d, nd)
+			for i := 1; i <= n; i++ {
+				if u.IsLocal1(i) {
+					u.Set1(i, float64(i))
+					v.Set1(i, float64(2*i))
+				}
+			}
+			return out, u, v
+		}
+		outA, uA, vA := mkArrays("A")
+		eng := forall.NewEngine(nd)
+		eng.NoCombine = noCombine
+		la := mkLoop("vecA", outA, uA, vA)
+		var lb *forall.Loop
+		if second {
+			outB, uB, vB := mkArrays("B")
+			lb = mkLoop("vecB", outB, uB, vB)
+		}
+
+		// Warmup: build (or share) the schedules and grow the payload
+		// pool to the pattern's peak in-flight demand.  The per-round
+		// barrier bounds that demand — see TestReplayAllocationFree.
+		for k := 0; k < 3; k++ {
+			eng.Run(la)
+			if lb != nil {
+				eng.Run(lb)
+			}
+			nd.Barrier()
+		}
+
+		var before, after runtime.MemStats
+		statsBefore := nd.Stats()
+		execBefore := nd.PhaseTime(forall.PhaseExecutor)
+		nd.Barrier()
+		if nd.ID() == 0 {
+			runtime.ReadMemStats(&before)
+		}
+		nd.Barrier()
+		for k := 0; k < reps; k++ {
+			eng.Run(la)
+			if lb != nil {
+				eng.Run(lb)
+			}
+			nd.Barrier()
+		}
+		nd.Barrier()
+		if nd.ID() == 0 {
+			runtime.ReadMemStats(&after)
+		}
+		nd.Barrier()
+
+		mu.Lock()
+		beforeAgg = beforeAgg.Add(statsBefore)
+		if dt := nd.PhaseTime(forall.PhaseExecutor) - execBefore; dt > res.execTime {
+			res.execTime = dt
+		}
+		if nd.ID() == 0 {
+			res.builds = eng.Builds()
+			res.sharedHits = eng.SharedHits()
+			res.allocsPerReplay = float64(after.Mallocs-before.Mallocs) / float64(reps)
+		}
+		mu.Unlock()
+	})
+	// Nothing is sent after the measured window, so the machine-wide
+	// totals at exit minus the aggregated pre-window snapshots are
+	// exactly the window's traffic.
+	stats := mach.TotalStats().Sub(beforeAgg)
+	loops := 1.0
+	if second {
+		loops = 2
+	}
+	execs := float64(reps) * loops
+	res.msgsPerExec = float64(stats.MsgsSent) / execs
+	res.bytesPerExec = float64(stats.BytesSent) / execs
+	return res
+}

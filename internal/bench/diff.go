@@ -47,7 +47,7 @@ func costColumn(header string) bool {
 	if strings.Contains(h, "paper") {
 		return false
 	}
-	for _, key := range []string{"total", "executor", "inspector", "insp", "schedule", "time", "overhead", "ovh", "bytes", "mem"} {
+	for _, key := range []string{"total", "executor", "inspector", "insp", "schedule", "time", "overhead", "ovh", "bytes", "mem", "msgs", "alloc"} {
 		if strings.Contains(h, key) {
 			return true
 		}

@@ -18,6 +18,11 @@
 // This package reproduces that representation (the buffer pointer
 // becomes an offset into a receive buffer) and the derived operations:
 // building, merging, searching, and packing/unpacking message data.
+// Pack/unpack are vectorized: every record covers a contiguous block
+// whose owner stores it densely, so PackInto and Unpack move one whole
+// range per copy instead of gathering element by element, and a
+// machine-wide BufPool recycles message payloads so that replaying a
+// cached schedule allocates nothing.
 package comm
 
 import (
@@ -246,30 +251,49 @@ func (s *OutSet) RangesTo(q int) []Range {
 	return s.Ranges[lo:hi]
 }
 
-// Pack gathers the values for all records destined to q into one
-// message payload, reading local values through the get callback
-// (global index → value).
-func (s *OutSet) Pack(q int, get func(g int) float64) []float64 {
-	var out []float64
+// CountTo returns the number of elements destined for processor q.
+func (s *OutSet) CountTo(q int) int {
+	n := 0
 	for _, r := range s.RangesTo(q) {
-		for g := r.Low; g <= r.High; g++ {
-			out = append(out, get(g))
-		}
+		n += r.Len()
 	}
-	return out
+	return n
+}
+
+// CountFrom returns the number of elements expected from processor q.
+func (s *InSet) CountFrom(q int) int {
+	n := 0
+	for _, r := range s.RangesFrom(q) {
+		n += r.Len()
+	}
+	return n
+}
+
+// PackInto fills dst with the values of all records destined to q, one
+// bulk copyRange call per record (copyRange must copy the local values
+// of global indices [lo..hi] into its dst argument).  Because every
+// record covers a contiguous block of global indices whose owner packs
+// them densely, each record is a single memcpy-style copy rather than a
+// per-element gather.  It returns the number of values packed; dst must
+// have at least CountTo(q) elements.
+func (s *OutSet) PackInto(q int, dst []float64, copyRange func(lo, hi int, dst []float64)) int {
+	n := 0
+	for _, r := range s.RangesTo(q) {
+		copyRange(r.Low, r.High, dst[n:n+r.Len()])
+		n += r.Len()
+	}
+	return n
 }
 
 // Unpack scatters a payload received from q into the communication
-// buffer according to the in set's records for q.  It returns the
-// number of values consumed and panics if the payload size mismatches
-// the schedule.
+// buffer according to the in set's records for q — one bulk copy per
+// record, since each record's elements land contiguously at its Buf
+// offset.  It returns the number of values consumed and panics if the
+// payload size mismatches the schedule.
 func (s *InSet) Unpack(q int, payload []float64, buf []float64) int {
 	n := 0
 	for _, r := range s.RangesFrom(q) {
-		for k := 0; k < r.Len(); k++ {
-			buf[r.Buf+k] = payload[n]
-			n++
-		}
+		n += copy(buf[r.Buf:r.Buf+r.Len()], payload[n:n+r.Len()])
 	}
 	if n != len(payload) {
 		panic(fmt.Sprintf("comm: payload from %d has %d values, schedule expects %d", q, len(payload), n))

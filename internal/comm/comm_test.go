@@ -168,9 +168,24 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 	copy(outRecs, in.Ranges)
 	out := BuildOut(1, outRecs)
 
-	payload := out.Pack(0, func(g int) float64 { return float64(g) * 10 })
-	if len(payload) != 4 {
-		t.Fatalf("payload = %v", payload)
+	if got := out.CountTo(0); got != 4 {
+		t.Fatalf("CountTo(0) = %d, want 4", got)
+	}
+	payload := make([]float64, out.CountTo(0))
+	ranged := 0
+	n0 := out.PackInto(0, payload, func(lo, hi int, dst []float64) {
+		ranged++
+		for g := lo; g <= hi; g++ {
+			dst[g-lo] = float64(g) * 10
+		}
+	})
+	if n0 != 4 {
+		t.Fatalf("packed %d values, want 4", n0)
+	}
+	// Elements 5..7 and 9 form two contiguous records, so the bulk
+	// pack must touch exactly two ranges, not four elements.
+	if ranged != 2 {
+		t.Fatalf("PackInto made %d range copies, want 2", ranged)
 	}
 	buf := make([]float64, in.Total)
 	n := in.Unpack(1, payload, buf)

@@ -1,0 +1,65 @@
+package comm
+
+import "sync"
+
+// Payload is a recyclable message body: the executor packs a loop's
+// outgoing values into Vals, ships the *Payload through the simulated
+// machine, and the receiver returns it to the pool after unpacking.
+// Messages carry the pointer (not the slice) so that handing it to the
+// machine's untyped payload field never boxes a slice header.
+type Payload struct {
+	Vals []float64
+}
+
+// BufPool is a free list of message payloads shared by the sending and
+// receiving ends of a machine's executors.  Unlike sync.Pool it never
+// drops buffers under GC pressure, so once a communication pattern has
+// warmed the list, cached schedule replays allocate nothing: every
+// Get is satisfied by a buffer some receiver Put back after unpacking.
+//
+// The pool must be shared machine-wide (not per node): a buffer is
+// acquired by the sender but released by the receiver, so per-node
+// free lists would drain on one side and pile up on the other.
+type BufPool struct {
+	mu   sync.Mutex
+	free []*Payload
+}
+
+// Get returns a payload with len(Vals) == n, reusing a pooled buffer
+// when one is available (growing its capacity if needed).
+func (p *BufPool) Get(n int) *Payload {
+	p.mu.Lock()
+	var b *Payload
+	if k := len(p.free); k > 0 {
+		b = p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+	}
+	p.mu.Unlock()
+	if b == nil {
+		b = &Payload{}
+	}
+	if cap(b.Vals) < n {
+		b.Vals = make([]float64, n)
+	}
+	b.Vals = b.Vals[:n]
+	return b
+}
+
+// Put returns a payload to the free list for reuse.  The caller must
+// not touch b afterwards.
+func (p *BufPool) Put(b *Payload) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+}
+
+// Len returns the number of idle buffers, for tests.
+func (p *BufPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,37 @@
+package comm
+
+import "testing"
+
+// TestBufPoolRecycles: Get after Put returns the same payload with its
+// capacity retained, and Get sizes the value slice exactly.
+func TestBufPoolRecycles(t *testing.T) {
+	var p BufPool
+	a := p.Get(8)
+	if len(a.Vals) != 8 {
+		t.Fatalf("len = %d, want 8", len(a.Vals))
+	}
+	p.Put(a)
+	if p.Len() != 1 {
+		t.Fatalf("pool holds %d, want 1", p.Len())
+	}
+	b := p.Get(4)
+	if b != a {
+		t.Error("pool did not recycle the payload")
+	}
+	if len(b.Vals) != 4 || cap(b.Vals) < 8 {
+		t.Errorf("len=%d cap=%d after shrink-reuse, want 4/>=8", len(b.Vals), cap(b.Vals))
+	}
+	c := p.Get(16) // pool empty: fresh payload, grown
+	if len(c.Vals) != 16 {
+		t.Fatalf("len = %d, want 16", len(c.Vals))
+	}
+	p.Put(b)
+	p.Put(c)
+	if p.Len() != 2 {
+		t.Fatalf("pool holds %d, want 2", p.Len())
+	}
+	p.Put(nil) // ignored
+	if p.Len() != 2 {
+		t.Fatalf("Put(nil) changed pool size to %d", p.Len())
+	}
+}

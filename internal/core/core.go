@@ -1,7 +1,7 @@
 // Package core is the Kali runtime facade: it ties the simulated
 // machine, processor grids, distributed arrays and the forall engine
 // into a single programming context, and collects the per-phase timing
-// report the paper's tables are built from.
+// report the paper's tables (§4, Figures 7–10) are built from.
 //
 // A Kali program is an SPMD function over a Context:
 //
@@ -78,8 +78,12 @@ func (c *Context) BlockIntArray(name string, n int) *darray.IntArray {
 	return darray.NewInt(name, dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, c.Grid), c.Node)
 }
 
-// Forall executes a forall loop (inspector/executor pipeline).
+// Forall executes a rank-1 forall loop (Engine.Run: the cache →
+// compile-time → inspector pipeline).
 func (c *Context) Forall(l *forall.Loop) { c.Eng.Run(l) }
+
+// Forall2 executes a two-dimensional forall loop (Engine.Run2).
+func (c *Context) Forall2(l *forall.Loop2) { c.Eng.Run2(l) }
 
 // AllReduce combines one value from every node ("sum", "max", "min",
 // "and") — Kali's convergence-test primitive.

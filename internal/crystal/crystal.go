@@ -2,9 +2,9 @@
 // personalized communication on a hypercube in log₂P dimension-exchange
 // stages.
 //
-// The paper uses "a variant of Fox's Crystal router" to route each
-// processor's in(p,q) records to their home processors q "without
-// creating bottlenecks".  At stage d every node exchanges with its
+// The paper's run-time inspector (§3.3) uses "a variant of Fox's
+// Crystal router" to route each processor's in(p,q) records to their
+// home processors q "without creating bottlenecks".  At stage d every node exchanges with its
 // neighbor across hypercube dimension d all parcels whose destination
 // address differs from its own in bit d; after all stages every parcel
 // has reached its destination.  The inspector's global combine charges

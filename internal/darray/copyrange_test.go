@@ -1,0 +1,65 @@
+package darray
+
+import (
+	"testing"
+
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// TestCopyLinearRange: the bulk reader agrees with per-element
+// GetLinear for every fully-owned contiguous range, across the
+// distribution kinds the executor packs from.
+func TestCopyLinearRange(t *testing.T) {
+	cases := []struct {
+		name  string
+		shape []int
+		specs []dist.DimSpec
+		grid  []int
+	}{
+		{"block-1d", []int{24}, []dist.DimSpec{dist.BlockDim()}, []int{4}},
+		{"blockcyclic-1d", []int{24}, []dist.DimSpec{dist.BlockCyclicDim(3)}, []int{2}},
+		{"map-1d", []int{12}, []dist.DimSpec{dist.MapDim([]int{0, 0, 1, 1, 1, 0, 0, 1, 0, 0, 1, 1})}, []int{2}},
+		{"block-rows-2d", []int{6, 5}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, []int{3}},
+		{"block-block-2d", []int{6, 6}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, []int{2, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := topology.MustGrid(tc.grid...)
+			d := dist.Must(tc.shape, tc.specs, g)
+			p := 1
+			for _, e := range tc.grid {
+				p *= e
+			}
+			mach := machine.MustNew(p, machine.Ideal())
+			mach.Run(func(nd *machine.Node) {
+				a := New("a", d, nd)
+				total := a.Size()
+				owned := make([]bool, total+1)
+				for gi := 1; gi <= total; gi++ {
+					if o := a.OwnerLinear(gi); o == nd.ID() {
+						owned[gi] = true
+						a.SetLinear(gi, float64(100*nd.ID()+gi))
+					}
+				}
+				// Every maximal owned run, and every sub-range of it.
+				for lo := 1; lo <= total; lo++ {
+					if !owned[lo] {
+						continue
+					}
+					for hi := lo; hi <= total && owned[hi]; hi++ {
+						dst := make([]float64, hi-lo+1)
+						a.CopyLinearRange(lo, hi, dst)
+						for gi := lo; gi <= hi; gi++ {
+							if want := a.GetLinear(gi); dst[gi-lo] != want {
+								t.Fatalf("node %d: CopyLinearRange(%d,%d)[%d] = %g, want %g",
+									nd.ID(), lo, hi, gi-lo, dst[gi-lo], want)
+							}
+						}
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,5 +1,6 @@
 // Package darray implements distributed arrays with a global name
-// space — the shared data structures of the paper's title.
+// space — the shared data structures of the paper's title, declared
+// with the dist clauses of §2.2.
 //
 // An Array is declared once, collectively, with a distribution; each
 // simulated node then holds a handle that stores only its local
@@ -291,6 +292,39 @@ func (a *Array) GetLinear(g int) float64 { return a.local[a.offsetLinear(g)] }
 
 // SetLinear stores v at linearized global index g, which must be local.
 func (a *Array) SetLinear(g int, v float64) { a.local[a.offsetLinear(g)] = v }
+
+// CopyLinearRange copies the elements with linearized global indices
+// [lo..hi] — all of which must be stored on this node — into dst,
+// which must have hi-lo+1 elements.  It is the executor's bulk message
+// pack: because LocalIndex packs each owner's elements densely in
+// increasing global order, a fully-owned run of consecutive global
+// indices occupies consecutive local slots, so a rank-1 range is one
+// copy and a rank-2 range is one copy per global row it spans.
+func (a *Array) CopyLinearRange(lo, hi int, dst []float64) {
+	if hi < lo {
+		return
+	}
+	switch len(a.shape) {
+	case 1:
+		copy(dst, a.local[a.offset1(lo):a.offset1(lo)+hi-lo+1])
+	case 2:
+		nx := a.shape[1]
+		for g := lo; g <= hi; {
+			// Segment = the remainder of g's global row, clipped to hi.
+			end := g + (nx - (g-1)%nx) - 1
+			if end > hi {
+				end = hi
+			}
+			off := a.offsetLinear(g)
+			copy(dst[g-lo:], a.local[off:off+end-g+1])
+			g = end + 1
+		}
+	default:
+		for g := lo; g <= hi; g++ {
+			dst[g-lo] = a.local[a.offsetLinear(g)]
+		}
+	}
+}
 
 // LocalValues exposes the raw local partition (replicated arrays: the
 // whole array).  Mutating it directly bypasses ownership checks; it is

@@ -127,9 +127,40 @@ type Pattern interface {
 	// elements map onto [0..Local(Owner(i)).Len()) in increasing global
 	// order.
 	LocalIndex(i int) int
+	// Fingerprint returns a structural hash of the index map: two
+	// patterns mapping every index to the same owner (built the same
+	// way) hash equal.  The forall engine keys its content-addressed
+	// schedule store on these, so identically-distributed loops can
+	// share one communication schedule (paper §3.2's reuse argument
+	// applied across loops, not just across executions).
+	Fingerprint() uint64
 	// String names the pattern in Kali dist-clause syntax.
 	String() string
 }
+
+// FNV-1a mixing for the structural fingerprints.  FingerprintSeed and
+// MixFingerprint are exported so higher layers (the forall engine's
+// content-addressed schedule keys) compose their own fingerprints with
+// the same mixer instead of maintaining a diverging copy.
+const (
+	// FingerprintSeed is the FNV-1a offset basis fingerprints start from.
+	FingerprintSeed uint64 = 14695981039346656037
+	fnvPrime        uint64 = 1099511628211
+)
+
+// MixFingerprint folds the eight bytes of v into hash h (FNV-1a).
+func MixFingerprint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Unexported aliases keep the pattern implementations terse.
+const fnvOffset = FingerprintSeed
+
+func fnvMix(h, v uint64) uint64 { return MixFingerprint(h, v) }
 
 // NewBlock returns the block pattern over [1..n] on p processors:
 // contiguous blocks of ⌈n/p⌉.
@@ -214,6 +245,10 @@ func (d blockPat) Owner(i int) int      { d.check(i); return (i - 1) / d.b }
 func (d blockPat) LocalIndex(i int) int { d.check(i); return (i - 1) % d.b }
 func (d blockPat) String() string       { return fmt.Sprintf("block(%d/%d)", d.n, d.p) }
 
+func (d blockPat) Fingerprint() uint64 {
+	return fnvMix(fnvMix(fnvMix(fnvOffset, uint64(Block)), uint64(d.n)), uint64(d.p))
+}
+
 func (d blockPat) Local(p int) index.Set {
 	checkProc(p, d.p, d)
 	lo := p*d.b + 1
@@ -239,6 +274,10 @@ func (d cyclicPat) Owner(i int) int      { d.check(i); return (i - 1) % d.p }
 func (d cyclicPat) LocalIndex(i int) int { d.check(i); return (i - 1) / d.p }
 func (d cyclicPat) String() string       { return fmt.Sprintf("cyclic(%d/%d)", d.n, d.p) }
 
+func (d cyclicPat) Fingerprint() uint64 {
+	return fnvMix(fnvMix(fnvMix(fnvOffset, uint64(Cyclic)), uint64(d.n)), uint64(d.p))
+}
+
 func (d cyclicPat) Local(p int) index.Set {
 	checkProc(p, d.p, d)
 	return index.Strided(p+1, d.n, d.p)
@@ -263,6 +302,11 @@ func (d blockCyclicPat) String() string  { return fmt.Sprintf("block_cyclic(%d)(
 func (d blockCyclicPat) LocalIndex(i int) int {
 	d.check(i)
 	return ((i-1)/(d.b*d.p))*d.b + (i-1)%d.b
+}
+
+func (d blockCyclicPat) Fingerprint() uint64 {
+	h := fnvMix(fnvMix(fnvOffset, uint64(BlockCyclic)), uint64(d.n))
+	return fnvMix(fnvMix(h, uint64(d.p)), uint64(d.b))
 }
 
 func (d blockCyclicPat) Local(p int) index.Set {
@@ -333,6 +377,16 @@ func (d *mapPat) String() string { return fmt.Sprintf("map(%d/%d)", d.n, d.p) }
 func (d *mapPat) Local(p int) index.Set {
 	checkProc(p, d.p, d)
 	return d.locals[p]
+}
+
+// Fingerprint hashes the compressed runs, so two user maps with the
+// same owner table hash equal regardless of how they were declared.
+func (d *mapPat) Fingerprint() uint64 {
+	h := fnvMix(fnvMix(fnvMix(fnvOffset, uint64(Map)), uint64(d.n)), uint64(d.p))
+	for _, r := range d.runs {
+		h = fnvMix(fnvMix(h, uint64(r.hi)), uint64(r.owner))
+	}
+	return h
 }
 
 // Runs returns the number of compressed owner runs — the quantity the
@@ -494,6 +548,28 @@ func (d *Dist) Replicated() bool { return d.repl }
 // Pattern returns the index map of array dimension dim, or nil when
 // the dimension is collapsed or the array replicated.
 func (d *Dist) Pattern(dim int) Pattern { return d.pats[dim] }
+
+// Fingerprint returns a structural hash of the whole distribution:
+// shape, replication, and each dimension's pattern (or its collapsed
+// marker).  Two Dist values built from equivalent declarations — even
+// as distinct objects — hash equal, which is what lets the forall
+// engine's content-addressed schedule store share one schedule across
+// identically-shaped loops over different arrays.
+func (d *Dist) Fingerprint() uint64 {
+	h := fnvOffset
+	if d.repl {
+		h = fnvMix(h, 1)
+	}
+	for dim, e := range d.shape {
+		h = fnvMix(h, uint64(e))
+		if p := d.pats[dim]; p != nil {
+			h = fnvMix(h, p.Fingerprint())
+		} else {
+			h = fnvMix(h, uint64(Collapsed))
+		}
+	}
+	return h
+}
 
 // Owner returns the linear grid id of the processor owning the element
 // at the given global coordinates, or -1 for replicated arrays.

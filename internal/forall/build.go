@@ -7,7 +7,6 @@ import (
 	"kali/internal/analysis"
 	"kali/internal/comm"
 	"kali/internal/crystal"
-	"kali/internal/darray"
 	"kali/internal/index"
 	"kali/internal/machine"
 )
@@ -84,7 +83,9 @@ func (e *Engine) buildCompileTime2(c *loopCore) *Schedule {
 }
 
 // assembleArrays unions the per-read in/out element sets of each
-// distinct array and lowers them onto comm records.
+// distinct array and lowers them onto comm records, one structural
+// slot per distinct array (the executor re-binds arrays to slots in
+// the same first-appearance order).
 func (e *Engine) assembleArrays(c *loopCore, s *Schedule, in, out []map[int]index.Set) {
 	me := e.node.ID()
 	for _, arr := range distinctArrays(c) {
@@ -101,7 +102,7 @@ func (e *Engine) assembleArrays(c *loopCore, s *Schedule, in, out []map[int]inde
 				outByQ[q] = outByQ[q].Union(set)
 			}
 		}
-		as := &arraySched{arr: arr, in: inSetFromSets(me, inByQ), out: outSetFromSets(me, outByQ)}
+		as := &arraySched{in: inSetFromSets(me, inByQ), out: outSetFromSets(me, outByQ)}
 		as.buf = make([]float64, as.in.Total)
 		s.arrays = append(s.arrays, as)
 	}
@@ -143,28 +144,36 @@ func sortedKeys(m map[int]index.Set) []int {
 	return out
 }
 
-// sendPeers returns the ascending union of all arrays' receivers.
-func sendPeers(s *Schedule) []int {
-	return peerUnion(s, func(as *arraySched) []int { return as.out.Receivers() })
-}
-
-// recvPeers returns the ascending union of all arrays' senders.
-func recvPeers(s *Schedule) []int {
-	return peerUnion(s, func(as *arraySched) []int { return as.in.Senders() })
-}
-
-func peerUnion(s *Schedule, get func(*arraySched) []int) []int {
-	seen := map[int]bool{}
-	var out []int
+// finalizePeers precomputes every communication partner and message
+// size once at build time — per slot (outPeers/inPeers, for the
+// NoCombine ablation) and combined across slots (sendTo/recvFrom, for
+// the default coalesced one-message-per-processor-pair path) — so the
+// replay hot path never walks maps or allocates peer lists.
+func finalizePeers(s *Schedule) {
+	sendAll := map[int]int{}
+	recvAll := map[int]int{}
 	for _, as := range s.arrays {
-		for _, q := range get(as) {
-			if !seen[q] {
-				seen[q] = true
-				out = append(out, q)
-			}
+		for _, q := range as.out.Receivers() {
+			n := as.out.CountTo(q)
+			as.outPeers = append(as.outPeers, peerCount{q, n})
+			sendAll[q] += n
+		}
+		for _, q := range as.in.Senders() {
+			n := as.in.CountFrom(q)
+			as.inPeers = append(as.inPeers, peerCount{q, n})
+			recvAll[q] += n
 		}
 	}
-	sort.Ints(out)
+	s.sendTo = peersOf(sendAll)
+	s.recvFrom = peersOf(recvAll)
+}
+
+func peersOf(byQ map[int]int) []peerCount {
+	out := make([]peerCount, 0, len(byQ))
+	for q, n := range byQ {
+		out = append(out, peerCount{q, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].q < out[j].q })
 	return out
 }
 
@@ -258,7 +267,7 @@ func (e *Engine) buildInspector(c *loopCore) *Schedule {
 	var parcels []crystal.Parcel
 	for k, b := range builders {
 		in := b.Finalize()
-		as := &arraySched{arr: arrays[k], in: in}
+		as := &arraySched{in: in}
 		as.buf = make([]float64, in.Total)
 		s.arrays = append(s.arrays, as)
 		for _, q := range in.Senders() {
@@ -368,41 +377,55 @@ func (e *Engine) exchange(parcels []crystal.Parcel) []crystal.Parcel {
 	return out
 }
 
+// payloadPool recycles executor message buffers.  It must be shared by
+// every engine (a buffer is acquired by the sender and released by the
+// receiver after unpacking), so it is package-global; being a plain
+// free list rather than a sync.Pool, it never drops buffers, and a
+// warmed communication pattern replays without allocating.
+var payloadPool comm.BufPool
+
 // execute runs the paper's Figure 3 pipeline with a prepared schedule,
-// for loops of either rank.
-func (e *Engine) execute(c *loopCore, s *Schedule) {
-	// Send messages to other processors.  The per-byte message charge
+// for loops of either rank.  The schedule is structural; the loop's
+// own arrays are bound to its slots here, in the same first-appearance
+// order assembleArrays used, so a shared schedule executes correctly
+// against whichever loop adopted it.  On the cached-replay path this
+// function allocates nothing: the Env, write log, peer lists, receive
+// buffers and message payloads are all reused.
+func (e *Engine) execute(c *loopCore, s *Schedule, env *Env) {
+	env.reset(e, c, s, modeExecLocal)
+	bindArrays(env, c)
+
+	// Send messages to other processors: per-Range bulk copies from
+	// local storage into a pooled payload.  The per-byte message charge
 	// (paid at both ends by Send/Recv) covers the pack/unpack copies.
 	// By default all arrays' data for one destination travel in a
 	// single combined message (the paper's message-combining).
 	if e.NoCombine {
 		for k, as := range s.arrays {
-			arr := as.arr
-			for _, q := range as.out.Receivers() {
-				payload := as.out.Pack(q, arr.GetLinear)
-				e.node.Send(q, tagFor(k), payload, 8*len(payload))
+			arr := env.arrays[k]
+			for _, pc := range as.outPeers {
+				pb := payloadPool.Get(pc.n)
+				off := 0
+				for _, r := range as.out.RangesTo(pc.q) {
+					arr.CopyLinearRange(r.Low, r.High, pb.Vals[off:off+r.Len()])
+					off += r.Len()
+				}
+				e.node.Send(pc.q, tagFor(k), pb, 8*off)
 			}
 		}
 	} else {
-		for _, q := range sendPeers(s) {
-			var combined []float64
-			for _, as := range s.arrays {
-				combined = append(combined, as.out.Pack(q, as.arr.GetLinear)...)
+		for _, pc := range s.sendTo {
+			pb := payloadPool.Get(pc.n)
+			off := 0
+			for k, as := range s.arrays {
+				arr := env.arrays[k]
+				for _, r := range as.out.RangesTo(pc.q) {
+					arr.CopyLinearRange(r.Low, r.High, pb.Vals[off:off+r.Len()])
+					off += r.Len()
+				}
 			}
-			e.node.Send(q, machine.TagData, combined, 8*len(combined))
+			e.node.Send(pc.q, machine.TagData, pb, 8*off)
 		}
-	}
-
-	env := &Env{
-		mode:   modeExecLocal,
-		eng:    e,
-		node:   e.node,
-		core:   c,
-		sched:  s,
-		arrays: make([]*darray.Array, len(s.arrays)),
-	}
-	for k, as := range s.arrays {
-		env.arrays[k] = as.arr
 	}
 
 	// Do local iterations.
@@ -411,32 +434,36 @@ func (e *Engine) execute(c *loopCore, s *Schedule) {
 		c.run(it, env)
 	}
 
-	// Receive messages from other processors.
+	// Receive messages from other processors; each record lands in the
+	// slot's receive buffer with one bulk copy, and the payload goes
+	// back to the pool.
 	if e.NoCombine {
 		for k, as := range s.arrays {
-			for _, q := range as.in.Senders() {
-				msg := e.node.Recv(q, tagFor(k))
-				payload := msg.Payload.([]float64)
-				as.in.Unpack(q, payload, as.buf)
+			for _, pc := range as.inPeers {
+				msg := e.node.Recv(pc.q, tagFor(k))
+				pb := msg.Payload.(*comm.Payload)
+				as.in.Unpack(pc.q, pb.Vals, as.buf)
+				payloadPool.Put(pb)
 			}
 		}
 	} else {
-		for _, q := range recvPeers(s) {
-			msg := e.node.Recv(q, machine.TagData)
-			payload := msg.Payload.([]float64)
+		for _, pc := range s.recvFrom {
+			msg := e.node.Recv(pc.q, machine.TagData)
+			pb := msg.Payload.(*comm.Payload)
 			off := 0
 			for _, as := range s.arrays {
-				n := as.in.BytesFrom(q) / 8
+				n := as.in.CountFrom(pc.q)
 				if n == 0 {
 					continue
 				}
-				as.in.Unpack(q, payload[off:off+n], as.buf)
+				as.in.Unpack(pc.q, pb.Vals[off:off+n], as.buf)
 				off += n
 			}
-			if off != len(payload) {
+			if off != len(pb.Vals) {
 				panic(fmt.Sprintf("forall %s: combined message from %d has %d values, schedules expect %d",
-					c.name, q, len(payload), off))
+					c.name, pc.q, len(pb.Vals), off))
 			}
+			payloadPool.Put(pb)
 		}
 	}
 
@@ -455,4 +482,12 @@ func (e *Engine) execute(c *loopCore, s *Schedule) {
 	for _, w := range env.writes {
 		w.a.SetLinear(w.g, w.v)
 	}
+	env.writes = env.writes[:0]
+}
+
+// bindArrays binds the loop's distinct read arrays to the schedule's
+// slots (appendDistinct order, the same the build used), reusing
+// env.arrays' backing storage.
+func bindArrays(env *Env, c *loopCore) {
+	env.arrays = appendDistinct(env.arrays[:0], c.reads)
 }

@@ -60,6 +60,23 @@ type write struct {
 	v float64
 }
 
+// reset prepares a (possibly pooled) Env for one execution.  The
+// arrays and writes slices keep their backing storage so a cached
+// replay allocates nothing; writes is empty here because execute
+// truncates it after committing.
+func (e *Env) reset(eng *Engine, c *loopCore, s *Schedule, mode int) {
+	e.mode = mode
+	e.eng = eng
+	e.node = eng.node
+	e.core = c
+	e.sched = s
+	e.builders = nil
+	e.iterNonlocal = false
+	e.enumRecord = e.enumRecord[:0]
+	e.enumList = nil
+	e.enumPos = 0
+}
+
 func (e *Env) slotOf(a *darray.Array) int {
 	for k, arr := range e.arrays {
 		if arr == a {

@@ -9,17 +9,27 @@
 // pipeline parameterized by rank:
 //
 //  1. Determine exec(p), the iterations this node runs.
-//  2. Obtain a communication Schedule: from the cache if the loop has
-//     run before and its pattern-driving arrays are unchanged
-//     (paper §3.2, "saving them for later loop executions"); else by
-//     compile-time analysis when every subscript is affine (paper
-//     §3.1/[3] — per dimension for rank-2 loops); else by the run-time
-//     inspector — a recording pass over the body followed by a
-//     Crystal-router exchange that turns each node's in sets into the
-//     senders' out sets (paper §3.3, Fig. 6).
+//  2. Obtain a communication Schedule: from the per-name cache if the
+//     loop has run before and its pattern-driving arrays are unchanged
+//     (paper §3.2, "saving them for later loop executions"); else from
+//     the content-addressed store if another loop of identical
+//     structure — distribution, bounds, read affines, on clause —
+//     already built one (§3.2's reuse argument applied across loops);
+//     else by compile-time analysis when every subscript is affine
+//     (paper §3.1/[3] — per dimension for rank-2 loops); else by the
+//     run-time inspector — a recording pass over the body followed by
+//     a Crystal-router exchange that turns each node's in sets into
+//     the senders' out sets (paper §3.3, Fig. 6).
 //  3. Run the executor: send all messages, run the local iterations,
 //     receive all messages, run the nonlocal iterations (Fig. 3),
 //     then commit buffered writes (copy-in/copy-out semantics).
+//
+// The executor is vectorized: schedules store per-peer range records,
+// message payloads are packed with one bulk copy per contiguous range
+// (darray.CopyLinearRange), all of a loop's reads travel in one
+// coalesced message per processor pair, and payload buffers, the Env,
+// and the write log are pooled — replaying a cached schedule performs
+// zero heap allocations.
 package forall
 
 import (
@@ -141,7 +151,10 @@ type Loop2 struct {
 type iteration struct{ i, j int }
 
 // loopCore is the rank-independent lowering of a Loop or Loop2: the
-// single representation the schedule pipeline operates on.
+// single representation the schedule pipeline operates on.  Lowering
+// fills a caller-provided value (the Engine's scratch on the top-level
+// path) and dispatches the body through l1/l2 rather than a closure,
+// so replaying a cached loop allocates nothing.
 type loopCore struct {
 	name      string
 	rank      int
@@ -154,37 +167,46 @@ type loopCore struct {
 	deps      []Dep
 	phase     string
 	enumerate bool
-	// run invokes the user body for one iteration.
-	run func(it iteration, e *Env)
+	l1        *Loop  // source loop (rank 1)
+	l2        *Loop2 // source loop (rank 2)
 }
 
-// core lowers a rank-1 loop.
-func (l *Loop) core() *loopCore {
-	return &loopCore{
+// run invokes the user body for one iteration.
+func (c *loopCore) run(it iteration, e *Env) {
+	if c.rank == 1 {
+		c.l1.Body(it.i, e)
+	} else {
+		c.l2.Body(it.i, it.j, e)
+	}
+}
+
+// lower fills c with the rank-1 loop's core form.
+func (l *Loop) lower(c *loopCore) {
+	*c = loopCore{
 		name: l.Name, rank: 1,
 		bounds: [4]int{l.Lo, l.Hi, 0, 0},
 		on:     l.On, onF: l.OnF, onProc: l.OnProc,
 		reads: l.Reads, deps: l.DependsOn, phase: l.Phase,
 		enumerate: l.Enumerate,
-		run:       func(it iteration, e *Env) { l.Body(it.i, e) },
+		l1:        l,
 	}
 }
 
-// core lowers a rank-2 loop, normalizing the zero-value on clause to
-// identity here rather than by mutating the caller's Loop2 (which may
-// be shared across the per-node goroutines).
-func (l *Loop2) core() *loopCore {
+// lower fills c with the rank-2 loop's core form, normalizing the
+// zero-value on clause to identity here rather than by mutating the
+// caller's Loop2 (which may be shared across the per-node goroutines).
+func (l *Loop2) lower(c *loopCore) {
 	onF2 := l.OnF2
 	if (onF2 == analysis.Affine2{}) {
 		onF2 = analysis.Identity2
 	}
-	return &loopCore{
+	*c = loopCore{
 		name: l.Name, rank: 2,
 		bounds: [4]int{l.LoI, l.HiI, l.LoJ, l.HiJ},
 		on:     l.On, onF2: onF2,
 		reads: l.Reads, deps: l.DependsOn, phase: l.Phase,
 		enumerate: l.Enumerate,
-		run:       func(it iteration, e *Env) { l.Body(it.i, it.j, e) },
+		l2:        l,
 	}
 }
 
@@ -220,11 +242,15 @@ func (c *loopCore) analyzable() bool {
 // BuildKind says how a schedule was obtained, for tests and reports.
 type BuildKind int
 
-// Schedule provenance values.
+// Schedule provenance values.  BuildShared means the loop did not
+// build anything: an existing schedule with the same structural key
+// (distributions, bounds, read affines, on clause) was adopted from
+// the engine's content-addressed store.
 const (
 	BuildCached BuildKind = iota
 	BuildCompileTime
 	BuildInspector
+	BuildShared
 )
 
 func (k BuildKind) String() string {
@@ -235,17 +261,30 @@ func (k BuildKind) String() string {
 		return "compile-time"
 	case BuildInspector:
 		return "inspector"
+	case BuildShared:
+		return "shared"
 	default:
 		return fmt.Sprintf("BuildKind(%d)", int(k))
 	}
 }
 
-// arraySched is the communication schedule for one distributed array.
+// peerCount is one precomputed communication partner: processor q and
+// the number of elements exchanged with it per execution.  Computing
+// these once at build time keeps the replay path allocation-free.
+type peerCount struct{ q, n int }
+
+// arraySched is the communication schedule of one read-array slot.  It
+// is purely structural — which loop array occupies the slot is bound
+// at execution time from the loop's reads, which is what lets whole
+// schedules be shared between identically-shaped loops over different
+// arrays.  buf is the slot's receive buffer, allocated once at build
+// time and reused by every replay.
 type arraySched struct {
-	arr *darray.Array
-	in  *comm.InSet
-	out *comm.OutSet
-	buf []float64
+	in       *comm.InSet
+	out      *comm.OutSet
+	buf      []float64
+	outPeers []peerCount // receivers of this slot's data, ascending
+	inPeers  []peerCount // senders of this slot's data, ascending
 }
 
 // enumRef is one resolved reference of a Saltz-style enumerated
@@ -257,24 +296,24 @@ type enumRef struct {
 	Buf  int
 }
 
-// Schedule is the cached result of inspecting/analyzing one loop on
-// one node, for loops of any rank.
+// Schedule is the result of inspecting/analyzing one loop shape on one
+// node, for loops of any rank.  It is purely structural: iteration
+// lists, per-slot communication sets and buffers, but no binding to
+// the arrays of any particular loop.  One Schedule may therefore be
+// held by several cache entries at once (content-addressed sharing)
+// and replayed against different arrays.
 type Schedule struct {
 	rank         int
 	execLocal    []iteration
 	execNonlocal []iteration
 	arrays       []*arraySched
 	kind         BuildKind
-	bounds       [4]int
-	depVersions  []int
-	// onF/onF2/enumerate/reads record the loop shape the schedule was
-	// built for: reusing a cached schedule under a different placement,
-	// executor variant, or read pattern would execute the wrong
-	// iterations or miss communicated elements.
-	onF       analysis.Affine
-	onF2      analysis.Affine2
-	enumerate bool
-	readSigs  []readSig
+	// sendTo/recvFrom are the combined-message peers: the ascending
+	// union of all slots' receivers/senders with total element counts,
+	// precomputed so the executor sizes each coalesced message without
+	// allocating.
+	sendTo   []peerCount
+	recvFrom []peerCount
 	// enum[k] lists every resolved reference of nonlocal iteration
 	// execNonlocal[k], in body order — row-major for rank-2 loops
 	// (Loop.Enumerate / Loop2.Enumerate only).
@@ -334,12 +373,44 @@ type schedKey struct {
 	name string
 }
 
+// cacheEntry binds one loop name to a (possibly shared) Schedule,
+// together with the loop shape the binding was made under.  The shape
+// fields guard replay: reusing a schedule under a different placement,
+// executor variant, or read pattern would execute the wrong iterations
+// or miss communicated elements.
+type cacheEntry struct {
+	s           *Schedule
+	bounds      [4]int
+	onF         analysis.Affine
+	onF2        analysis.Affine2
+	enumerate   bool
+	readSigs    []readSig
+	depVersions []int
+}
+
+// matches reports whether the entry was recorded for exactly this loop
+// shape.  It allocates nothing (replay hot path).
+func (ent *cacheEntry) matches(c *loopCore) bool {
+	if ent.bounds != c.bounds || ent.onF != c.onF || ent.onF2 != c.onF2 ||
+		ent.enumerate != c.enumerate || len(ent.readSigs) != len(c.reads) {
+		return false
+	}
+	for i, r := range c.reads {
+		if ent.readSigs[i] != sigOf(r) {
+			return false
+		}
+	}
+	return true
+}
+
 // Engine executes forall loops on one node and caches their schedules.
 type Engine struct {
-	node  *machine.Node
-	cache map[schedKey]*Schedule
-	// NoCache disables schedule reuse (benchmark ABL1 measures the
-	// cost of re-inspecting on every execution).
+	node   *machine.Node
+	cache  map[schedKey]*cacheEntry
+	shared map[shareKey]*Schedule
+	// NoCache disables schedule reuse — both the per-name cache and the
+	// content-addressed store (benchmark ABL1 measures the cost of
+	// re-inspecting on every execution).
 	NoCache bool
 	// ForceInspector disables the compile-time path (ABL3).
 	ForceInspector bool
@@ -351,12 +422,25 @@ type Engine struct {
 	// the number of messages").
 	NoCombine bool
 
-	lastKind BuildKind
+	lastKind   BuildKind
+	builds     int
+	sharedHits int
+
+	// Replay scratch, reused across executions so a cached replay
+	// allocates nothing.  Guarded by inRun: a (pathological) nested Run
+	// from inside a loop body falls back to fresh allocations.
+	inRun   bool
+	coreBuf loopCore
+	envBuf  Env
 }
 
 // NewEngine creates the per-node forall engine.
 func NewEngine(n *machine.Node) *Engine {
-	return &Engine{node: n, cache: map[schedKey]*Schedule{}}
+	return &Engine{
+		node:   n,
+		cache:  map[schedKey]*cacheEntry{},
+		shared: map[shareKey]*Schedule{},
+	}
 }
 
 // Node returns the engine's node.
@@ -366,22 +450,49 @@ func (e *Engine) Node() *machine.Node { return e.node }
 // schedule.
 func (e *Engine) LastBuildKind() BuildKind { return e.lastKind }
 
+// Builds returns how many schedules the engine has actually built
+// (compile-time or inspector); cache and shared hits do not count.
+func (e *Engine) Builds() int { return e.builds }
+
+// SharedHits returns how many times a loop adopted an existing
+// schedule from the content-addressed store instead of building one.
+func (e *Engine) SharedHits() int { return e.sharedHits }
+
+// SharedSchedules returns the number of distinct schedules in the
+// content-addressed store.
+func (e *Engine) SharedSchedules() int { return len(e.shared) }
+
 // Schedule returns the cached schedule of a rank-1 loop, or nil if the
 // loop has not run (or caching is disabled).
-func (e *Engine) Schedule(name string) *Schedule { return e.cache[schedKey{1, name}] }
+func (e *Engine) Schedule(name string) *Schedule {
+	if ent := e.cache[schedKey{1, name}]; ent != nil {
+		return ent.s
+	}
+	return nil
+}
 
 // Schedule2 returns the cached schedule of a rank-2 loop.
-func (e *Engine) Schedule2(name string) *Schedule { return e.cache[schedKey{2, name}] }
+func (e *Engine) Schedule2(name string) *Schedule {
+	if ent := e.cache[schedKey{2, name}]; ent != nil {
+		return ent.s
+	}
+	return nil
+}
 
-// Invalidate drops the cached schedules (of either rank) of one loop.
+// Invalidate drops the cached schedules (of either rank) of one loop
+// name.  Entries in the content-addressed store are untouched: they
+// are pure functions of loop structure, so other loops sharing them
+// can never be left holding a stale schedule.
 func (e *Engine) Invalidate(name string) {
 	delete(e.cache, schedKey{1, name})
 	delete(e.cache, schedKey{2, name})
 }
 
-// InvalidateAll drops all cached schedules.
+// InvalidateAll drops all cached schedules, including the shared
+// store: the engine forgets everything and rebuilds from scratch.
 func (e *Engine) InvalidateAll() {
-	e.cache = map[schedKey]*Schedule{}
+	e.cache = map[schedKey]*cacheEntry{}
+	e.shared = map[shareKey]*Schedule{}
 }
 
 // Run executes one rank-1 forall: schedule acquisition is timed under
@@ -389,24 +500,47 @@ func (e *Engine) InvalidateAll() {
 // analyzed), execution under "executor".
 func (e *Engine) Run(l *Loop) {
 	e.validate(l)
-	e.runCore(l.core())
+	c, env := e.acquire()
+	defer e.release(c)
+	l.lower(c)
+	e.runCore(c, env)
 }
 
 // Run2 executes a two-dimensional forall through the same pipeline.
 func (e *Engine) Run2(l *Loop2) {
 	e.validate2(l)
-	e.runCore(l.core())
+	c, env := e.acquire()
+	defer e.release(c)
+	l.lower(c)
+	e.runCore(c, env)
+}
+
+// acquire hands out the engine's reusable loopCore/Env scratch, or
+// fresh values if a Run is already active on this engine.
+func (e *Engine) acquire() (*loopCore, *Env) {
+	if e.inRun {
+		return new(loopCore), new(Env)
+	}
+	e.inRun = true
+	return &e.coreBuf, &e.envBuf
+}
+
+// release returns the scratch (a no-op for nested fresh values).
+func (e *Engine) release(c *loopCore) {
+	if c == &e.coreBuf {
+		e.inRun = false
+	}
 }
 
 // runCore is the shared schedule-then-execute pipeline.
-func (e *Engine) runCore(c *loopCore) {
+func (e *Engine) runCore(c *loopCore, env *Env) {
 	s := e.schedule(c)
 	phase := c.phase
 	if phase == "" {
 		phase = PhaseExecutor
 	}
 	e.node.StartPhase(phase)
-	e.execute(c, s)
+	e.execute(c, s, env)
 	e.node.StopPhase(phase)
 }
 
@@ -464,15 +598,29 @@ func (e *Engine) validate2(l *Loop2) {
 	}
 }
 
-// schedule returns a valid Schedule, consulting the cache first.
+// schedule returns a valid Schedule: from the per-name cache when the
+// loop reruns unchanged, from the content-addressed store when another
+// loop of identical structure already built one, else by building.
 func (e *Engine) schedule(c *loopCore) *Schedule {
 	key := schedKey{c.rank, c.name}
-	sigs := readSigs(c)
 	if !e.NoCache {
-		if s, ok := e.cache[key]; ok && s.bounds == c.bounds &&
-			s.onF == c.onF && s.onF2 == c.onF2 && s.enumerate == c.enumerate &&
-			sigsEqual(s.readSigs, sigs) && depsFresh(c, s) {
+		if ent, ok := e.cache[key]; ok && ent.matches(c) && depsFresh(c, ent) {
 			e.lastKind = BuildCached
+			return ent.s
+		}
+	}
+	// Content-addressed sharing applies only to compile-time schedules:
+	// they are pure functions of (distribution, bounds, read affines,
+	// on clause), whereas inspector schedules depend on what the body
+	// actually referenced (indirect subscripts, OnProc, enumeration).
+	shareable := c.analyzable() && !e.ForceInspector && !e.NoCache
+	var sk shareKey
+	if shareable {
+		sk = shareKeyOf(c)
+		if s, ok := e.shared[sk]; ok {
+			e.sharedHits++
+			e.lastKind = BuildShared
+			e.store(key, c, s)
 			return s
 		}
 	}
@@ -485,15 +633,33 @@ func (e *Engine) schedule(c *loopCore) *Schedule {
 	}
 	e.node.StopPhase(PhaseInspector)
 	s.rank = c.rank
-	s.bounds = c.bounds
-	s.onF, s.onF2, s.enumerate = c.onF, c.onF2, c.enumerate
-	s.readSigs = sigs
-	s.depVersions = depVersions(c)
+	finalizePeers(s)
+	e.builds++
+	if shareable {
+		e.shared[sk] = s
+	}
 	if !e.NoCache {
-		e.cache[key] = s
+		e.store(key, c, s)
 	}
 	e.lastKind = s.kind
 	return s
+}
+
+// store records the name → schedule binding with the shape it was made
+// under.
+func (e *Engine) store(key schedKey, c *loopCore, s *Schedule) {
+	sigs := make([]readSig, len(c.reads))
+	for i, r := range c.reads {
+		sigs[i] = sigOf(r)
+	}
+	vers := make([]int, len(c.deps))
+	for i, d := range c.deps {
+		vers[i] = d.Version()
+	}
+	e.cache[key] = &cacheEntry{
+		s: s, bounds: c.bounds, onF: c.onF, onF2: c.onF2,
+		enumerate: c.enumerate, readSigs: sigs, depVersions: vers,
+	}
 }
 
 // readSig is the comparable shape of one ReadSpec; form distinguishes
@@ -505,68 +671,54 @@ type readSig struct {
 	aff2 analysis.Affine2
 }
 
-func readSigs(c *loopCore) []readSig {
-	out := make([]readSig, len(c.reads))
-	for i, r := range c.reads {
-		out[i] = readSig{arr: r.Array}
-		if r.Affine != nil {
-			out[i].form, out[i].aff = 1, *r.Affine
-		} else if r.Affine2 != nil {
-			out[i].form, out[i].aff2 = 2, *r.Affine2
-		}
+// sigOf projects one ReadSpec without allocating.
+func sigOf(r ReadSpec) readSig {
+	sig := readSig{arr: r.Array}
+	if r.Affine != nil {
+		sig.form, sig.aff = 1, *r.Affine
+	} else if r.Affine2 != nil {
+		sig.form, sig.aff2 = 2, *r.Affine2
 	}
-	return out
+	return sig
 }
 
-func sigsEqual(a, b []readSig) bool {
-	if len(a) != len(b) {
+func depsFresh(c *loopCore, ent *cacheEntry) bool {
+	if len(c.deps) != len(ent.depVersions) {
 		return false
 	}
-	for i := range a {
-		if a[i] != b[i] {
+	for i, d := range c.deps {
+		if d.Version() != ent.depVersions[i] {
 			return false
 		}
 	}
 	return true
 }
 
-func depVersions(c *loopCore) []int {
-	out := make([]int, len(c.deps))
-	for i, d := range c.deps {
-		out[i] = d.Version()
-	}
-	return out
-}
-
-func depsFresh(c *loopCore, s *Schedule) bool {
-	if len(c.deps) != len(s.depVersions) {
-		return false
-	}
-	for i, d := range c.deps {
-		if d.Version() != s.depVersions[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// distinctArrays returns the distinct arrays referenced by the loop's
-// reads, in first-appearance order.
-func distinctArrays(c *loopCore) []*darray.Array {
-	var out []*darray.Array
-	for _, r := range c.reads {
+// appendDistinct appends each read's array to dst on first appearance.
+// This single helper defines the slot order of a schedule: the build
+// path (assembleArrays), the execute-time binding (bindArrays) and the
+// share key (shareKeyOf) all derive slots from it, so they can never
+// disagree on which array occupies which slot.
+func appendDistinct(dst []*darray.Array, reads []ReadSpec) []*darray.Array {
+	for _, r := range reads {
 		found := false
-		for _, a := range out {
+		for _, a := range dst {
 			if a == r.Array {
 				found = true
 				break
 			}
 		}
 		if !found {
-			out = append(out, r.Array)
+			dst = append(dst, r.Array)
 		}
 	}
-	return out
+	return dst
+}
+
+// distinctArrays returns the distinct arrays referenced by the loop's
+// reads, in first-appearance (slot) order.
+func distinctArrays(c *loopCore) []*darray.Array {
+	return appendDistinct(nil, c.reads)
 }
 
 // execSet computes exec(p) for a rank-1 loop as a sorted slice.

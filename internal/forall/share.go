@@ -1,0 +1,73 @@
+package forall
+
+import (
+	"kali/internal/analysis"
+	"kali/internal/dist"
+)
+
+// Content-addressed schedule sharing (the cross-loop half of the
+// paper's §3.2 reuse argument).  A compile-time schedule is a pure
+// function of the loop's structure: the on array's distribution and
+// on-clause subscript, the bounds, and each read's affine subscript
+// and distribution — never of any array's *contents*.  Keying built
+// schedules by that structure lets identically-shaped loops over
+// different arrays, and repeated loops across time steps under
+// different names, replay one shared *Schedule instead of rebuilding
+// it, paying the set algebra once per shape per node.
+//
+// Inspector-built schedules are excluded: their in sets record what
+// the body actually referenced (indirect subscripts, OnProc
+// placement, Saltz enumeration), which the structural key cannot see.
+
+// shareKey is the comparable structural identity of a compile-time
+// schedule.  The two hash fields fingerprint the distributions (and
+// the read → distinct-array aliasing pattern), which have no compact
+// comparable form of their own.
+type shareKey struct {
+	rank   int
+	bounds [4]int
+	onF    analysis.Affine
+	onF2   analysis.Affine2
+	onDist uint64
+	reads  uint64
+	nreads int
+}
+
+func mixInt(h uint64, v int) uint64 { return dist.MixFingerprint(h, uint64(int64(v))) }
+
+// shareKeyOf fingerprints an analyzable loop.  Each read contributes
+// its slot index (its array's position in the appendDistinct order —
+// the same order assembleArrays builds slots in and bindArrays binds
+// them in, so two reads of one array can never share with two reads of
+// different but identically-distributed arrays), its affine subscript,
+// and its array's distribution fingerprint.
+func shareKeyOf(c *loopCore) shareKey {
+	key := shareKey{
+		rank:   c.rank,
+		bounds: c.bounds,
+		onF:    c.onF,
+		onF2:   c.onF2,
+		onDist: c.on.Dist().Fingerprint(),
+		nreads: len(c.reads),
+	}
+	slots := distinctArrays(c)
+	h := dist.FingerprintSeed
+	for _, r := range c.reads {
+		for k, a := range slots {
+			if a == r.Array {
+				h = mixInt(h, k)
+				break
+			}
+		}
+		switch {
+		case r.Affine != nil:
+			h = mixInt(mixInt(mixInt(h, 1), r.Affine.A), r.Affine.C)
+		case r.Affine2 != nil:
+			h = mixInt(mixInt(mixInt(h, 2), r.Affine2.I.A), r.Affine2.I.C)
+			h = mixInt(mixInt(h, r.Affine2.J.A), r.Affine2.J.C)
+		}
+		h = dist.MixFingerprint(h, r.Array.Dist().Fingerprint())
+	}
+	key.reads = h
+	return key
+}

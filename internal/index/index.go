@@ -1,8 +1,8 @@
 // Package index implements the index-set algebra underlying Kali's
 // communication analysis.
 //
-// The paper defines the sets exec(p), ref(p), in(p,q) and out(p,q) as
-// subsets of iteration and array index spaces.  All of these are sets of
+// The paper (§3.1) defines the sets exec(p), ref(p), in(p,q) and
+// out(p,q) as subsets of iteration and array index spaces.  All of these are sets of
 // integers which, for the distributions Kali supports, are unions of a
 // small number of contiguous intervals (possibly strided).  This package
 // provides a normalized interval-set representation with the operations

@@ -1,7 +1,7 @@
 // Package machine simulates a distributed-memory multicomputer.
 //
-// The paper evaluates Kali on two hypercubes, the NCUBE/7 and the
-// iPSC/2.  We cannot run on that hardware, so this package provides a
+// The paper's evaluation (§4, Figures 7–10) runs Kali on two
+// hypercubes, the NCUBE/7 and the iPSC/2.  We cannot run on that hardware, so this package provides a
 // faithful software substitute: every node of the simulated machine is
 // a goroutine with its own local memory and a *virtual clock*, and all
 // interaction happens through explicit messages, exactly as on the real
@@ -191,6 +191,39 @@ type Stats struct {
 	BytesSent    int
 	MsgsReceived int
 	FlopCount    int64
+}
+
+// Sub returns the field-wise difference s - o: the events that
+// happened between two snapshots (e.g. across one loop replay, which
+// is how kalibench's commvec table counts messages per execution).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		MsgsSent:     s.MsgsSent - o.MsgsSent,
+		BytesSent:    s.BytesSent - o.BytesSent,
+		MsgsReceived: s.MsgsReceived - o.MsgsReceived,
+		FlopCount:    s.FlopCount - o.FlopCount,
+	}
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		MsgsSent:     s.MsgsSent + o.MsgsSent,
+		BytesSent:    s.BytesSent + o.BytesSent,
+		MsgsReceived: s.MsgsReceived + o.MsgsReceived,
+		FlopCount:    s.FlopCount + o.FlopCount,
+	}
+}
+
+// TotalStats sums the event counters over all nodes — the machine-wide
+// message count and bytes moved.  Call it only while no node program
+// is running.
+func (m *Machine) TotalStats() Stats {
+	var t Stats
+	for _, n := range m.nodes {
+		t = t.Add(n.stats)
+	}
+	return t
 }
 
 // Node is one processor of the simulated machine.  All methods must be

@@ -1,5 +1,5 @@
-// Package topology models Kali processor arrays and their embedding
-// into hypercube machines.
+// Package topology models Kali processor arrays (paper §2.1) and
+// their embedding into hypercube machines.
 //
 // A Kali program declares a processor array such as
 //

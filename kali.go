@@ -7,12 +7,21 @@
 // Kali provides a global name space over a (simulated) distributed-
 // memory machine: programs declare processor arrays, distribute data
 // arrays over them, and express computation as forall loops that read
-// and write global indices directly.  The runtime turns each loop into
-// SPMD message passing — by closed-form analysis when subscripts are
-// affine, and by the paper's inspector/executor mechanism (with
-// schedule caching) when subscripts are data-dependent.
+// and write global indices directly.  Each node runs a per-node
+// forall.Engine whose Run (rank-1 Loop) and Run2 (rank-2 Loop2)
+// methods turn a loop into SPMD message passing through one pipeline:
+// a per-name schedule cache (paper §3.2), a content-addressed store
+// that lets identically-shaped loops share one schedule, closed-form
+// compile-time analysis when subscripts are affine (§3.1), and the
+// run-time inspector/executor (§3.3) for data-dependent subscripts.
+// Replaying a cached schedule is allocation-free: payloads are packed
+// with bulk per-range copies, coalesced into one message per
+// processor pair, and recycled through a buffer pool.
 //
-// A minimal program:
+// A minimal program — Context.Forall and Context.Forall2 dispatch to
+// the node's Engine (also reachable as ctx.Eng for cache control,
+// Engine.Schedule inspection, and the NoCache/ForceInspector/
+// NoCombine ablation switches):
 //
 //	rep := kali.Run(kali.Config{P: 4, Params: kali.NCUBE7()}, func(ctx *kali.Context) {
 //	    a := ctx.BlockArray("A", 100)
@@ -26,7 +35,17 @@
 //	})
 //	fmt.Println(rep)
 //
-// The deeper layers are importable directly for advanced use:
+// Rank-2 loops run the same way over 2-D processor grids:
+//
+//	ctx.Forall2(&kali.Loop2{
+//	    Name: "relax", LoI: 2, HiI: n - 1, LoJ: 2, HiJ: n - 1,
+//	    On:    a, // rank-2 array over a 2-D grid; OnF2 defaults to Identity2
+//	    Reads: []kali.ReadSpec{{Array: old, Affine2: &kali.Affine2{...}}},
+//	    Body:  func(i, j int, e *kali.Env) { ... },
+//	})
+//
+// See docs/ARCHITECTURE.md for the paper-to-code map.  The deeper
+// layers are importable directly for advanced use:
 // kali/internal/{machine,dist,darray,forall,analysis,inspector-side
 // pieces in comm and crystal}.
 package kali
