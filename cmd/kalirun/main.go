@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	kalirun [-machine ncube|ipsc|ideal] [-p N] [-print name,...] prog.kali
+//	kalirun [-machine ncube|ipsc|ideal] [-p N] [-print name,...] [-stats] prog.kali
 //
 // The program's processors declaration (the "real estate agent") may
 // choose fewer processors than -p provides.  After execution the
 // timing report is printed, plus the final contents of any arrays
-// named with -print.
+// named with -print.  -stats adds the message/traffic breakdown,
+// separating redistribute-statement traffic (and its phase time) from
+// the forall phases.
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	machineName := flag.String("machine", "ncube", "cost model: ncube, ipsc, ideal")
 	procs := flag.Int("p", 8, "available processors")
 	printArrays := flag.String("print", "", "comma-separated array/scalar names to print")
+	stats := flag.Bool("stats", false, "print the traffic breakdown (forall vs redistribution)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -58,6 +61,15 @@ func main() {
 	fmt.Printf("total %.4fs  executor %.4fs  inspector %.4fs  (overhead %.1f%%)\n",
 		res.Report.Total, res.Report.Executor, res.Report.Inspector,
 		res.Report.OverheadPct())
+	if res.Report.Redist > 0 {
+		fmt.Printf("redistribute %.4fs (outside the total above)\n", res.Report.Redist)
+	}
+	if *stats {
+		r := res.Report
+		fmt.Printf("messages: %d total, %d bytes\n", r.MsgsSent, r.BytesSent)
+		fmt.Printf("  forall/other:  %d msgs, %d bytes\n", r.MsgsSent-r.RedistMsgs, r.BytesSent-r.RedistBytes)
+		fmt.Printf("  redistribute:  %d msgs, %d bytes\n", r.RedistMsgs, r.RedistBytes)
+	}
 
 	for _, name := range strings.Split(*printArrays, ",") {
 		name = strings.TrimSpace(name)

@@ -90,6 +90,7 @@ var Registry = map[string]Generator{
 	"enumeration":  Enumeration,
 	"enumerate2d":  Enumeration2D,
 	"commvec":      CommVec,
+	"redist":       Redist,
 	"granularity":  Granularity,
 }
 
@@ -97,7 +98,7 @@ var Registry = map[string]Generator{
 var Order = []string{
 	"fig7", "fig8", "fig9", "fig10",
 	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "ctvsrt2d",
-	"distchoice", "enumeration", "enumerate2d", "commvec", "granularity",
+	"distchoice", "enumeration", "enumerate2d", "commvec", "redist", "granularity",
 }
 
 const sweeps = 100

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/topology"
+)
+
+// Redist measures schedule-driven dynamic redistribution (the run-time
+// face of paper §2.4's dynamic distributions): an n×n array ping-pongs
+// between row layout [block, *] and column layout [*, block] — the
+// transpose at the heart of ADI-style alternating sweeps.  Two rows
+// contrast the cold first cycle, which builds both all-to-all plans,
+// against warm cycles replaying them from the content-addressed store:
+// the replay builds nothing and — with payloads and partitions drawn
+// from the shared buffer pool — allocates nothing (allocs/cycle 0.00,
+// pinned by TestRedistributeReplayAllocationFree).
+//
+// Message and byte counts come from the machine's TagRedist-attributed
+// Stats columns; "other msgs" shows that no redistribution traffic
+// leaks into the forall counters (and vice versa).
+func Redist(opt Options) *Table {
+	n, p, reps := 256, 8, 20
+	if opt.Quick {
+		n, p, reps = 64, 4, 10
+	}
+	t := &Table{
+		ID:     "redist",
+		Title:  "dynamic redistribution: row-block <-> column-block ping-pong (ADI transpose)",
+		Header: []string{"phase", "plan builds", "plan hits", "redist msgs/cycle", "redist bytes/cycle", "other msgs", "allocs/cycle", "redist time/cycle"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7, %dx%d real array, %d processors, %d warm ping-pong cycles", n, n, p, reps),
+		},
+	}
+	cold, warm := redistRun(n, p, reps, machine.NCUBE7())
+	t.Rows = append(t.Rows, cold, warm)
+	return t
+}
+
+// redistRun executes one cold ping-pong cycle and reps warm ones,
+// returning a rendered row for each regime.
+func redistRun(n, p, reps int, params machine.Params) (cold, warm []string) {
+	g := topology.MustGrid(p)
+	rows := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
+	cols := dist.Must([]int{n, n}, []dist.DimSpec{dist.CollapsedDim(), dist.BlockDim()}, g)
+	mach := machine.MustNew(p, params)
+
+	// Park the GC so the malloc count is exact and the buffer pool is
+	// never drained mid-measurement.
+	oldGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(oldGC)
+
+	builds0, hits0 := darray.RedistBuilds(), darray.RedistHits()
+	var mu sync.Mutex
+	var coldStats, warmBase machine.Stats
+	var coldTime, warmTime float64
+	var coldBuilds, coldHits, warmupBuilds, warmupHits, warmBuilds, warmHits int
+	var warmMallocs uint64
+	mach.Run(func(nd *machine.Node) {
+		a := darray.New("u", rows, nd)
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if a.IsLocal(i, j) {
+					a.Set(float64(i*n+j), i, j)
+				}
+			}
+		}
+		// Cold cycle: both plans are built here.
+		darray.Redistribute(a, cols)
+		nd.Barrier()
+		darray.Redistribute(a, rows)
+		nd.Barrier()
+		statsAfterCold := nd.Stats()
+		timeAfterCold := nd.PhaseTime(darray.PhaseRedistribute)
+		if nd.ID() == 0 {
+			mu.Lock()
+			coldBuilds = darray.RedistBuilds() - builds0
+			coldHits = darray.RedistHits() - hits0
+			mu.Unlock()
+		}
+		nd.Barrier()
+
+		// A few unmeasured warm cycles grow the buffer pools and pending
+		// queues to the pattern's peak demand before the malloc window.
+		for k := 0; k < 3; k++ {
+			darray.Redistribute(a, cols)
+			nd.Barrier()
+			darray.Redistribute(a, rows)
+			nd.Barrier()
+		}
+		warmupStats := nd.Stats()
+		timeAfterWarmup := nd.PhaseTime(darray.PhaseRedistribute)
+		if nd.ID() == 0 {
+			mu.Lock()
+			warmupBuilds = darray.RedistBuilds() - builds0
+			warmupHits = darray.RedistHits() - hits0
+			mu.Unlock()
+		}
+		var before, after runtime.MemStats
+		if nd.ID() == 0 {
+			runtime.ReadMemStats(&before)
+		}
+		nd.Barrier()
+		for k := 0; k < reps; k++ {
+			darray.Redistribute(a, cols)
+			nd.Barrier()
+			darray.Redistribute(a, rows)
+			nd.Barrier()
+		}
+		nd.Barrier()
+		if nd.ID() == 0 {
+			runtime.ReadMemStats(&after)
+		}
+		nd.Barrier()
+
+		mu.Lock()
+		coldStats = coldStats.Add(statsAfterCold)
+		warmBase = warmBase.Add(warmupStats)
+		if timeAfterCold > coldTime {
+			coldTime = timeAfterCold
+		}
+		if dt := nd.PhaseTime(darray.PhaseRedistribute) - timeAfterWarmup; dt > warmTime {
+			warmTime = dt
+		}
+		if nd.ID() == 0 {
+			warmMallocs = after.Mallocs - before.Mallocs
+		}
+		mu.Unlock()
+	})
+	warmStats := mach.TotalStats().Sub(warmBase)
+	warmBuilds = darray.RedistBuilds() - builds0 - warmupBuilds
+	warmHits = darray.RedistHits() - hits0 - warmupHits
+
+	row := func(phase string, builds, hits int, st machine.Stats, cycles int, allocs float64, tm float64) []string {
+		c := float64(cycles)
+		return []string{
+			phase, fmt.Sprint(builds), fmt.Sprint(hits),
+			fmt.Sprintf("%.1f", float64(st.RedistMsgsSent)/c),
+			fmt.Sprintf("%.0f", float64(st.RedistBytesSent)/c),
+			fmt.Sprint(st.MsgsSent - st.RedistMsgsSent),
+			fmt.Sprintf("%.2f", allocs),
+			fmt.Sprintf("%.4f", tm/c),
+		}
+	}
+	cold = row("cold (build)", coldBuilds, coldHits, coldStats, 1, -1, coldTime)
+	cold[6] = "-" // cold-cycle allocations include one-time plan construction
+	warm = row("warm (replay)", warmBuilds, warmHits, warmStats, reps, float64(warmMallocs)/float64(reps), warmTime)
+	return cold, warm
+}

@@ -1,6 +1,9 @@
 package comm
 
-import "sync"
+import (
+	"math/bits"
+	"sync"
+)
 
 // Payload is a recyclable message body: the executor packs a loop's
 // outgoing values into Vals, ships the *Payload through the simulated
@@ -12,35 +15,55 @@ type Payload struct {
 }
 
 // BufPool is a free list of message payloads shared by the sending and
-// receiving ends of a machine's executors.  Unlike sync.Pool it never
-// drops buffers under GC pressure, so once a communication pattern has
-// warmed the list, cached schedule replays allocate nothing: every
-// Get is satisfied by a buffer some receiver Put back after unpacking.
+// receiving ends of a machine's executors (and by the redistribution
+// all-to-all, which also draws array partitions from it).  Unlike
+// sync.Pool it never drops buffers under GC pressure, so once a
+// communication pattern has warmed the list, cached replays allocate
+// nothing: every Get is satisfied by a buffer some receiver Put back.
+//
+// Buffers are segregated into power-of-two capacity classes, with Get
+// falling back to the smallest sufficient larger class when its own is
+// empty.  Exact-class reuse keeps mixed-size patterns (small halo
+// payloads alongside whole array partitions) from repeatedly growing
+// the same buffers: a request only allocates when no pooled buffer of
+// sufficient capacity exists at all, i.e. at genuine peak demand.
 //
 // The pool must be shared machine-wide (not per node): a buffer is
 // acquired by the sender but released by the receiver, so per-node
 // free lists would drain on one side and pile up on the other.
 type BufPool struct {
-	mu   sync.Mutex
-	free []*Payload
+	mu       sync.Mutex
+	free     map[int][]*Payload // capacity class (power of two) -> idle buffers
+	maxClass int
+}
+
+// classFor returns the smallest power of two >= n (n >= 1 assumed;
+// class 1 covers n <= 1).
+func classFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
 }
 
 // Get returns a payload with len(Vals) == n, reusing a pooled buffer
-// when one is available (growing its capacity if needed).
+// of sufficient capacity when one is available.  Freshly allocated
+// buffers are sized to their class, so they serve every later request
+// of the same class without growing.
 func (p *BufPool) Get(n int) *Payload {
+	cls := classFor(n)
 	p.mu.Lock()
 	var b *Payload
-	if k := len(p.free); k > 0 {
-		b = p.free[k-1]
-		p.free[k-1] = nil
-		p.free = p.free[:k-1]
+	for c := cls; c <= p.maxClass && b == nil; c <<= 1 {
+		if list := p.free[c]; len(list) > 0 {
+			b = list[len(list)-1]
+			list[len(list)-1] = nil
+			p.free[c] = list[:len(list)-1]
+		}
 	}
 	p.mu.Unlock()
 	if b == nil {
-		b = &Payload{}
-	}
-	if cap(b.Vals) < n {
-		b.Vals = make([]float64, n)
+		return &Payload{Vals: make([]float64, n, cls)}
 	}
 	b.Vals = b.Vals[:n]
 	return b
@@ -52,8 +75,20 @@ func (p *BufPool) Put(b *Payload) {
 	if b == nil {
 		return
 	}
+	// File under the largest class the capacity fully covers, so every
+	// buffer taken from a class list satisfies that class's requests.
+	cls := 1
+	if c := cap(b.Vals); c > 1 {
+		cls = 1 << (bits.Len(uint(c)) - 1)
+	}
 	p.mu.Lock()
-	p.free = append(p.free, b)
+	if p.free == nil {
+		p.free = map[int][]*Payload{}
+	}
+	p.free[cls] = append(p.free[cls], b)
+	if cls > p.maxClass {
+		p.maxClass = cls
+	}
 	p.mu.Unlock()
 }
 
@@ -61,5 +96,9 @@ func (p *BufPool) Put(b *Payload) {
 func (p *BufPool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.free)
+	n := 0
+	for _, list := range p.free {
+		n += len(list)
+	}
+	return n
 }

@@ -101,18 +101,27 @@ type Report struct {
 	Machine string
 
 	// Total is exec+inspector, matching the paper's "total time"
-	// column (its measured regions were exactly those two phases).
+	// column (its measured regions were exactly those two phases;
+	// redistribution time is reported separately in Redist).
 	Total float64
 	// Inspector is the max accumulated inspector-phase time.
 	Inspector float64
 	// Executor is the max accumulated executor-phase time.
 	Executor float64
+	// Redist is the max accumulated redistribution-phase time
+	// (darray.PhaseRedistribute): the cost of dynamic remappings.
+	Redist float64
 	// Elapsed is the full simulated wall time including setup,
 	// reductions and barriers.
 	Elapsed float64
 
 	MsgsSent  int
 	BytesSent int
+	// RedistMsgs/RedistBytes are the subset of MsgsSent/BytesSent moved
+	// by array redistribution (machine.TagRedist), attributed distinctly
+	// from forall traffic.
+	RedistMsgs  int
+	RedistBytes int
 }
 
 // OverheadPct returns the paper's "inspector overhead" column:
@@ -154,6 +163,7 @@ func RunOn(m *machine.Machine, prog func(ctx *Context)) Report {
 		Machine:   m.Params().Name,
 		Inspector: m.MaxPhase(forall.PhaseInspector),
 		Executor:  m.MaxPhase(forall.PhaseExecutor),
+		Redist:    m.MaxPhase(darray.PhaseRedistribute),
 		Elapsed:   m.MaxClock(),
 	}
 	rep.Total = rep.Inspector + rep.Executor
@@ -161,6 +171,8 @@ func RunOn(m *machine.Machine, prog func(ctx *Context)) Report {
 		st := m.Node(i).Stats()
 		rep.MsgsSent += st.MsgsSent
 		rep.BytesSent += st.BytesSent
+		rep.RedistMsgs += st.RedistMsgsSent
+		rep.RedistBytes += st.RedistBytesSent
 	}
 	return rep
 }

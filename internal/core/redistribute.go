@@ -1,81 +1,26 @@
 package core
 
 import (
-	"fmt"
-
 	"kali/internal/darray"
 	"kali/internal/dist"
-	"kali/internal/machine"
 )
 
-// Redistribute moves a one-dimensional distributed array into a new
-// distribution, returning the new handle.  Every node computes the
-// transfer sets in closed form — out(p,q) = local_old(p) ∩ local_new(q)
-// — so no inspector pass is needed; both ends of each transfer derive
-// the same sets independently, exactly like the compile-time analysis
-// of forall loops.
-//
-// This is the run-time face of the paper's flexibility claim (§2.4):
+// Redistribute rebinds a distributed array to a new dist clause in
+// place — the run-time face of the paper's flexibility claim (§2.4):
 // distributions are data, not program structure, so a program can
-// re-decompose mid-run (the paper's future-work interest in dynamic
-// load balancing).  Costs are charged per element copied plus the
-// usual message costs.
-func (c *Context) Redistribute(src *darray.Array, name string, spec dist.DimSpec) *darray.Array {
-	if src.Rank() != 1 || src.Replicated() {
-		panic(fmt.Sprintf("core: Redistribute needs a 1-D distributed array, got %q", src.Name()))
-	}
-	n := src.Shape()[0]
-	dst := darray.New(name, dist.Must([]int{n}, []dist.DimSpec{spec}, c.Grid), c.Node)
-
-	me := c.ID()
-	oldPat := src.Dist().Pattern(0)
-	newPat := dst.Dist().Pattern(0)
-	oldLocal := oldPat.Local(me)
-	newLocal := newPat.Local(me)
-
-	// Local moves first.
-	keep := oldLocal.Intersect(newLocal)
-	keep.Each(func(g int) {
-		dst.Set1(g, src.Get1(g))
-	})
-	c.Node.Charge(machine.Cost{MemRefs: 2 * keep.Len()})
-
-	// Sends: ascending peer order keeps the schedule deterministic.
-	for q := 0; q < c.P(); q++ {
-		if q == me {
-			continue
-		}
-		out := oldLocal.Intersect(newPat.Local(q))
-		if out.Empty() {
-			continue
-		}
-		payload := make([]float64, 0, out.Len())
-		out.Each(func(g int) { payload = append(payload, src.Get1(g)) })
-		c.Node.Charge(machine.Cost{MemRefs: len(payload)})
-		c.Node.Send(q, machine.TagData, payload, 8*len(payload))
-	}
-
-	// Receives: the mirror formula tells us exactly who sends what.
-	for q := 0; q < c.P(); q++ {
-		if q == me {
-			continue
-		}
-		in := newLocal.Intersect(oldPat.Local(q))
-		if in.Empty() {
-			continue
-		}
-		msg := c.Node.Recv(q, machine.TagData)
-		payload := msg.Payload.([]float64)
-		if len(payload) != in.Len() {
-			panic(fmt.Sprintf("core: redistribute from %d: got %d values, want %d",
-				q, len(payload), in.Len()))
-		}
-		k := 0
-		in.Each(func(g int) {
-			dst.Set1(g, payload[k])
-			k++
-		})
-		c.Node.Charge(machine.Cost{MemRefs: len(payload)})
-	}
-	return dst
+// re-decompose mid-run (multi-phase algorithms like ADI alternate a
+// row layout and a column layout; the paper's future-work interest in
+// dynamic load balancing needs the same primitive).
+//
+// The element moves are schedule-driven (darray.Redistribute): both
+// ends of every transfer compute out(p→q) = local_old(p) ∩
+// local_new(q) in closed form — no inspector pass — and exchange one
+// coalesced message per processor pair.  Plans are cached by
+// distribution-fingerprint pair, so ping-pong phase changes replay
+// allocation-free; the traffic is attributed to Report.RedistMsgs/
+// RedistBytes and the time to Report.Redist, distinct from the forall
+// phases.  Every node must call Redistribute collectively with the
+// same specs.
+func (c *Context) Redistribute(a *darray.Array, specs ...dist.DimSpec) {
+	darray.Redistribute(a, dist.Must(a.Shape(), specs, c.Grid))
 }

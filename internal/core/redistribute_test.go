@@ -14,10 +14,13 @@ func TestRedistributeBlockToCyclic(t *testing.T) {
 	Run(Config{P: p, Params: machine.Ideal()}, func(ctx *Context) {
 		a := ctx.BlockArray("a", n)
 		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, float64(i)*10) })
-		b := ctx.Redistribute(a, "b", dist.CyclicDim())
-		b.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
-			if b.Get1(i) != float64(i)*10 {
-				t.Errorf("b[%d] = %g, want %g", i, b.Get1(i), float64(i)*10)
+		ctx.Redistribute(a, dist.CyclicDim())
+		if a.Dist().Spec(0).Kind != dist.Cyclic {
+			t.Fatalf("a still distributed %v after redistribution", a.Dist())
+		}
+		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
+			if a.Get1(i) != float64(i)*10 {
+				t.Errorf("a[%d] = %g, want %g", i, a.Get1(i), float64(i)*10)
 			}
 		})
 	})
@@ -28,11 +31,11 @@ func TestRedistributeRoundTrip(t *testing.T) {
 	Run(Config{P: p, Params: machine.Ideal()}, func(ctx *Context) {
 		a := ctx.CyclicArray("a", n)
 		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, float64(i*i)) })
-		b := ctx.Redistribute(a, "b", dist.BlockCyclicDim(3))
-		c := ctx.Redistribute(b, "c", dist.CyclicDim())
-		c.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
-			if c.Get1(i) != float64(i*i) {
-				t.Errorf("round trip lost c[%d] = %g", i, c.Get1(i))
+		ctx.Redistribute(a, dist.BlockCyclicDim(3))
+		ctx.Redistribute(a, dist.CyclicDim())
+		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
+			if a.Get1(i) != float64(i*i) {
+				t.Errorf("round trip lost a[%d] = %g", i, a.Get1(i))
 			}
 		})
 	})
@@ -43,14 +46,14 @@ func TestRedistributeSameDistIsLocal(t *testing.T) {
 	rep := Run(Config{P: p, Params: machine.NCUBE7()}, func(ctx *Context) {
 		a := ctx.BlockArray("a", n)
 		a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, 1) })
-		ctx.Redistribute(a, "b", dist.BlockDim())
+		ctx.Redistribute(a, dist.BlockDim())
 	})
 	if rep.MsgsSent != 0 {
 		t.Fatalf("identity redistribution sent %d messages", rep.MsgsSent)
 	}
 }
 
-func TestRedistributePanicsOnBadInput(t *testing.T) {
+func TestRedistributePanicsOnReplicated(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -58,12 +61,62 @@ func TestRedistributePanicsOnBadInput(t *testing.T) {
 	}()
 	Run(Config{P: 2, Params: machine.Ideal()}, func(ctx *Context) {
 		r := ctx.ReplicatedArray("r", 8)
-		ctx.Redistribute(r, "x", dist.BlockDim())
+		ctx.Redistribute(r, dist.BlockDim())
 	})
 }
 
+// TestRedistributeRank2Transpose: the ADI core — a rank-2 array moves
+// from row layout [block, *] to column layout [*, block] and back,
+// with every element preserved and the traffic attributed to the
+// redistribution counters, not the forall ones.
+func TestRedistributeRank2Transpose(t *testing.T) {
+	const n, p = 12, 4
+	rep := Run(Config{P: p, Params: machine.NCUBE7()}, func(ctx *Context) {
+		u := ctx.Array("u", []int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()})
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if u.IsLocal(i, j) {
+					u.Set(float64(i*100+j), i, j)
+				}
+			}
+		}
+		ctx.Redistribute(u, dist.CollapsedDim(), dist.BlockDim())
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if u.Dist().Owner(i, j) == ctx.ID() {
+					if !u.IsLocal(i, j) || u.Get(i, j) != float64(i*100+j) {
+						t.Errorf("node %d: u[%d,%d] wrong after transpose", ctx.ID(), i, j)
+					}
+				}
+			}
+		}
+		ctx.Redistribute(u, dist.BlockDim(), dist.CollapsedDim())
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if u.IsLocal(i, j) && u.Get(i, j) != float64(i*100+j) {
+					t.Errorf("node %d: u[%d,%d] wrong after round trip", ctx.ID(), i, j)
+				}
+			}
+		}
+	})
+	if rep.RedistMsgs == 0 || rep.RedistBytes == 0 {
+		t.Fatalf("transpose attributed no redistribution traffic: %+v", rep)
+	}
+	if rep.MsgsSent != rep.RedistMsgs {
+		t.Fatalf("non-redistribution messages in a pure-redistribution run: %d total, %d redist",
+			rep.MsgsSent, rep.RedistMsgs)
+	}
+	if rep.Redist <= 0 {
+		t.Fatal("redistribution phase time not accounted")
+	}
+	if rep.Inspector != 0 || rep.Executor != 0 {
+		t.Fatalf("redistribution leaked into forall phases: insp=%g exec=%g", rep.Inspector, rep.Executor)
+	}
+}
+
 // TestQuickRedistributePreservesContents: random source/target
-// distributions over random sizes always preserve every element.
+// distributions over random sizes always preserve every element and
+// land it on the owner the new dist reports.
 func TestQuickRedistributePreservesContents(t *testing.T) {
 	specs := func(r *rand.Rand) dist.DimSpec {
 		switch r.Intn(3) {
@@ -84,12 +137,17 @@ func TestQuickRedistributePreservesContents(t *testing.T) {
 		Run(Config{P: p, Params: machine.Ideal()}, func(ctx *Context) {
 			a := ctx.Array("a", []int{n}, []dist.DimSpec{from})
 			a.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) { a.Set1(i, float64(i)*3) })
-			b := ctx.Redistribute(a, "b", to)
-			b.Dist().Pattern(0).Local(ctx.ID()).Each(func(i int) {
-				if b.Get1(i) != float64(i)*3 {
+			ctx.Redistribute(a, to)
+			me := ctx.ID()
+			for i := 1; i <= n; i++ {
+				if a.Dist().Pattern(0).Owner(i) == me {
+					if !a.IsLocal1(i) || a.Get1(i) != float64(i)*3 {
+						ok = false
+					}
+				} else if a.IsLocal1(i) {
 					ok = false
 				}
-			})
+			}
 		})
 		return ok
 	}

@@ -23,6 +23,7 @@ package darray
 import (
 	"fmt"
 
+	"kali/internal/comm"
 	"kali/internal/dist"
 	"kali/internal/machine"
 )
@@ -171,6 +172,11 @@ func (h *header) ownerLinear(g int) int {
 type Array struct {
 	header
 	local []float64
+	// localPB, when non-nil, is the pooled buffer backing local: a
+	// previous Redistribute drew the partition from the storage pool, and
+	// the next one returns it there so ping-pong remappings replay
+	// without allocating.
+	localPB *comm.Payload
 }
 
 // IntArray is one node's handle on a distributed array of integers —
@@ -310,11 +316,7 @@ func (a *Array) CopyLinearRange(lo, hi int, dst []float64) {
 	case 2:
 		nx := a.shape[1]
 		for g := lo; g <= hi; {
-			// Segment = the remainder of g's global row, clipped to hi.
-			end := g + (nx - (g-1)%nx) - 1
-			if end > hi {
-				end = hi
-			}
+			end := rowSegEnd(g, hi, nx)
 			off := a.offsetLinear(g)
 			copy(dst[g-lo:], a.local[off:off+end-g+1])
 			g = end + 1
@@ -324,6 +326,18 @@ func (a *Array) CopyLinearRange(lo, hi int, dst []float64) {
 			dst[g-lo] = a.local[a.offsetLinear(g)]
 		}
 	}
+}
+
+// rowSegEnd returns the last linear index of g's global row segment,
+// clipped to hi — the shared segmentation every rank-2 bulk copy
+// (CopyLinearRange, copyLinear, scatterLinear) splits intervals by,
+// since contiguity in local storage holds only within one global row.
+func rowSegEnd(g, hi, nx int) int {
+	end := g + (nx - (g-1)%nx) - 1
+	if end > hi {
+		return hi
+	}
+	return end
 }
 
 // LocalValues exposes the raw local partition (replicated arrays: the

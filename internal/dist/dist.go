@@ -422,6 +422,7 @@ type Dist struct {
 	grid  *topology.Grid
 	pats  []Pattern // per array dim; nil when collapsed
 	repl  bool
+	fp    uint64 // structural fingerprint, precomputed at construction
 }
 
 // New builds the distribution of an array with the given global shape
@@ -493,6 +494,7 @@ func New(shape []int, specs []DimSpec, g *topology.Grid) (*Dist, error) {
 			return nil, fmt.Errorf("dist: dimension %d has unknown kind %v", dim, s.Kind)
 		}
 	}
+	d.fp = d.computeFingerprint()
 	return d, nil
 }
 
@@ -516,13 +518,15 @@ func NewReplicated(shape []int, g *topology.Grid) *Dist {
 			panic(fmt.Sprintf("dist: dimension %d has extent %d", dim, e))
 		}
 	}
-	return &Dist{
+	d := &Dist{
 		shape: append([]int(nil), shape...),
 		specs: make([]DimSpec, len(shape)),
 		grid:  g,
 		pats:  make([]Pattern, len(shape)),
 		repl:  true,
 	}
+	d.fp = d.computeFingerprint()
+	return d
 }
 
 // Rank returns the number of array dimensions.
@@ -530,6 +534,10 @@ func (d *Dist) Rank() int { return len(d.shape) }
 
 // Shape returns a copy of the global extents.
 func (d *Dist) Shape() []int { return append([]int(nil), d.shape...) }
+
+// Extent returns the global extent of array dimension dim without
+// allocating (hot-path shape checks use it instead of Shape).
+func (d *Dist) Extent(dim int) int { return d.shape[dim] }
 
 // Spec returns the dist-clause entry of array dimension dim.  For Map
 // dimensions the dense owner table is not retained (the run-length
@@ -554,8 +562,13 @@ func (d *Dist) Pattern(dim int) Pattern { return d.pats[dim] }
 // marker).  Two Dist values built from equivalent declarations — even
 // as distinct objects — hash equal, which is what lets the forall
 // engine's content-addressed schedule store share one schedule across
-// identically-shaped loops over different arrays.
-func (d *Dist) Fingerprint() uint64 {
+// identically-shaped loops over different arrays, and what keys the
+// darray redistribution-schedule store.  The hash is computed once at
+// construction (Dist values are immutable), so per-replay staleness
+// checks against it are allocation-free and O(1).
+func (d *Dist) Fingerprint() uint64 { return d.fp }
+
+func (d *Dist) computeFingerprint() uint64 {
 	h := fnvOffset
 	if d.repl {
 		h = fnvMix(h, 1)

@@ -377,22 +377,33 @@ type schedKey struct {
 // together with the loop shape the binding was made under.  The shape
 // fields guard replay: reusing a schedule under a different placement,
 // executor variant, or read pattern would execute the wrong iterations
-// or miss communicated elements.
+// or miss communicated elements.  Distribution fingerprints are part
+// of the shape (onDist and each readSig's distFP): arrays can be
+// *redistributed* in place (darray.Redistribute), and replaying a
+// schedule built for the old mapping would ship the wrong elements —
+// a correctness bug, not a performance bug — so a fingerprint change
+// forces a miss.
 type cacheEntry struct {
 	s           *Schedule
 	bounds      [4]int
 	onF         analysis.Affine
 	onF2        analysis.Affine2
+	onDist      uint64 // fingerprint of the on array's dist (0 for OnProc)
 	enumerate   bool
 	readSigs    []readSig
 	depVersions []int
 }
 
 // matches reports whether the entry was recorded for exactly this loop
-// shape.  It allocates nothing (replay hot path).
+// shape, including every involved array's current distribution.  It
+// allocates nothing (replay hot path; fingerprints are precomputed on
+// the Dist).
 func (ent *cacheEntry) matches(c *loopCore) bool {
 	if ent.bounds != c.bounds || ent.onF != c.onF || ent.onF2 != c.onF2 ||
 		ent.enumerate != c.enumerate || len(ent.readSigs) != len(c.reads) {
+		return false
+	}
+	if ent.onDist != onDistOf(c) {
 		return false
 	}
 	for i, r := range c.reads {
@@ -401,6 +412,15 @@ func (ent *cacheEntry) matches(c *loopCore) bool {
 		}
 	}
 	return true
+}
+
+// onDistOf fingerprints the loop's placement distribution (0 under
+// direct OnProc placement, which names processors, not a dist).
+func onDistOf(c *loopCore) uint64 {
+	if c.on == nil {
+		return 0
+	}
+	return c.on.Dist().Fingerprint()
 }
 
 // Engine executes forall loops on one node and caches their schedules.
@@ -658,22 +678,26 @@ func (e *Engine) store(key schedKey, c *loopCore, s *Schedule) {
 	}
 	e.cache[key] = &cacheEntry{
 		s: s, bounds: c.bounds, onF: c.onF, onF2: c.onF2,
+		onDist:    onDistOf(c),
 		enumerate: c.enumerate, readSigs: sigs, depVersions: vers,
 	}
 }
 
 // readSig is the comparable shape of one ReadSpec; form distinguishes
 // indirect (0), rank-1 affine (1), and rank-2 affine (2) reads.
+// distFP records the array's distribution fingerprint at store time,
+// so in-place redistribution invalidates the binding.
 type readSig struct {
-	arr  *darray.Array
-	form uint8
-	aff  analysis.Affine
-	aff2 analysis.Affine2
+	arr    *darray.Array
+	form   uint8
+	aff    analysis.Affine
+	aff2   analysis.Affine2
+	distFP uint64
 }
 
 // sigOf projects one ReadSpec without allocating.
 func sigOf(r ReadSpec) readSig {
-	sig := readSig{arr: r.Array}
+	sig := readSig{arr: r.Array, distFP: r.Array.Dist().Fingerprint()}
 	if r.Affine != nil {
 		sig.form, sig.aff = 1, *r.Affine
 	} else if r.Affine2 != nil {

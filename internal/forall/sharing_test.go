@@ -334,3 +334,77 @@ func TestReplayAllocationFree(t *testing.T) {
 			mallocs, reps, p)
 	}
 }
+
+// TestRedistributeInvalidatesCachedSchedules: redistributing an array
+// bound to a cached (and shared) schedule must not replay the stale
+// schedule — the distribution fingerprint is part of the cache entry's
+// shape, so the rerun rebuilds (or re-shares under the new shape) and
+// computes correct values under the new mapping.  This is the
+// correctness half of schedule caching: replaying the old plan would
+// ship the wrong elements entirely.
+func TestRedistributeInvalidatesCachedSchedules(t *testing.T) {
+	const n, p = 32, 4
+	g := topology.MustGrid(p)
+	dBlock := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	dCyc := dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, g)
+	mach := machine.MustNew(p, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		out := darray.New("out", dBlock, nd)
+		src := darray.New("src", dBlock, nd)
+		for i := 1; i <= n; i++ {
+			if src.IsLocal1(i) {
+				src.Set1(i, float64(i))
+			}
+		}
+		eng := NewEngine(nd)
+		eng.Run(shiftLoop("rl", n, out, src))
+		if k := eng.LastBuildKind(); k != BuildCompileTime {
+			t.Fatalf("first run built %v", k)
+		}
+		eng.Run(shiftLoop("rl", n, out, src))
+		if k := eng.LastBuildKind(); k != BuildCached {
+			t.Fatalf("replay before redistribution: %v, want cached", k)
+		}
+
+		// Remap the read array: the cached entry (and the shared-store
+		// entry it points at) were built for [block] reads and are now
+		// stale for this loop.
+		darray.Redistribute(src, dCyc)
+		eng.Run(shiftLoop("rl", n, out, src))
+		if k := eng.LastBuildKind(); k == BuildCached {
+			t.Error("stale schedule replayed after redistributing the read array")
+		}
+		checkShiftValues(t, nd, out, n, func(i int) float64 { return float64(i) })
+
+		// Remap the placement (on) array too: exec sets change, so the
+		// entry stored a moment ago must also miss.
+		darray.Redistribute(out, dCyc)
+		eng.Run(shiftLoop("rl", n, out, src))
+		if k := eng.LastBuildKind(); k == BuildCached {
+			t.Error("stale schedule replayed after redistributing the on array")
+		}
+		checkShiftValues(t, nd, out, n, func(i int) float64 { return float64(i) })
+
+		// Ping-pong back: the loop's shape equals the original build, so
+		// the engine may legitimately reuse — and the values stay right.
+		darray.Redistribute(src, dBlock)
+		darray.Redistribute(out, dBlock)
+		eng.Run(shiftLoop("rl", n, out, src))
+		checkShiftValues(t, nd, out, n, func(i int) float64 { return float64(i) })
+
+		// The content-addressed store never held a stale entry: a second
+		// loop of the original shape over fresh arrays still shares.
+		out2 := darray.New("out2", dBlock, nd)
+		src2 := darray.New("src2", dBlock, nd)
+		for i := 1; i <= n; i++ {
+			if src2.IsLocal1(i) {
+				src2.Set1(i, float64(i))
+			}
+		}
+		eng.Run(shiftLoop("rl2", n, out2, src2))
+		if k := eng.LastBuildKind(); k != BuildShared {
+			t.Errorf("fresh same-shape loop after remappings: %v, want shared", k)
+		}
+		checkShiftValues(t, nd, out2, n, func(i int) float64 { return float64(i) })
+	})
+}

@@ -149,12 +149,23 @@ type Reduce struct {
 	Line int
 }
 
-func (*Assign) stmtNode()  {}
-func (*Forall) stmtNode()  {}
-func (*ForLoop) stmtNode() {}
-func (*While) stmtNode()   {}
-func (*If) stmtNode()      {}
-func (*Reduce) stmtNode()  {}
+// Redistribute is "redistribute name as [items]": rebind a distributed
+// array to a new dist clause mid-run, moving every element to its new
+// owner (dynamic distributions, paper §2.4).  The item list has the
+// same forms as a declaration's dist clause.
+type Redistribute struct {
+	Name  string
+	Items []DistItem
+	Line  int
+}
+
+func (*Assign) stmtNode()       {}
+func (*Forall) stmtNode()       {}
+func (*ForLoop) stmtNode()      {}
+func (*While) stmtNode()        {}
+func (*If) stmtNode()           {}
+func (*Reduce) stmtNode()       {}
+func (*Redistribute) stmtNode() {}
 
 // Expr is an expression node.
 type Expr interface{ exprNode() }

@@ -25,14 +25,21 @@ type symbol struct {
 type checker struct {
 	syms  map[string]*symbol
 	procs *ProcsDecl
+	// redist names every array the program redistributes.  Such arrays
+	// lose the compiler-proven "aligned" shortcut: alignment was proved
+	// against the declared distribution, which a redistribute statement
+	// invalidates at run time, so their reads take the schedule paths
+	// that consult the live distribution instead.
+	redist map[string]bool
 }
 
 // Check validates a parsed File and annotates its foralls.
 func Check(f *File) error {
-	c := &checker{syms: map[string]*symbol{}}
+	c := &checker{syms: map[string]*symbol{}, redist: map[string]bool{}}
 	if f.Procs == nil {
 		return errf(1, 1, "program lacks a processors declaration")
 	}
+	collectRedist(f.Main, c.redist)
 	c.procs = f.Procs
 	if f.Procs.SizeVar != "" {
 		c.syms[f.Procs.SizeVar] = &symbol{kind: symProcSize, typ: TInt}
@@ -72,24 +79,8 @@ func Check(f *File) error {
 				if d.Elem == TBool {
 					return errf(d.Line, 1, "%q: distributed boolean arrays are not supported", name)
 				}
-				for _, item := range d.Dist {
-					if item.Kind != KWMap {
-						continue
-					}
-					// The owner expression is evaluated per index at
-					// elaboration time, so it may use only constants, P,
-					// and the bound index variable.
-					t, err := c.exprType(item.MapExpr, locals{item.MapVar: TInt}, "")
-					if err != nil {
-						return err
-					}
-					if t != TInt {
-						return errf(d.Line, 1, "%q: map owner expression must be an integer", name)
-					}
-					if !c.constWith(item.MapExpr, item.MapVar) {
-						return errf(d.Line, 1, "%q: map owner expression must be computable from constants, P, and %q",
-							name, item.MapVar)
-					}
+				if err := c.distItems(d.Line, name, d.Dist); err != nil {
+					return err
 				}
 			}
 			for _, dim := range d.Dims {
@@ -97,24 +88,6 @@ func Check(f *File) error {
 					if !c.isConstExpr(b) {
 						return errf(d.Line, 1, "%q: array bounds must be constant expressions", name)
 					}
-				}
-			}
-			// The number of distributed dimensions must match the
-			// processor array's rank (§2.2).
-			if d.Dist != nil {
-				nd := 0
-				for _, item := range d.Dist {
-					if item.Kind != STAR {
-						nd++
-					}
-				}
-				procRank := 1
-				if c.procs.Rank2() {
-					procRank = 2
-				}
-				if nd != procRank {
-					return errf(d.Line, 1, "%q: %d distributed dimensions but processor array has rank %d",
-						name, nd, procRank)
 				}
 			}
 			c.syms[name] = &symbol{kind: symArray, typ: d.Elem, decl: d}
@@ -209,8 +182,91 @@ func (c *checker) stmt(s Stmt, loc locals, loopVar string) error {
 			return errf(s.Line, 1, "reduce inside forall is not supported")
 		}
 		return c.reduce(s)
+	case *Redistribute:
+		if loc != nil {
+			return errf(s.Line, 1, "redistribute inside forall is not supported")
+		}
+		return c.redistribute(s)
 	default:
 		return fmt.Errorf("lang: unknown statement %T", s)
+	}
+}
+
+// redistribute checks a "redistribute name as [items]" statement: the
+// target must be a distributed real array, the item list must match
+// its rank, and the items must obey the same constraints a
+// declaration's dist clause does.
+func (c *checker) redistribute(s *Redistribute) error {
+	sym := c.syms[s.Name]
+	if sym == nil || sym.kind != symArray || !distributed(sym.decl) || sym.typ != TReal {
+		return errf(s.Line, 1, "redistribute target %q must be a distributed real array", s.Name)
+	}
+	if len(s.Items) != len(sym.decl.Dims) {
+		return errf(s.Line, 1, "%q: %d dist items for %d dimensions", s.Name, len(s.Items), len(sym.decl.Dims))
+	}
+	return c.distItems(s.Line, s.Name, s.Items)
+}
+
+// distItems validates one dist-clause item list — shared by array
+// declarations and redistribute statements.  Map owner expressions are
+// evaluated per index at elaboration time, so they may use only
+// constants, P, and the bound index variable; block_cyclic sizes must
+// be constant; and the number of distributed (non-*) dimensions must
+// match the processor array's rank (§2.2).
+func (c *checker) distItems(line int, name string, items []DistItem) error {
+	nd := 0
+	for _, item := range items {
+		switch item.Kind {
+		case STAR:
+			continue
+		case KWBlockCyclic:
+			if !c.isConstExpr(item.Block) {
+				return errf(line, 1, "%q: block_cyclic size must be a constant expression", name)
+			}
+		case KWMap:
+			t, err := c.exprType(item.MapExpr, locals{item.MapVar: TInt}, "")
+			if err != nil {
+				return err
+			}
+			if t != TInt {
+				return errf(line, 1, "%q: map owner expression must be an integer", name)
+			}
+			if !c.constWith(item.MapExpr, item.MapVar) {
+				return errf(line, 1, "%q: map owner expression must be computable from constants, P, and %q",
+					name, item.MapVar)
+			}
+		}
+		nd++
+	}
+	procRank := 1
+	if c.procs.Rank2() {
+		procRank = 2
+	}
+	if nd != procRank {
+		return errf(line, 1, "%q: %d distributed dimensions but processor array has rank %d",
+			name, nd, procRank)
+	}
+	return nil
+}
+
+// collectRedist records the names of redistributed arrays, recursing
+// through every statement list (foralls included — a redistribute in
+// one is an error, but the classification pass runs regardless).
+func collectRedist(ss []Stmt, set map[string]bool) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *Redistribute:
+			set[s.Name] = true
+		case *Forall:
+			collectRedist(s.Body, set)
+		case *ForLoop:
+			collectRedist(s.Body, set)
+		case *While:
+			collectRedist(s.Body, set)
+		case *If:
+			collectRedist(s.Then, set)
+			collectRedist(s.Else, set)
+		}
 	}
 }
 
@@ -472,7 +528,8 @@ func (c *checker) classify2(fa *Forall) error {
 			i1, ok1 := ref.Indexes[0].(*Ident)
 			i2, ok2 := ref.Indexes[1].(*Ident)
 			if onIdentity && ok1 && ok2 && i1.Name == fa.Var && i2.Name == fa.Var2 &&
-				d == c.syms[fa.OnArray].decl {
+				d == c.syms[fa.OnArray].decl &&
+				!c.redist[ref.Name] && !c.redist[fa.OnArray] {
 				ref.access = accAligned
 				return
 			}
@@ -547,8 +604,11 @@ func (c *checker) classify(fa *Forall) error {
 			}
 		case 2:
 			// Aligned rank-2 read: first subscript is exactly the loop
-			// variable and so is the on-clause subscript.
-			if id, ok := ref.Indexes[0].(*Ident); ok && id.Name == fa.Var {
+			// variable and so is the on-clause subscript.  Arrays the
+			// program redistributes (or placement arrays that move) lose
+			// the shortcut: alignment held for the declared layouts only.
+			if id, ok := ref.Indexes[0].(*Ident); ok && id.Name == fa.Var &&
+				!c.redist[ref.Name] && !c.redist[fa.OnArray] {
 				if onID, ok2 := fa.OnIndex.(*Ident); ok2 && onID.Name == fa.Var {
 					ref.access = accAligned
 					return

@@ -191,6 +191,12 @@ type interp struct {
 	// compiled forall loops, keyed by AST node.
 	loops  map[*Forall]*forall.Loop
 	loops2 map[*Forall]*forall.Loop2
+	// elaborated redistribute targets, keyed by AST node: the checker
+	// proves every dist item constant, so the Dist is elaborated once
+	// and replayed — repeated phase changes (ADI ping-pong) reuse one
+	// fingerprint-stable object per statement instead of rebuilding
+	// patterns (and re-evaluating map owner tables) every execution.
+	redists map[*Redistribute]*dist.Dist
 }
 
 func newInterp(f *File, ctx *core.Context, consts map[string]value, grid *topology.Grid) *interp {
@@ -204,6 +210,7 @@ func newInterp(f *File, ctx *core.Context, consts map[string]value, grid *topolo
 		ints:    map[string]*darray.IntArray{},
 		loops:   map[*Forall]*forall.Loop{},
 		loops2:  map[*Forall]*forall.Loop2{},
+		redists: map[*Redistribute]*dist.Dist{},
 	}
 }
 
@@ -324,38 +331,7 @@ func (in *interp) declareArrays() {
 			if d.Dist == nil {
 				dd = dist.NewReplicated(shape, in.grid)
 			} else {
-				specs := make([]dist.DimSpec, len(d.Dist))
-				for k, item := range d.Dist {
-					switch item.Kind {
-					case KWBlock:
-						specs[k] = dist.BlockDim()
-					case KWCyclic:
-						specs[k] = dist.CyclicDim()
-					case KWBlockCyclic:
-						specs[k] = dist.BlockCyclicDim(ev.evalConstInt(item.Block))
-					case KWMap:
-						// Evaluate the owner expression for every index of
-						// the dimension; dist compresses the table into
-						// owner runs.
-						owners := make([]int, shape[k])
-						mev := &evaluator{consts: map[string]value{}}
-						for cn, cv := range in.consts {
-							mev.consts[cn] = cv
-						}
-						for i := 1; i <= shape[k]; i++ {
-							mev.consts[item.MapVar] = intVal(i)
-							owners[i-1] = mev.evalConstInt(item.MapExpr)
-						}
-						specs[k] = dist.MapDim(owners)
-					case STAR:
-						specs[k] = dist.CollapsedDim()
-					}
-				}
-				var derr error
-				dd, derr = dist.New(shape, specs, in.grid)
-				if derr != nil {
-					panic(fmt.Sprintf("array %q: %v", name, derr))
-				}
+				dd = in.elabDist(name, shape, d.Dist)
 			}
 			if d.Elem == TInt {
 				in.ints[name] = darray.NewInt(name, dd, in.ctx.Node)
@@ -364,6 +340,44 @@ func (in *interp) declareArrays() {
 			}
 		}
 	}
+}
+
+// elabDist elaborates a dist-clause item list into a Dist over the
+// program's grid — shared by array declarations and redistribute
+// statements (the two places a distribution can be named).  Map owner
+// expressions are evaluated per index; dist compresses the table into
+// owner runs.
+func (in *interp) elabDist(name string, shape []int, items []DistItem) *dist.Dist {
+	ev := &evaluator{consts: in.consts}
+	specs := make([]dist.DimSpec, len(items))
+	for k, item := range items {
+		switch item.Kind {
+		case KWBlock:
+			specs[k] = dist.BlockDim()
+		case KWCyclic:
+			specs[k] = dist.CyclicDim()
+		case KWBlockCyclic:
+			specs[k] = dist.BlockCyclicDim(ev.evalConstInt(item.Block))
+		case KWMap:
+			owners := make([]int, shape[k])
+			mev := &evaluator{consts: map[string]value{}}
+			for cn, cv := range in.consts {
+				mev.consts[cn] = cv
+			}
+			for i := 1; i <= shape[k]; i++ {
+				mev.consts[item.MapVar] = intVal(i)
+				owners[i-1] = mev.evalConstInt(item.MapExpr)
+			}
+			specs[k] = dist.MapDim(owners)
+		case STAR:
+			specs[k] = dist.CollapsedDim()
+		}
+	}
+	dd, err := dist.New(shape, specs, in.grid)
+	if err != nil {
+		panic(fmt.Sprintf("array %q: %v", name, err))
+	}
+	return dd
 }
 
 // scope is the forall-body local variable scope.
@@ -420,6 +434,17 @@ func (in *interp) execStmt(s Stmt, sc scope, env *forall.Env) {
 		}
 	case *Reduce:
 		in.execReduce(s)
+	case *Redistribute:
+		a := in.arrays[s.Name]
+		if a == nil {
+			panic(fmt.Sprintf("redistribute target %q is not a real array", s.Name))
+		}
+		nd, ok := in.redists[s]
+		if !ok {
+			nd = in.elabDist(s.Name, a.Shape(), s.Items)
+			in.redists[s] = nd
+		}
+		darray.Redistribute(a, nd)
 	default:
 		panic(fmt.Sprintf("unknown statement %T", s))
 	}

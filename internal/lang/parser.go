@@ -413,11 +413,43 @@ func (p *parser) stmt() (Stmt, error) {
 		return p.ifStmt()
 	case KWReduce:
 		return p.reduce()
+	case KWRedistribute:
+		return p.redistribute()
 	case IDENT:
 		return p.assign()
 	default:
 		return nil, errf(t.Line, t.Col, "expected statement, found %s", t)
 	}
+}
+
+// redistribute := redistribute NAME as [ distItem {, distItem} ]
+func (p *parser) redistribute() (Stmt, error) {
+	start := p.advance()
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KWAs); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACK); err != nil {
+		return nil, err
+	}
+	r := &Redistribute{Name: name.Text, Line: start.Line}
+	for {
+		item, err := p.distItem()
+		if err != nil {
+			return nil, err
+		}
+		r.Items = append(r.Items, item)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RBRACK); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // forall := forall NAME in expr .. expr on NAME [ expr ] . loc do

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"kali/internal/core"
+	"kali/internal/darray"
 	"kali/internal/machine"
 	"kali/internal/mesh"
 )
@@ -220,5 +221,68 @@ func TestCorpusLoadbalance(t *testing.T) {
 	}
 	if res.Report.Inspector > 0.01 {
 		t.Fatalf("affine reads over a map distribution paid inspector-scale cost: %g s", res.Report.Inspector)
+	}
+}
+
+// TestCorpusADI: the dynamic-redistribution program alternates row and
+// column Jacobi smooths, transposing u's layout with redistribute
+// statements between phases.  The final values must match a sequential
+// oracle, the transposes must move data under the redistribution
+// counters (not the forall ones), and with sweeps > 1 the ping-pong
+// remappings must replay cached plans rather than rebuilding.
+func TestCorpusADI(t *testing.T) {
+	builds0, hits0 := darray.RedistBuilds(), darray.RedistHits()
+	res, err := loadProgram(t, "adi.kali").Run(core.Config{P: 4, Params: machine.NCUBE7()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, sweeps = 12, 3
+	u := make([][]float64, n+1)
+	old := make([][]float64, n+1)
+	for r := 1; r <= n; r++ {
+		u[r] = make([]float64, n+1)
+		old[r] = make([]float64, n+1)
+		for c := 1; c <= n; c++ {
+			u[r][c] = float64((r*13 + c*7) % 11)
+		}
+	}
+	snap := func() {
+		for r := 1; r <= n; r++ {
+			copy(old[r], u[r])
+		}
+	}
+	for s := 0; s < sweeps; s++ {
+		snap()
+		for r := 1; r <= n; r++ {
+			for c := 2; c <= n-1; c++ {
+				u[r][c] = 0.25*old[r][c-1] + 0.5*old[r][c] + 0.25*old[r][c+1]
+			}
+		}
+		snap()
+		for c := 1; c <= n; c++ {
+			for r := 2; r <= n-1; r++ {
+				u[r][c] = 0.25*old[r-1][c] + 0.5*old[r][c] + 0.25*old[r+1][c]
+			}
+		}
+	}
+	got := res.Arrays["u"]
+	for r := 1; r <= n; r++ {
+		for c := 1; c <= n; c++ {
+			if math.Abs(got[(r-1)*n+c-1]-u[r][c]) > 1e-12 {
+				t.Fatalf("u[%d,%d] = %g, oracle %g", r, c, got[(r-1)*n+c-1], u[r][c])
+			}
+		}
+	}
+	if res.Report.RedistMsgs == 0 || res.Report.Redist <= 0 {
+		t.Fatalf("transposes moved nothing: %d redist msgs, %g s", res.Report.RedistMsgs, res.Report.Redist)
+	}
+	// 2 distribution pairs x 4 nodes build once each; the remaining
+	// 2*(sweeps-1) cycles replay from the content-addressed plan store.
+	builds, hits := darray.RedistBuilds()-builds0, darray.RedistHits()-hits0
+	if builds != 2*res.P {
+		t.Fatalf("redistribution plans built %d times, want %d", builds, 2*res.P)
+	}
+	if want := 2 * (sweeps - 1) * res.P; hits != want {
+		t.Fatalf("redistribution plan hits = %d, want %d", hits, want)
 	}
 }

@@ -70,6 +70,8 @@ const (
 	KWCyclic
 	KWBlockCyclic
 	KWMap
+	KWRedistribute
+	KWAs
 
 	// punctuation / operators
 	ASSIGN // :=
@@ -107,6 +109,7 @@ var kindNames = map[Kind]string{
 	KWTrue: "true", KWFalse: "false", KWReduce: "reduce", KWInto: "into",
 	KWLoc: "loc", KWBlock: "block", KWCyclic: "cyclic",
 	KWBlockCyclic: "block_cyclic", KWMap: "map",
+	KWRedistribute: "redistribute", KWAs: "as",
 	ASSIGN: ":=", SEMI: ";", COLON: ":", COMMA: ",", DOT: ".",
 	DOTDOT: "..", LBRACK: "[", RBRACK: "]", LPAREN: "(", RPAREN: ")",
 	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", LT: "<", LE: "<=",
@@ -131,6 +134,7 @@ var keywords = map[string]Kind{
 	"true": KWTrue, "false": KWFalse, "reduce": KWReduce, "into": KWInto,
 	"loc": KWLoc, "block": KWBlock, "cyclic": KWCyclic,
 	"block_cyclic": KWBlockCyclic, "map": KWMap,
+	"redistribute": KWRedistribute, "as": KWAs,
 }
 
 // Token is one lexical token with its source position.

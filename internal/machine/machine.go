@@ -30,6 +30,11 @@ type Tag int
 const (
 	TagData Tag = iota
 	TagCrystal
+	// TagRedist marks array-redistribution traffic (the all-to-all that
+	// rebinds a distributed array to a new dist clause).  Messages sent
+	// under it are attributed to the Redist* columns of Stats, so loop
+	// (forall) traffic and remapping traffic stay separately countable.
+	TagRedist
 	TagUser Tag = 16
 )
 
@@ -52,6 +57,9 @@ type Machine struct {
 	barrier    *barrier
 	reduceMu   sync.Mutex
 	reduceVals []float64
+
+	scratchMu sync.Mutex
+	scratch   map[any]any
 }
 
 // New builds a machine with p nodes and the given cost model.  When p
@@ -101,6 +109,26 @@ func (m *Machine) Dim() int {
 
 // Node returns node i (valid after New, including between Runs).
 func (m *Machine) Node(i int) *Node { return m.nodes[i] }
+
+// Scratch returns the machine-lifetime value stored under key,
+// creating it with mk on first use.  Higher layers use it for caches
+// that must live exactly as long as the machine (e.g. the darray
+// redistribution-plan store) without resorting to package-global state
+// that would outlive every machine of the process.  Safe for
+// concurrent use by node programs.
+func (m *Machine) Scratch(key any, mk func() any) any {
+	m.scratchMu.Lock()
+	defer m.scratchMu.Unlock()
+	if m.scratch == nil {
+		m.scratch = map[any]any{}
+	}
+	v, ok := m.scratch[key]
+	if !ok {
+		v = mk()
+		m.scratch[key] = v
+	}
+	return v
+}
 
 // hops returns the link distance between two nodes.
 func (m *Machine) hops(p, q int) int {
@@ -186,11 +214,18 @@ func (m *Machine) Reset() {
 }
 
 // Stats counts simulated events on a node, for tests and reports.
+// MsgsSent/BytesSent count every message; the Redist* fields count the
+// subset sent under TagRedist, so redistribution traffic is attributed
+// distinctly from forall (executor/inspector) traffic rather than
+// being silently absorbed into the loop totals.
 type Stats struct {
 	MsgsSent     int
 	BytesSent    int
 	MsgsReceived int
 	FlopCount    int64
+
+	RedistMsgsSent  int
+	RedistBytesSent int
 }
 
 // Sub returns the field-wise difference s - o: the events that
@@ -198,20 +233,24 @@ type Stats struct {
 // is how kalibench's commvec table counts messages per execution).
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		MsgsSent:     s.MsgsSent - o.MsgsSent,
-		BytesSent:    s.BytesSent - o.BytesSent,
-		MsgsReceived: s.MsgsReceived - o.MsgsReceived,
-		FlopCount:    s.FlopCount - o.FlopCount,
+		MsgsSent:        s.MsgsSent - o.MsgsSent,
+		BytesSent:       s.BytesSent - o.BytesSent,
+		MsgsReceived:    s.MsgsReceived - o.MsgsReceived,
+		FlopCount:       s.FlopCount - o.FlopCount,
+		RedistMsgsSent:  s.RedistMsgsSent - o.RedistMsgsSent,
+		RedistBytesSent: s.RedistBytesSent - o.RedistBytesSent,
 	}
 }
 
 // Add returns the field-wise sum s + o.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		MsgsSent:     s.MsgsSent + o.MsgsSent,
-		BytesSent:    s.BytesSent + o.BytesSent,
-		MsgsReceived: s.MsgsReceived + o.MsgsReceived,
-		FlopCount:    s.FlopCount + o.FlopCount,
+		MsgsSent:        s.MsgsSent + o.MsgsSent,
+		BytesSent:       s.BytesSent + o.BytesSent,
+		MsgsReceived:    s.MsgsReceived + o.MsgsReceived,
+		FlopCount:       s.FlopCount + o.FlopCount,
+		RedistMsgsSent:  s.RedistMsgsSent + o.RedistMsgsSent,
+		RedistBytesSent: s.RedistBytesSent + o.RedistBytesSent,
 	}
 }
 
@@ -319,6 +358,10 @@ func (n *Node) Send(to int, tag Tag, payload any, nbytes int) {
 	arrive := n.clock + float64(n.m.hops(n.id, to))*p.PerHop
 	n.stats.MsgsSent++
 	n.stats.BytesSent += nbytes
+	if tag == TagRedist {
+		n.stats.RedistMsgsSent++
+		n.stats.RedistBytesSent += nbytes
+	}
 	n.m.nodes[to].mailbox <- Message{
 		From:     n.id,
 		Tag:      tag,

@@ -44,6 +44,12 @@
 //	    Body:  func(i, j int, e *kali.Env) { ... },
 //	})
 //
+// Distributions are dynamic (paper §2.4): Context.Redistribute rebinds
+// an array to a new dist clause mid-run with a schedule-driven
+// all-to-all (examples/adi alternates row and column layouts this
+// way), and the engine's schedule caches key on distribution
+// fingerprints so a remapped array can never replay a stale schedule.
+//
 // See docs/ARCHITECTURE.md for the paper-to-code map.  The deeper
 // layers are importable directly for advanced use:
 // kali/internal/{machine,dist,darray,forall,analysis,inspector-side
