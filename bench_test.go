@@ -22,6 +22,7 @@ import (
 	"kali/internal/dist"
 	"kali/internal/forall"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/mesh"
 	"kali/internal/relax"
 
@@ -353,7 +354,7 @@ func BenchmarkCrystalRouter(b *testing.B) {
 	for _, p := range []int{8, 32, 128} {
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				m := machine.MustNew(p, machine.Ideal())
+				m := sim.MustNew(p, machine.Ideal())
 				m.Run(func(n *machine.Node) {
 					var parcels []crystal.Parcel
 					for q := 0; q < 4; q++ {

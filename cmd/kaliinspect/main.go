@@ -43,6 +43,7 @@ import (
 	"kali/internal/forall"
 	"kali/internal/index"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -299,7 +300,7 @@ func runSchedule(p int, run func(*machine.Node, *forall.Engine) *forall.Schedule
 		nonlocal: make([]int, p), recv: make([]int, p),
 	}
 	var mu sync.Mutex
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		eng := forall.NewEngine(nd)
 		eng.ForceInspector = force

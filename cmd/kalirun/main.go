@@ -1,9 +1,15 @@
 // Command kalirun compiles and executes a Kali-language program on a
-// simulated distributed-memory machine.
+// simulated or real distributed-memory machine.
 //
 // Usage:
 //
-//	kalirun [-machine ncube|ipsc|ideal] [-p N] [-print name,...] [-stats] prog.kali
+//	kalirun [-machine ncube|ipsc|ideal] [-backend sim|wall] [-p N] [-print name,...] [-stats] prog.kali
+//
+// -backend sim (default) runs on the virtual-clock simulator: times
+// are deterministic cost-model predictions for the chosen -machine.
+// -backend wall runs the same compiled schedules on real OS threads
+// with shared-memory message queues: times are measured wall-clock
+// seconds (and -machine only labels the report).
 //
 // The program's processors declaration (the "real estate agent") may
 // choose fewer processors than -p provides.  After execution the
@@ -26,6 +32,7 @@ import (
 
 func main() {
 	machineName := flag.String("machine", "ncube", "cost model: ncube, ipsc, ideal")
+	backend := flag.String("backend", "sim", "node runtime: sim (virtual clock) or wall (real threads)")
 	procs := flag.Int("p", 8, "available processors")
 	printArrays := flag.String("print", "", "comma-separated array/scalar names to print")
 	stats := flag.Bool("stats", false, "print the traffic breakdown (forall vs redistribution)")
@@ -45,19 +52,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kalirun: unknown machine %q\n", *machineName)
 		os.Exit(2)
 	}
+	switch *backend {
+	case "sim", "wall", "wallclock":
+	default:
+		fmt.Fprintf(os.Stderr, "kalirun: unknown backend %q (want sim or wall)\n", *backend)
+		os.Exit(2)
+	}
 
 	prog, err := lang.Compile(string(src))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kalirun: %s: %v\n", flag.Arg(0), err)
 		os.Exit(1)
 	}
-	res, err := prog.Run(core.Config{P: *procs, Params: params})
+	res, err := prog.Run(core.Config{P: *procs, Params: params, Backend: *backend})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kalirun:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("machine: %s, processors chosen: %d\n", params.Name, res.P)
+	fmt.Printf("machine: %s, backend: %s, processors chosen: %d\n",
+		params.Name, res.Report.Backend, res.P)
 	fmt.Printf("total %.4fs  executor %.4fs  inspector %.4fs  (overhead %.1f%%)\n",
 		res.Report.Total, res.Report.Executor, res.Report.Inspector,
 		res.Report.OverheadPct())

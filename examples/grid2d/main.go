@@ -25,6 +25,7 @@ import (
 	"kali/internal/dist"
 	"kali/internal/forall"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/mesh"
 	"kali/internal/topology"
 )
@@ -76,7 +77,7 @@ func main() {
 func variantStorage2D(n int, enumerate bool) (forall.BuildKind, int) {
 	g := topology.MustGrid(2, 2)
 	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(4, kali.NCUBE7())
+	mach := sim.MustNew(4, kali.NCUBE7())
 	var kind forall.BuildKind
 	mem := 0
 	var mu sync.Mutex
@@ -117,7 +118,7 @@ func variantStorage2D(n int, enumerate bool) (forall.BuildKind, int) {
 func run2D(m *mesh.Mesh, nx, ny, pr, pc, sweeps int, params machine.Params) ([]float64, float64, float64, int, forall.BuildKind) {
 	g := topology.MustGrid(pr, pc)
 	d := dist.Must([]int{ny, nx}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(pr*pc, params)
+	mach := sim.MustNew(pr*pc, params)
 	out := make([]float64, nx*ny)
 	var kind forall.BuildKind
 	var mu sync.Mutex

@@ -19,6 +19,7 @@ import (
 
 	"kali/internal/core"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 )
 
 // Options configures a hand-coded run; the mesh is the nx×ny
@@ -42,7 +43,7 @@ func Run(opt Options) Result {
 	if opt.NX < 2 || opt.NY < 2 || opt.Sweeps < 1 || opt.P < 1 {
 		panic(fmt.Sprintf("baseline: bad options %+v", opt))
 	}
-	m := machine.MustNew(opt.P, opt.Params)
+	m := sim.MustNew(opt.P, opt.Params)
 	var values []float64
 	if opt.Gather {
 		values = make([]float64, opt.NX*opt.NY)

@@ -18,6 +18,7 @@ import (
 	"kali/internal/dist"
 	"kali/internal/forall"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/mesh"
 	"kali/internal/relax"
 	"kali/internal/topology"
@@ -92,6 +93,7 @@ var Registry = map[string]Generator{
 	"commvec":      CommVec,
 	"redist":       Redist,
 	"granularity":  Granularity,
+	"backend":      Backend,
 }
 
 // Order lists the experiments in presentation order.
@@ -99,6 +101,7 @@ var Order = []string{
 	"fig7", "fig8", "fig9", "fig10",
 	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "ctvsrt2d",
 	"distchoice", "enumeration", "enumerate2d", "commvec", "redist", "granularity",
+	"backend",
 }
 
 const sweeps = 100
@@ -488,7 +491,7 @@ func Relax2DLoop(a, old *darray.Array, n int) *forall.Loop2 {
 func Run2DStencil(n, pr, pc, reps int, params machine.Params, forceInspector bool) (sched, exec float64) {
 	g := topology.MustGrid(pr, pc)
 	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(pr*pc, params)
+	mach := sim.MustNew(pr*pc, params)
 	mach.Run(func(nd *machine.Node) {
 		a := darray.New("a", d, nd)
 		old := darray.New("old", d, nd)
@@ -619,7 +622,7 @@ func Enumeration2D(opt Options) *Table {
 func run2DVariant(n, pr, pc, reps int, params machine.Params, forceInspector, enumerate bool) (kind forall.BuildKind, sched, exec float64, mem int) {
 	g := topology.MustGrid(pr, pc)
 	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(pr*pc, params)
+	mach := sim.MustNew(pr*pc, params)
 	var mu sync.Mutex
 	mach.Run(func(nd *machine.Node) {
 		a := darray.New("a", d, nd)

@@ -11,6 +11,7 @@ import (
 	"kali/internal/dist"
 	"kali/internal/forall"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -80,7 +81,7 @@ type commVecResult struct {
 func commVecRun(n, p, reps int, params machine.Params, noCombine, second bool) commVecResult {
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, params)
+	mach := sim.MustNew(p, params)
 
 	// Park the GC so the malloc count is exact and the payload pool is
 	// never drained mid-measurement.

@@ -9,6 +9,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -49,7 +50,7 @@ func redistRun(n, p, reps int, params machine.Params) (cold, warm []string) {
 	g := topology.MustGrid(p)
 	rows := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
 	cols := dist.Must([]int{n, n}, []dist.DimSpec{dist.CollapsedDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(p, params)
+	mach := sim.MustNew(p, params)
 
 	// Park the GC so the malloc count is exact and the buffer pool is
 	// never drained mid-measurement.

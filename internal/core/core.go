@@ -22,6 +22,8 @@ import (
 	"kali/internal/dist"
 	"kali/internal/forall"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
+	"kali/internal/machine/wallclock"
 	"kali/internal/topology"
 )
 
@@ -32,6 +34,24 @@ type Config struct {
 	// Params is the machine cost model (machine.NCUBE7(), machine.IPSC2(),
 	// machine.Ideal()).
 	Params machine.Params
+	// Backend selects the node runtime: "sim" (default — the
+	// virtual-clock simulator, deterministic predicted times) or
+	// "wall" (real threads and shared-memory queues, measured times).
+	Backend string
+}
+
+// NewMachine builds the machine cfg describes, choosing the backend
+// by name ("", "sim" → simulator; "wall", "wallclock" → real
+// threads).
+func NewMachine(cfg Config) (*machine.Machine, error) {
+	switch cfg.Backend {
+	case "", "sim":
+		return sim.New(cfg.P, cfg.Params)
+	case "wall", "wallclock":
+		return wallclock.New(cfg.P, cfg.Params)
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q (want sim or wall)", cfg.Backend)
+	}
 }
 
 // Context is one node's view of a running Kali program.
@@ -99,6 +119,9 @@ func (c *Context) Barrier() { c.Node.Barrier() }
 type Report struct {
 	P       int
 	Machine string
+	// Backend names the node runtime the numbers came from: "sim"
+	// times are cost-model predictions, "wall" times are measured.
+	Backend string
 
 	// Total is exec+inspector, matching the paper's "total time"
 	// column (its measured regions were exactly those two phases;
@@ -122,6 +145,14 @@ type Report struct {
 	// from forall traffic.
 	RedistMsgs  int
 	RedistBytes int
+
+	// SchedEvictions counts forall schedules dropped from the bounded
+	// content-addressed stores (summed over nodes); PlanEvictions
+	// counts redistribution plans dropped from the machine's bounded
+	// plan store.  Nonzero values mean the working set exceeded the
+	// cache bounds and some replays are paying rebuild cost.
+	SchedEvictions int
+	PlanEvictions  int
 }
 
 // OverheadPct returns the paper's "inspector overhead" column:
@@ -138,10 +169,13 @@ func (r Report) String() string {
 		r.Machine, r.P, r.Total, r.Executor, r.Inspector, r.OverheadPct())
 }
 
-// Run executes prog as an SPMD program on a fresh P-node machine and
-// returns the timing report.
+// Run executes prog as an SPMD program on a fresh P-node machine
+// (cfg.Backend selects the runtime) and returns the timing report.
 func Run(cfg Config, prog func(ctx *Context)) Report {
-	m := machine.MustNew(cfg.P, cfg.Params)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return RunOn(m, prog)
 }
 
@@ -150,17 +184,20 @@ func Run(cfg Config, prog func(ctx *Context)) Report {
 func RunOn(m *machine.Machine, prog func(ctx *Context)) Report {
 	m.Reset()
 	grid := topology.MustGrid(m.P())
+	engines := make([]*forall.Engine, m.P())
 	m.Run(func(n *machine.Node) {
 		ctx := &Context{
 			Node: n,
 			Eng:  forall.NewEngine(n),
 			Grid: grid,
 		}
+		engines[n.ID()] = ctx.Eng
 		prog(ctx)
 	})
 	rep := Report{
 		P:         m.P(),
 		Machine:   m.Params().Name,
+		Backend:   m.Backend(),
 		Inspector: m.MaxPhase(forall.PhaseInspector),
 		Executor:  m.MaxPhase(forall.PhaseExecutor),
 		Redist:    m.MaxPhase(darray.PhaseRedistribute),
@@ -174,5 +211,11 @@ func RunOn(m *machine.Machine, prog func(ctx *Context)) Report {
 		rep.RedistMsgs += st.RedistMsgsSent
 		rep.RedistBytes += st.RedistBytesSent
 	}
+	for _, e := range engines {
+		if e != nil {
+			rep.SchedEvictions += e.SharedEvictions()
+		}
+	}
+	rep.PlanEvictions = darray.PlanEvictions(m)
 	return rep
 }

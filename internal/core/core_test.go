@@ -9,6 +9,7 @@ import (
 	"kali/internal/dist"
 	"kali/internal/forall"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 )
 
 func TestRunBasics(t *testing.T) {
@@ -108,7 +109,7 @@ func TestReportString(t *testing.T) {
 }
 
 func TestRunOnReusesMachine(t *testing.T) {
-	m := machine.MustNew(2, machine.Ideal())
+	m := sim.MustNew(2, machine.Ideal())
 	r1 := RunOn(m, func(ctx *Context) { ctx.Barrier() })
 	r2 := RunOn(m, func(ctx *Context) { ctx.Barrier() })
 	if r1.P != 2 || r2.P != 2 {

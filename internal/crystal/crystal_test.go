@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 )
 
 // routeAll runs Route on every node of a P-node ideal machine, with
@@ -16,7 +17,7 @@ import (
 // what each node received.
 func routeAll(t *testing.T, p int, mk func(me int) []Parcel) [][]Parcel {
 	t.Helper()
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	out := make([][]Parcel, p)
 	var mu sync.Mutex
 	m.Run(func(n *machine.Node) {
@@ -116,7 +117,7 @@ func TestRouteSkewedTraffic(t *testing.T) {
 }
 
 func TestRouteBadDestPanics(t *testing.T) {
-	m := machine.MustNew(2, machine.Ideal())
+	m := sim.MustNew(2, machine.Ideal())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -128,7 +129,7 @@ func TestRouteBadDestPanics(t *testing.T) {
 }
 
 func TestRouteNonPowerOfTwoPanics(t *testing.T) {
-	m := machine.MustNew(3, machine.Ideal())
+	m := sim.MustNew(3, machine.Ideal())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -141,7 +142,7 @@ func TestRouteNonPowerOfTwoPanics(t *testing.T) {
 
 func TestRouteSorted(t *testing.T) {
 	const p = 4
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	var mu sync.Mutex
 	got := make([][]int, p)
 	m.Run(func(n *machine.Node) {
@@ -171,7 +172,7 @@ func TestRouteChargesStageCosts(t *testing.T) {
 	// With P=8 (3 stages) each node's clock must include at least
 	// 3 × CombineStage.
 	params := machine.NCUBE7()
-	m := machine.MustNew(8, params)
+	m := sim.MustNew(8, params)
 	var mu sync.Mutex
 	minClock := -1.0
 	m.Run(func(n *machine.Node) {
@@ -207,7 +208,7 @@ func TestQuickRoutePermutation(t *testing.T) {
 				expect[to][label]++
 			}
 		}
-		m := machine.MustNew(p, machine.Ideal())
+		m := sim.MustNew(p, machine.Ideal())
 		got := make([]map[string]int, p)
 		var mu sync.Mutex
 		m.Run(func(n *machine.Node) {

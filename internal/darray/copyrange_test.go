@@ -5,6 +5,7 @@ import (
 
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -32,7 +33,7 @@ func TestCopyLinearRange(t *testing.T) {
 			for _, e := range tc.grid {
 				p *= e
 			}
-			mach := machine.MustNew(p, machine.Ideal())
+			mach := sim.MustNew(p, machine.Ideal())
 			mach.Run(func(nd *machine.Node) {
 				a := New("a", d, nd)
 				total := a.Size()

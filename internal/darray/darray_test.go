@@ -7,12 +7,13 @@ import (
 
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
 // onEachNode runs f on every node of a P-node ideal machine.
 func onEachNode(p int, f func(n *machine.Node)) {
-	machine.MustNew(p, machine.Ideal()).Run(f)
+	sim.MustNew(p, machine.Ideal()).Run(f)
 }
 
 func blockDist(n, p int) *dist.Dist {
@@ -327,7 +328,7 @@ func TestQuickOwnershipPartition(t *testing.T) {
 		})
 		// Count ownership via OwnerLinear on one handle.
 		onEachNode(1, func(nd *machine.Node) {})
-		m := machine.MustNew(p, machine.Ideal())
+		m := sim.MustNew(p, machine.Ideal())
 		m.Run(func(nd *machine.Node) {
 			if nd.ID() != 0 {
 				return
@@ -356,7 +357,7 @@ func TestQuickOwnershipPartition(t *testing.T) {
 
 func BenchmarkGet1Block(b *testing.B) {
 	d := blockDist(1024, 1)
-	m := machine.MustNew(1, machine.Ideal())
+	m := sim.MustNew(1, machine.Ideal())
 	m.Run(func(n *machine.Node) {
 		a := New("a", d, n)
 		b.ResetTimer()
@@ -369,7 +370,7 @@ func BenchmarkGet1Block(b *testing.B) {
 func BenchmarkGet2BlockCollapsed(b *testing.B) {
 	g := topology.MustGrid(1)
 	d := dist.Must([]int{1024, 4}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
-	m := machine.MustNew(1, machine.Ideal())
+	m := sim.MustNew(1, machine.Ideal())
 	m.Run(func(n *machine.Node) {
 		a := New("a", d, n)
 		b.ResetTimer()

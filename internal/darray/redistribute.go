@@ -29,6 +29,7 @@ import (
 	"kali/internal/comm"
 	"kali/internal/dist"
 	"kali/internal/index"
+	"kali/internal/lru"
 	"kali/internal/machine"
 )
 
@@ -69,26 +70,47 @@ type redistKey struct {
 	newFP uint64
 }
 
+// redistPlanCapPerNode bounds the plan store to this many plans per
+// node of the machine.  A long-lived machine cycling through many
+// distribution pairs (load balancing that reshapes every phase) would
+// otherwise grow the store without bound; ping-pong remappings need
+// only two plans per node, so the bound keeps every realistic working
+// set while counting evictions for the report.
+const redistPlanCapPerNode = 16
+
 // redistStore is one machine's plan cache and buffer pool, kept in
 // the machine's Scratch so both live exactly as long as the machine (a
 // package-global would pin every transient test/bench machine — and
-// its peak-demand partitions — forever).  The pool recycles
+// its peak-demand partitions — forever).  Plans live in a bounded LRU
+// (sized by the machine's node count on first use).  The pool recycles
 // redistribution message payloads and local partitions machine-wide
 // (buffers cross nodes: acquired by the sender, released by the
 // receiver), so warmed remappings replay allocation-free.
 type redistStore struct {
 	mu    sync.Mutex
-	plans map[redistKey]*RedistSchedule
+	plans *lru.Cache[redistKey, *RedistSchedule] // created on first use (needs P)
 	pool  comm.BufPool
 }
 
 // redistStoreKey addresses the store within Machine.Scratch.
 type redistStoreKey struct{}
 
-func newRedistStore() any { return &redistStore{plans: map[redistKey]*RedistSchedule{}} }
+func newRedistStore() any { return &redistStore{} }
 
 func storeOf(n *machine.Node) *redistStore {
 	return n.Machine().Scratch(redistStoreKey{}, newRedistStore).(*redistStore)
+}
+
+// PlanEvictions returns how many redistribution plans the machine's
+// bounded store has evicted for capacity.
+func PlanEvictions(m *machine.Machine) int {
+	store := m.Scratch(redistStoreKey{}, newRedistStore).(*redistStore)
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	if store.plans == nil {
+		return 0
+	}
+	return store.plans.Evictions()
 }
 
 var (
@@ -163,7 +185,10 @@ func buildRedistSchedule(name string, od, nd *dist.Dist, n *machine.Node) *Redis
 func redistSchedule(store *redistStore, name string, od, nd *dist.Dist, n *machine.Node) *RedistSchedule {
 	key := redistKey{node: n.ID(), oldFP: od.Fingerprint(), newFP: nd.Fingerprint()}
 	store.mu.Lock()
-	if s, ok := store.plans[key]; ok {
+	if store.plans == nil {
+		store.plans = lru.New[redistKey, *RedistSchedule](redistPlanCapPerNode * n.P())
+	}
+	if s, ok := store.plans.Get(key); ok {
 		store.mu.Unlock()
 		redistHits.Add(1)
 		n.Charge(machine.Cost{Calls: 1})
@@ -174,7 +199,7 @@ func redistSchedule(store *redistStore, name string, od, nd *dist.Dist, n *machi
 	// Symbolic set evaluation: a closed-form intersection per peer pair.
 	n.Charge(machine.Cost{Calls: 2 + len(s.sendTo) + len(s.recvFrom)})
 	store.mu.Lock()
-	store.plans[key] = s
+	store.plans.Put(key, s)
 	store.mu.Unlock()
 	redistBuilds.Add(1)
 	return s

@@ -12,6 +12,7 @@ import (
 
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -54,7 +55,7 @@ func TestRedistributeRank2RowToColumn(t *testing.T) {
 	rows := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g1)
 	cols := dist.Must([]int{n, n}, []dist.DimSpec{dist.CollapsedDim(), dist.BlockDim()}, g1)
 	tiles := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g2)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		f := func(i, j int) float64 { return float64(i*1000 + j) }
 		a := New("a", rows, nd)
@@ -77,7 +78,7 @@ func TestRedistributePlanCacheKeying(t *testing.T) {
 	mkBlock := func() *dist.Dist { return dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g) }
 	mkCyc := func() *dist.Dist { return dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, g) }
 	builds0, hits0 := RedistBuilds(), RedistHits()
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		a := New("a", mkBlock(), nd)
 		b := New("b", mkBlock(), nd)
@@ -122,7 +123,7 @@ func TestRedistributeReplayAllocationFree(t *testing.T) {
 	g := topology.MustGrid(p)
 	rows := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
 	cols := dist.Must([]int{n, n}, []dist.DimSpec{dist.CollapsedDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 
 	old := debug.SetGCPercent(-1)
 	defer debug.SetGCPercent(old)
@@ -180,7 +181,7 @@ func TestRedistributeRejectsShapeChange(t *testing.T) {
 	g := topology.MustGrid(p)
 	d1 := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
 	d2 := dist.Must([]int{n + 1}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on shape change")

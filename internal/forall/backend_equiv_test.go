@@ -1,0 +1,205 @@
+package forall
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kali/internal/analysis"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/machine/sim"
+	"kali/internal/machine/wallclock"
+	"kali/internal/topology"
+)
+
+// Backend-equivalence property: the simulator and the wall-clock
+// backend run the *same* compiled schedules, so over random
+// distributions, read patterns, and executor variants they must
+// produce byte-identical array contents and identical message counts.
+// Only the clocks may differ.
+
+// equivCase is one randomly drawn program shape.
+type equivCase struct {
+	n, p      int
+	spec      dist.DimSpec
+	affine    bool // affine read (else indirect via permutation)
+	offset    int  // affine read offset
+	perm      []int
+	force     bool // ForceInspector
+	enumerate bool
+	sweeps    int
+}
+
+func drawCase(r *rand.Rand) equivCase {
+	c := equivCase{
+		n:      8 + r.Intn(40),
+		p:      1 + r.Intn(4),
+		affine: r.Intn(2) == 0,
+		force:  r.Intn(2) == 0,
+		sweeps: 1 + r.Intn(3),
+	}
+	switch r.Intn(3) {
+	case 0:
+		c.spec = dist.BlockDim()
+	case 1:
+		c.spec = dist.CyclicDim()
+	default:
+		c.spec = dist.BlockCyclicDim(1 + r.Intn(4))
+	}
+	if c.affine {
+		c.offset = []int{-2, -1, 1, 2}[r.Intn(4)]
+	} else {
+		c.perm = make([]int, c.n)
+		for i := range c.perm {
+			c.perm[i] = r.Intn(c.n) + 1
+		}
+		// The enumerated executor only applies to inspector loops.
+		c.enumerate = r.Intn(2) == 0
+	}
+	return c
+}
+
+// runEquivCase executes the case's program on the given machine and
+// returns the final gathered contents of the output array plus the
+// machine-wide message totals.
+func runEquivCase(c equivCase, m *machine.Machine) ([]float64, machine.Stats) {
+	g := topology.MustGrid(m.P())
+	d := dist.Must([]int{c.n}, []dist.DimSpec{c.spec}, g)
+	result := make([]float64, c.n+1)
+	var mu sync.Mutex
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		b := darray.New("B", d, nd)
+		a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)*1.5) })
+		b.EachLocal(func(gl int) { b.Set1(gl, 0) })
+		eng := NewEngine(nd)
+		eng.ForceInspector = c.force
+
+		var loop *Loop
+		if c.affine {
+			lo, hi := 1, c.n
+			if c.offset > 0 {
+				hi = c.n - c.offset
+			} else {
+				lo = 1 - c.offset
+			}
+			loop = &Loop{
+				Name: "equiv", Lo: lo, Hi: hi,
+				On: b, OnF: analysis.Identity,
+				Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: c.offset}}},
+				Body: func(i int, e *Env) {
+					e.Write(b, i, e.Read(a, i+c.offset)+float64(i))
+				},
+			}
+		} else {
+			// perm shares the loop's distribution: iteration i runs on
+			// b[i]'s owner, which then reads perm[i] locally.
+			ip := darray.NewInt("perm", d, nd)
+			ip.EachLocal(func(gl int) { ip.Set1(gl, c.perm[gl-1]) })
+			loop = &Loop{
+				Name: "equiv", Lo: 1, Hi: c.n,
+				On: b, OnF: analysis.Identity,
+				Reads:     []ReadSpec{{Array: a}}, // indirect
+				DependsOn: []Dep{ip},
+				Enumerate: c.enumerate,
+				Body: func(i int, e *Env) {
+					j := e.ReadInt(ip, i)
+					e.Write(b, i, e.Read(a, j)+float64(i))
+				},
+			}
+		}
+		for s := 0; s < c.sweeps; s++ {
+			eng.Run(loop)
+		}
+		mu.Lock()
+		b.EachLocal(func(gl int) { result[gl] = b.Get1(gl) })
+		mu.Unlock()
+	})
+	return result, m.TotalStats()
+}
+
+func TestBackendEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 40; trial++ {
+		c := drawCase(r)
+		simM := sim.MustNew(c.p, machine.Ideal())
+		wallM := wallclock.MustNew(c.p, machine.Ideal())
+
+		simVals, simStats := runEquivCase(c, simM)
+		wallVals, wallStats := runEquivCase(c, wallM)
+
+		for i := range simVals {
+			if simVals[i] != wallVals[i] {
+				t.Fatalf("trial %d (%+v): element %d differs: sim %v, wall %v",
+					trial, c, i, simVals[i], wallVals[i])
+			}
+		}
+		if simStats.MsgsSent != wallStats.MsgsSent || simStats.BytesSent != wallStats.BytesSent {
+			t.Fatalf("trial %d (%+v): traffic differs: sim %d msgs/%d bytes, wall %d msgs/%d bytes",
+				trial, c, simStats.MsgsSent, simStats.BytesSent, wallStats.MsgsSent, wallStats.BytesSent)
+		}
+		if simStats.MsgsReceived != wallStats.MsgsReceived {
+			t.Fatalf("trial %d: receives differ: sim %d, wall %d",
+				trial, simStats.MsgsReceived, wallStats.MsgsReceived)
+		}
+	}
+}
+
+// TestBackendEquivalenceRedistribution: the redistribution pipeline
+// (plans, pooled payloads, header swaps) must also be
+// backend-invariant.
+func TestBackendEquivalenceRedistribution(t *testing.T) {
+	const n, p = 48, 4
+	run := func(m *machine.Machine) ([]float64, machine.Stats) {
+		g := topology.MustGrid(p)
+		d0 := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+		d1 := dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, g)
+		result := make([]float64, n+1)
+		var mu sync.Mutex
+		m.Run(func(nd *machine.Node) {
+			a := darray.New("A", d0, nd)
+			a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)*2.25) })
+			for round := 0; round < 3; round++ {
+				darray.Redistribute(a, d1)
+				darray.Redistribute(a, d0)
+			}
+			mu.Lock()
+			a.EachLocal(func(gl int) { result[gl] = a.Get1(gl) })
+			mu.Unlock()
+		})
+		return result, m.TotalStats()
+	}
+	simVals, simStats := run(sim.MustNew(p, machine.Ideal()))
+	wallVals, wallStats := run(wallclock.MustNew(p, machine.Ideal()))
+	for i := range simVals {
+		if simVals[i] != wallVals[i] {
+			t.Fatalf("element %d differs: sim %v, wall %v", i, simVals[i], wallVals[i])
+		}
+	}
+	if simStats != wallStats {
+		t.Fatalf("stats differ: sim %+v, wall %+v", simStats, wallStats)
+	}
+}
+
+// TestBackendEquivalenceAllReduce: reductions combine in node-id
+// order on both backends, so even float results are bit-identical.
+func TestBackendEquivalenceAllReduce(t *testing.T) {
+	const p = 4
+	run := func(m *machine.Machine) []float64 {
+		got := make([]float64, p)
+		m.Run(func(nd *machine.Node) {
+			x := 0.1 * float64(nd.ID()+1) // sums of 0.1s are order-sensitive
+			got[nd.ID()] = nd.AllReduce(x, "sum")
+		})
+		return got
+	}
+	simVals := run(sim.MustNew(p, machine.Ideal()))
+	wallVals := run(wallclock.MustNew(p, machine.Ideal()))
+	for i := range simVals {
+		if simVals[i] != wallVals[i] {
+			t.Fatalf("node %d: sim %v, wall %v", i, simVals[i], wallVals[i])
+		}
+	}
+}

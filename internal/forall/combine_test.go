@@ -8,6 +8,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -21,7 +22,7 @@ func runTwoArrayStencil(t *testing.T, noCombine bool) ([]float64, int) {
 	const n, p = 24, 4
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	result := make([]float64, n+1)
 	var mu sync.Mutex
 	msgs := 0
@@ -85,7 +86,7 @@ func TestCombineSavesStartupTime(t *testing.T) {
 		const n, p = 24, 4
 		g := topology.MustGrid(p)
 		d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-		mach := machine.MustNew(p, machine.NCUBE7())
+		mach := sim.MustNew(p, machine.NCUBE7())
 		mach.Run(func(nd *machine.Node) {
 			out := darray.New("out", d, nd)
 			u := darray.New("u", d, nd)

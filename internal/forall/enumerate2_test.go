@@ -9,6 +9,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -22,7 +23,7 @@ func runEnum2D(t *testing.T, enumerate bool, params machine.Params, sweeps int) 
 	const n, pr, pc = 24, 2, 2
 	g := topology.MustGrid(pr, pc)
 	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(pr*pc, params)
+	mach := sim.MustNew(pr*pc, params)
 	out := make([]float64, n*n)
 	memMax := 0
 	var kinds []BuildKind

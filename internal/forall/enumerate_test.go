@@ -8,6 +8,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -19,7 +20,7 @@ func runEnumGather(t *testing.T, enumerate bool, params machine.Params) ([]float
 	const n, p = 32, 4
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, params)
+	mach := sim.MustNew(p, params)
 	result := make([]float64, n+1)
 	memMax := 0
 	var mu sync.Mutex
@@ -93,7 +94,7 @@ func TestEnumerateForcesInspector(t *testing.T) {
 	const n, p = 16, 2
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		a := darray.New("a", d, nd)
 		eng := NewEngine(nd)
@@ -116,7 +117,7 @@ func TestEnumerateDivergentBodyPanics(t *testing.T) {
 	const n, p = 8, 2
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for divergent body")

@@ -8,6 +8,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -19,7 +20,7 @@ func TestRank2NonlocalReads(t *testing.T) {
 	g := topology.MustGrid(p)
 	d1 := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
 	d2 := dist.Must([]int{n, m}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	result := make([]float64, n+1)
 	var mu sync.Mutex
 	mach.Run(func(nd *machine.Node) {
@@ -76,7 +77,7 @@ func TestWriteAtAndAlignedReads(t *testing.T) {
 	g := topology.MustGrid(p)
 	d1 := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
 	d2 := dist.Must([]int{n, m}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		a := darray.New("a", d1, nd)
 		w := darray.New("w", d2, nd)
@@ -123,7 +124,7 @@ func TestEngineUtilities(t *testing.T) {
 	const n, p = 8, 2
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		a := darray.New("a", d, nd)
 		eng := NewEngine(nd)
@@ -169,7 +170,7 @@ func TestMultipleIndirectArrays(t *testing.T) {
 	g := topology.MustGrid(p)
 	dBlk := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
 	dCyc := dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	result := make([]float64, n+1)
 	var mu sync.Mutex
 	mach.Run(func(nd *machine.Node) {
@@ -217,7 +218,7 @@ func TestOnFNonIdentity(t *testing.T) {
 	const n, p = 12, 3
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	owners := make([]int, n+1)
 	var mu sync.Mutex
 	mach.Run(func(nd *machine.Node) {
@@ -250,7 +251,7 @@ func TestPhaseOverride(t *testing.T) {
 	const n, p = 8, 2
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.NCUBE7())
+	mach := sim.MustNew(p, machine.NCUBE7())
 	mach.Run(func(nd *machine.Node) {
 		a := darray.New("a", d, nd)
 		eng := NewEngine(nd)

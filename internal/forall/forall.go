@@ -38,6 +38,7 @@ import (
 	"kali/internal/analysis"
 	"kali/internal/comm"
 	"kali/internal/darray"
+	"kali/internal/lru"
 	"kali/internal/machine"
 )
 
@@ -423,11 +424,19 @@ func onDistOf(c *loopCore) uint64 {
 	return c.on.Dist().Fingerprint()
 }
 
+// sharedScheduleCap bounds the per-node content-addressed schedule
+// store.  Distinct share keys accumulate over a machine's lifetime
+// (every redistribution changes distribution fingerprints, minting
+// new keys), so the store is a bounded LRU rather than a map: the
+// working set of the current solver phase stays, dead schedules go,
+// and evictions are counted so thrashing is visible in reports.
+const sharedScheduleCap = 64
+
 // Engine executes forall loops on one node and caches their schedules.
 type Engine struct {
 	node   *machine.Node
 	cache  map[schedKey]*cacheEntry
-	shared map[shareKey]*Schedule
+	shared *lru.Cache[shareKey, *Schedule]
 	// NoCache disables schedule reuse — both the per-name cache and the
 	// content-addressed store (benchmark ABL1 measures the cost of
 	// re-inspecting on every execution).
@@ -459,7 +468,7 @@ func NewEngine(n *machine.Node) *Engine {
 	return &Engine{
 		node:   n,
 		cache:  map[schedKey]*cacheEntry{},
-		shared: map[shareKey]*Schedule{},
+		shared: lru.New[shareKey, *Schedule](sharedScheduleCap),
 	}
 }
 
@@ -480,7 +489,11 @@ func (e *Engine) SharedHits() int { return e.sharedHits }
 
 // SharedSchedules returns the number of distinct schedules in the
 // content-addressed store.
-func (e *Engine) SharedSchedules() int { return len(e.shared) }
+func (e *Engine) SharedSchedules() int { return e.shared.Len() }
+
+// SharedEvictions returns how many schedules the bounded
+// content-addressed store has evicted for capacity.
+func (e *Engine) SharedEvictions() int { return e.shared.Evictions() }
 
 // Schedule returns the cached schedule of a rank-1 loop, or nil if the
 // loop has not run (or caching is disabled).
@@ -512,7 +525,7 @@ func (e *Engine) Invalidate(name string) {
 // store: the engine forgets everything and rebuilds from scratch.
 func (e *Engine) InvalidateAll() {
 	e.cache = map[schedKey]*cacheEntry{}
-	e.shared = map[shareKey]*Schedule{}
+	e.shared.Reset()
 }
 
 // Run executes one rank-1 forall: schedule acquisition is timed under
@@ -637,7 +650,7 @@ func (e *Engine) schedule(c *loopCore) *Schedule {
 	var sk shareKey
 	if shareable {
 		sk = shareKeyOf(c)
-		if s, ok := e.shared[sk]; ok {
+		if s, ok := e.shared.Get(sk); ok {
 			e.sharedHits++
 			e.lastKind = BuildShared
 			e.store(key, c, s)
@@ -656,7 +669,7 @@ func (e *Engine) schedule(c *loopCore) *Schedule {
 	finalizePeers(s)
 	e.builds++
 	if shareable {
-		e.shared[sk] = s
+		e.shared.Put(sk, s)
 	}
 	if !e.NoCache {
 		e.store(key, c, s)

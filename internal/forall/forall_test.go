@@ -11,6 +11,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -23,7 +24,7 @@ func runShift(t *testing.T, n, p int, spec dist.DimSpec, forceInspector bool) ([
 	t.Helper()
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{spec}, g)
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	result := make([]float64, n+1)
 	var kind BuildKind
 	var mu sync.Mutex
@@ -112,7 +113,7 @@ func TestCopyInCopyOut(t *testing.T) {
 	const n, p = 16, 2
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	result := make([]float64, n+1)
 	var mu sync.Mutex
 	m.Run(func(nd *machine.Node) {
@@ -146,7 +147,7 @@ func runIndirect(t *testing.T, n, p int, perm []int) []float64 {
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
 	dperm := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	result := make([]float64, n+1)
 	var mu sync.Mutex
 	m.Run(func(nd *machine.Node) {
@@ -216,7 +217,7 @@ func TestScheduleCaching(t *testing.T) {
 	const n, p = 16, 4
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(p, machine.NCUBE7())
+	m := sim.MustNew(p, machine.NCUBE7())
 	m.Run(func(nd *machine.Node) {
 		a := darray.New("A", d, nd)
 		b := darray.New("B", d, nd)
@@ -253,7 +254,7 @@ func TestCacheInvalidationOnDepChange(t *testing.T) {
 	const n, p = 16, 2
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	result := make([]float64, n+1)
 	var mu sync.Mutex
 	m.Run(func(nd *machine.Node) {
@@ -299,7 +300,7 @@ func TestStaleScheduleDetected(t *testing.T) {
 	const n, p = 8, 2
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic from stale schedule")
@@ -331,7 +332,7 @@ func TestOnProcPlacement(t *testing.T) {
 	const n, p = 12, 4
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	owners := make([]int, n+1)
 	var mu sync.Mutex
 	m.Run(func(nd *machine.Node) {
@@ -378,7 +379,7 @@ func TestValidationPanics(t *testing.T) {
 		},
 	}
 	for ci, mk := range cases {
-		m := machine.MustNew(2, machine.Ideal())
+		m := sim.MustNew(2, machine.Ideal())
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -399,7 +400,7 @@ func TestValidationPanics(t *testing.T) {
 func TestUndeclaredReadPanics(t *testing.T) {
 	g := topology.MustGrid(2)
 	d := dist.Must([]int{8}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(2, machine.Ideal())
+	m := sim.MustNew(2, machine.Ideal())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -422,7 +423,7 @@ func TestUndeclaredReadPanics(t *testing.T) {
 func TestNonOwnerWritePanics(t *testing.T) {
 	g := topology.MustGrid(2)
 	d := dist.Must([]int{8}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(2, machine.Ideal())
+	m := sim.MustNew(2, machine.Ideal())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -446,7 +447,7 @@ func TestReplicatedReadIsFree(t *testing.T) {
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
 	rep := dist.NewReplicated([]int{n}, g)
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	m.Run(func(nd *machine.Node) {
 		a := darray.New("A", d, nd)
 		r := darray.New("R", rep, nd)
@@ -506,7 +507,7 @@ func TestCompileTimeEqualsInspector(t *testing.T) {
 		d := dist.Must([]int{n}, specs, topology.MustGrid(p))
 
 		run := func(force bool) []float64 {
-			m := machine.MustNew(p, machine.Ideal())
+			m := sim.MustNew(p, machine.Ideal())
 			out := make([]float64, n+1)
 			var mu sync.Mutex
 			m.Run(func(nd *machine.Node) {
@@ -554,7 +555,7 @@ func TestDeterministicVirtualTime(t *testing.T) {
 		const n, p = 64, 8
 		g := topology.MustGrid(p)
 		d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-		m := machine.MustNew(p, machine.NCUBE7())
+		m := sim.MustNew(p, machine.NCUBE7())
 		m.Run(func(nd *machine.Node) {
 			a := darray.New("A", d, nd)
 			b := darray.New("B", d, nd)
@@ -596,7 +597,7 @@ func TestNoCacheReinspects(t *testing.T) {
 	const n, p = 16, 2
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(p, machine.NCUBE7())
+	m := sim.MustNew(p, machine.NCUBE7())
 	m.Run(func(nd *machine.Node) {
 		a := darray.New("A", d, nd)
 		b := darray.New("B", d, nd)
@@ -631,7 +632,7 @@ func TestScheduleCounts(t *testing.T) {
 	const n, p = 20, 4
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	m := machine.MustNew(p, machine.Ideal())
+	m := sim.MustNew(p, machine.Ideal())
 	m.Run(func(nd *machine.Node) {
 		a := darray.New("A", d, nd)
 		eng := NewEngine(nd)

@@ -9,6 +9,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -41,7 +42,7 @@ func TestQuickLoop2RandomGather(t *testing.T) {
 			srcOf[k] = [2]int{1 + r.Intn(ny), 1 + r.Intn(nx)}
 		}
 
-		mach := machine.MustNew(gr[0]*gr[1], machine.Ideal())
+		mach := sim.MustNew(gr[0]*gr[1], machine.Ideal())
 		got := make([]float64, ny*nx)
 		var mu sync.Mutex
 		mach.Run(func(nd *machine.Node) {

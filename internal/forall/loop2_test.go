@@ -7,6 +7,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/mesh"
 	"kali/internal/topology"
 )
@@ -17,7 +18,7 @@ func run2DJacobi(t *testing.T, nx, ny, pr, pc, sweeps int, params machine.Params
 	t.Helper()
 	g := topology.MustGrid(pr, pc)
 	d := dist.Must([]int{ny, nx}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(pr*pc, params)
+	mach := sim.MustNew(pr*pc, params)
 	out := make([]float64, nx*ny)
 	var mu sync.Mutex
 	mach.Run(func(nd *machine.Node) {
@@ -141,7 +142,7 @@ func Test2DValidation(t *testing.T) {
 	}
 	for ci, mk := range cases {
 		p := 4
-		mach := machine.MustNew(p, machine.Ideal())
+		mach := sim.MustNew(p, machine.Ideal())
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -161,7 +162,7 @@ func Test2DDependsOnInvalidation(t *testing.T) {
 	const n, p = 8, 4
 	g := topology.MustGrid(2, 2)
 	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		dst := darray.New("dst", d, nd)
 		src := darray.New("src", d, nd)

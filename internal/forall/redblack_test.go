@@ -9,6 +9,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -34,7 +35,7 @@ func TestRedBlackGaussSeidel(t *testing.T) {
 		}
 	}
 
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	got := make([]float64, n+1)
 	var mu sync.Mutex
 	mach.Run(func(nd *machine.Node) {

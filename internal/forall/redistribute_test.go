@@ -14,6 +14,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -92,7 +93,7 @@ func TestQuickRedistributeSchedulesMatchFresh(t *testing.T) {
 		to := dist.Must([]int{n}, []dist.DimSpec{randSpec(r, n, p)}, g)
 		shift := 1 + r.Intn(3)
 		ok := true
-		mach := machine.MustNew(p, machine.Ideal())
+		mach := sim.MustNew(p, machine.Ideal())
 		mach.Run(func(nd *machine.Node) {
 			a := darray.New("a", from, nd)
 			b := darray.New("b", to, nd)
@@ -152,7 +153,7 @@ func TestRedistributeSchedulesMatchFresh2D(t *testing.T) {
 	g := topology.MustGrid(2, 2)
 	from := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
 	to := dist.Must([]int{n, n}, []dist.DimSpec{dist.CyclicDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(4, machine.Ideal())
+	mach := sim.MustNew(4, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		f := func(i, j int) float64 { return float64(i*50 + j) }
 		a := darray.New("a", from, nd)

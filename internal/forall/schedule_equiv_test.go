@@ -13,6 +13,7 @@ import (
 	"kali/internal/dist"
 	"kali/internal/index"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -136,7 +137,7 @@ func TestScheduleCompileTimeMatchesInspector2D(t *testing.T) {
 		dSrc := dist.Must([]int{ny, nx}, []dist.DimSpec{randDim(r, ny, gr[0]), randDim(r, nx, gr[1])}, g)
 
 		run := func(force, enum bool) ([]schedSnap, []float64, []int) {
-			mach := machine.MustNew(p, machine.Ideal())
+			mach := sim.MustNew(p, machine.Ideal())
 			snaps := make([]schedSnap, p)
 			recvs := make([]int, p)
 			vals := make([]float64, ny*nx)
@@ -239,7 +240,7 @@ func TestScheduleCompileTime2DBeatsInspectorCost(t *testing.T) {
 		const n, pr, pc = 64, 2, 2
 		g := topology.MustGrid(pr, pc)
 		d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-		mach := machine.MustNew(pr*pc, machine.NCUBE7())
+		mach := sim.MustNew(pr*pc, machine.NCUBE7())
 		mach.Run(func(nd *machine.Node) {
 			a := darray.New("a", d, nd)
 			old := darray.New("old", d, nd)
@@ -278,7 +279,7 @@ func TestScheduleCacheRankSeparation(t *testing.T) {
 	g2 := topology.MustGrid(1, 1)
 	d1 := dist.Must([]int{6}, []dist.DimSpec{dist.BlockDim()}, g1)
 	d2 := dist.Must([]int{6, 6}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g2)
-	mach := machine.MustNew(1, machine.Ideal())
+	mach := sim.MustNew(1, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		a1 := darray.New("a1", d1, nd)
 		a2 := darray.New("a2", d2, nd)
@@ -314,7 +315,7 @@ func TestScheduleCacheShapeChangeRebuilds(t *testing.T) {
 	const n = 8
 	g := topology.MustGrid(2, 2)
 	d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
-	mach := machine.MustNew(4, machine.Ideal())
+	mach := sim.MustNew(4, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		a := darray.New("a", d, nd)
 		src := darray.New("src", d, nd)
@@ -383,7 +384,7 @@ func TestScheduleCacheKeyByRank(t *testing.T) {
 	g2 := topology.MustGrid(1, 1)
 	d1 := dist.Must([]int{6}, []dist.DimSpec{dist.BlockDim()}, g1)
 	d2 := dist.Must([]int{6, 6}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g2)
-	mach := machine.MustNew(1, machine.Ideal())
+	mach := sim.MustNew(1, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		a1 := darray.New("a1", d1, nd)
 		a2 := darray.New("a2", d2, nd)

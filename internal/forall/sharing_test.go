@@ -10,6 +10,7 @@ import (
 	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/machine"
+	"kali/internal/machine/sim"
 	"kali/internal/topology"
 )
 
@@ -44,7 +45,7 @@ func TestScheduleSharingAcrossLoops(t *testing.T) {
 	specs := []dist.DimSpec{dist.BlockDim()}
 	dA := dist.Must([]int{n}, specs, g)
 	dB := dist.Must([]int{n}, specs, g) // distinct object, same structure
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		outA, srcA := darray.New("outA", dA, nd), darray.New("srcA", dA, nd)
 		outB, srcB := darray.New("outB", dB, nd), darray.New("srcB", dB, nd)
@@ -88,7 +89,7 @@ func TestScheduleSharingInvalidate(t *testing.T) {
 	const n, p = 32, 4
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		outA, srcA := darray.New("outA", d, nd), darray.New("srcA", d, nd)
 		outB, srcB := darray.New("outB", d, nd), darray.New("srcB", d, nd)
@@ -145,7 +146,7 @@ func TestScheduleSharingRespectsShape(t *testing.T) {
 	g := topology.MustGrid(p)
 	dBlock := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
 	dCyc := dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		out := darray.New("out", dBlock, nd)
 		u := darray.New("u", dBlock, nd)
@@ -216,7 +217,7 @@ func TestScheduleNoSharingForInspector(t *testing.T) {
 	const n, p = 16, 4
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		outA := darray.New("outA", d, nd)
 		outB := darray.New("outB", d, nd)
@@ -266,7 +267,7 @@ func TestReplayAllocationFree(t *testing.T) {
 	const n, p, warmup, reps = 64, 4, 5, 20
 	g := topology.MustGrid(p)
 	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 
 	old := debug.SetGCPercent(-1)
 	defer debug.SetGCPercent(old)
@@ -347,7 +348,7 @@ func TestRedistributeInvalidatesCachedSchedules(t *testing.T) {
 	g := topology.MustGrid(p)
 	dBlock := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
 	dCyc := dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, g)
-	mach := machine.MustNew(p, machine.Ideal())
+	mach := sim.MustNew(p, machine.Ideal())
 	mach.Run(func(nd *machine.Node) {
 		out := darray.New("out", dBlock, nd)
 		src := darray.New("src", dBlock, nd)

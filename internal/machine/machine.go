@@ -1,25 +1,24 @@
-// Package machine simulates a distributed-memory multicomputer.
+// Package machine models a distributed-memory multicomputer behind a
+// swappable node runtime.
 //
 // The paper's evaluation (§4, Figures 7–10) runs Kali on two
-// hypercubes, the NCUBE/7 and the iPSC/2.  We cannot run on that hardware, so this package provides a
-// faithful software substitute: every node of the simulated machine is
-// a goroutine with its own local memory and a *virtual clock*, and all
-// interaction happens through explicit messages, exactly as on the real
-// machines.  Data movement is executed for real — programs compute real
-// answers — while elapsed time is accounted by a calibrated cost model
-// (Params) instead of wall-clock measurement, so results are
-// deterministic and independent of the host.
-//
-// Virtual time obeys message causality: a message sent at sender time t
-// arrives no earlier than t + startup + perByte·n + perHop·hops, and a
-// receive advances the receiver's clock to at least the arrival time.
-// Collectives (barrier, reductions) synchronize clocks the way a
-// dimension-exchange implementation would on a hypercube.
+// hypercubes, the NCUBE/7 and the iPSC/2.  This package provides the
+// machine abstraction those programs run on: every node is a goroutine
+// with its own local memory, and all interaction happens through
+// explicit messages and collectives, exactly as on the real machines.
+// How messages move and how time is accounted is the Transport's
+// business: the sim backend (internal/machine/sim) charges a
+// calibrated cost model (Params) to per-node virtual clocks so results
+// are deterministic predictions, while the wallclock backend
+// (internal/machine/wallclock) runs nodes on real OS threads and
+// measures real elapsed time — the same compiled schedules, timed for
+// real.  Event counts (Stats) are backend-independent: both backends
+// move exactly the messages the schedules prescribe.
 package machine
 
 import (
 	"fmt"
-	"math/bits"
+	"runtime"
 	"sync"
 )
 
@@ -38,58 +37,47 @@ const (
 	TagUser Tag = 16
 )
 
-// Message is an in-flight simulated message.
+// Message is one in-flight message.
 type Message struct {
-	From     int
-	Tag      Tag
-	Payload  any
-	Bytes    int
-	ArriveAt float64 // receiver-side arrival time on the virtual clock
+	From    int
+	Tag     Tag
+	Payload any
+	Bytes   int
+	// ArriveAt is the receiver-side arrival time on the virtual clock;
+	// only the sim transport uses it.
+	ArriveAt float64
 }
 
-// Machine is a simulated P-node multicomputer.
+// Machine is a P-node multicomputer over some Transport.
 type Machine struct {
 	params Params
 	p      int
-	cube   bool // node ids are hypercube addresses (P is a power of two)
+	tr     Transport
 	nodes  []*Node
-
-	barrier    *barrier
-	reduceMu   sync.Mutex
-	reduceVals []float64
 
 	scratchMu sync.Mutex
 	scratch   map[any]any
 }
 
-// New builds a machine with p nodes and the given cost model.  When p
-// is a power of two the node ids are hypercube addresses (per-hop
-// charges use Hamming distance); otherwise hop distance is taken as 1.
-func New(p int, params Params) (*Machine, error) {
+// NewWith builds a machine with p nodes over the given transport.
+// The params are the cost model virtual-time backends charge (real
+// backends keep them only for reporting).  Most callers use the
+// backend constructors sim.New / wallclock.New instead.
+func NewWith(p int, params Params, tr Transport) (*Machine, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("machine: need at least one node, got %d", p)
 	}
-	m := &Machine{params: params, p: p, cube: p&(p-1) == 0}
-	m.barrier = newBarrier(p)
+	m := &Machine{params: params, p: p, tr: tr}
 	m.nodes = make([]*Node, p)
 	for i := 0; i < p; i++ {
 		m.nodes[i] = &Node{
 			id:      i,
 			m:       m,
-			mailbox: make(chan Message, 4*p+16),
+			virtual: tr.Virtual(),
 			phases:  map[string]float64{},
 		}
 	}
 	return m, nil
-}
-
-// MustNew is New that panics on error.
-func MustNew(p int, params Params) *Machine {
-	m, err := New(p, params)
-	if err != nil {
-		panic(err)
-	}
-	return m
 }
 
 // P returns the number of nodes.
@@ -97,6 +85,12 @@ func (m *Machine) P() int { return m.p }
 
 // Params returns the cost model in effect.
 func (m *Machine) Params() Params { return m.params }
+
+// Backend returns the transport's name ("sim", "wall").
+func (m *Machine) Backend() string { return m.tr.Backend() }
+
+// Transport returns the node runtime, for backend-specific tests.
+func (m *Machine) Transport() Transport { return m.tr }
 
 // Dim returns the hypercube dimension ⌈log2 P⌉.
 func (m *Machine) Dim() int {
@@ -107,7 +101,7 @@ func (m *Machine) Dim() int {
 	return d
 }
 
-// Node returns node i (valid after New, including between Runs).
+// Node returns node i (valid after NewWith, including between Runs).
 func (m *Machine) Node(i int) *Node { return m.nodes[i] }
 
 // Scratch returns the machine-lifetime value stored under key,
@@ -130,31 +124,30 @@ func (m *Machine) Scratch(key any, mk func() any) any {
 	return v
 }
 
-// hops returns the link distance between two nodes.
-func (m *Machine) hops(p, q int) int {
-	if p == q {
-		return 0
-	}
-	if !m.cube {
-		return 1
-	}
-	return bits.OnesCount(uint(p ^ q))
-}
-
 // Run executes prog on every node concurrently (SPMD) and returns when
-// all nodes finish.  It panics with the node's panic value if any node
-// program panics, after all other nodes have been released.
+// all nodes finish.  On real (non-virtual) transports each node
+// goroutine is pinned to an OS thread for the duration of the program,
+// so P nodes genuinely occupy up to P cores.  It panics with the
+// node's panic value if any node program panics, after all other nodes
+// have been released.
 func (m *Machine) Run(prog func(n *Node)) {
+	m.tr.Begin()
+	pin := !m.tr.Virtual()
 	var wg sync.WaitGroup
 	panics := make([]any, m.p)
 	for i := 0; i < m.p; i++ {
 		wg.Add(1)
 		go func(n *Node) {
 			defer wg.Done()
+			if pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			defer func() {
+				m.tr.Done(n.id)
 				if r := recover(); r != nil {
 					panics[n.id] = r
-					m.barrier.poison()
+					m.tr.Poison()
 				}
 			}()
 			prog(n)
@@ -168,17 +161,10 @@ func (m *Machine) Run(prog func(n *Node)) {
 	}
 }
 
-// MaxClock returns the maximum virtual clock over all nodes — the
-// simulated elapsed time of the program.
-func (m *Machine) MaxClock() float64 {
-	max := 0.0
-	for _, n := range m.nodes {
-		if n.clock > max {
-			max = n.clock
-		}
-	}
-	return max
-}
+// MaxClock returns the maximum elapsed time over all nodes — the
+// elapsed time of the program (virtual seconds on the simulator, real
+// seconds on wall-clock backends).
+func (m *Machine) MaxClock() float64 { return m.tr.MaxElapsed() }
 
 // MaxPhase returns the maximum accumulated time of a named phase over
 // all nodes.  The paper reports per-phase times this way (the slowest
@@ -193,31 +179,26 @@ func (m *Machine) MaxPhase(name string) float64 {
 	return max
 }
 
-// Reset zeroes all clocks, phase timers and mailboxes so the machine
-// can run another program.
+// Reset zeroes all clocks, phase timers, stats and message queues so
+// the machine can run another program.
 func (m *Machine) Reset() {
 	for _, n := range m.nodes {
-		n.clock = 0
 		n.phases = map[string]float64{}
 		n.phaseStack = n.phaseStack[:0]
-		n.pending = n.pending[:0]
 		n.stats = Stats{}
-	drain:
-		for {
-			select {
-			case <-n.mailbox:
-			default:
-				break drain
-			}
-		}
 	}
+	m.tr.Reset()
 }
 
-// Stats counts simulated events on a node, for tests and reports.
-// MsgsSent/BytesSent count every message; the Redist* fields count the
-// subset sent under TagRedist, so redistribution traffic is attributed
-// distinctly from forall (executor/inspector) traffic rather than
-// being silently absorbed into the loop totals.
+// Stats counts communication/computation events on a node, for tests
+// and reports.  Counts are identical across backends — schedules
+// prescribe the traffic, the transport only moves it — which is what
+// lets the backend-equivalence tests pin sim and wall-clock runs
+// against each other.  MsgsSent/BytesSent count every message; the
+// Redist* fields count the subset sent under TagRedist, so
+// redistribution traffic is attributed distinctly from forall
+// (executor/inspector) traffic rather than being silently absorbed
+// into the loop totals.
 type Stats struct {
 	MsgsSent     int
 	BytesSent    int
@@ -265,14 +246,12 @@ func (m *Machine) TotalStats() Stats {
 	return t
 }
 
-// Node is one processor of the simulated machine.  All methods must be
-// called only from within the node's own program goroutine.
+// Node is one processor of the machine.  All methods must be called
+// only from within the node's own program goroutine.
 type Node struct {
 	id      int
 	m       *Machine
-	clock   float64
-	mailbox chan Message
-	pending []Message // received but not yet matched
+	virtual bool // cached Transport.Virtual: skip cost arithmetic on real backends
 
 	phases     map[string]float64
 	phaseStack []phaseFrame
@@ -294,32 +273,39 @@ func (n *Node) P() int { return n.m.p }
 // Machine returns the owning machine.
 func (n *Node) Machine() *Machine { return n.m }
 
-// Clock returns the node's current virtual time in seconds.
-func (n *Node) Clock() float64 { return n.clock }
+// Clock returns the node's current elapsed time in seconds (virtual
+// on the simulator, monotonic wall time on real backends).
+func (n *Node) Clock() float64 { return n.m.tr.Elapsed(n.id) }
 
 // Stats returns the node's event counters.
 func (n *Node) Stats() Stats { return n.stats }
 
-// Advance adds raw seconds to the virtual clock.
+// Advance adds raw seconds of modeled time (a no-op on real backends,
+// where operations take real time instead).
 func (n *Node) Advance(seconds float64) {
 	if seconds < 0 {
 		panic("machine: negative time advance")
 	}
-	n.clock += seconds
+	n.m.tr.Advance(n.id, seconds)
 }
 
 // Charge advances the clock by a combination of primitive costs; see
-// Params for the meaning of each count.
+// Params for the meaning of each count.  Real backends skip the cost
+// arithmetic — the operation being charged just happened for real —
+// but the flop count is recorded on every backend.
 func (n *Node) Charge(c Cost) {
-	p := &n.m.params
-	n.clock += float64(c.Flops)*p.Flop +
-		float64(c.MemRefs)*p.MemRef +
-		float64(c.LoopIters)*p.LoopIter +
-		float64(c.Calls)*p.Call +
-		float64(c.RefChecks)*p.RefCheck +
-		float64(c.LocTests)*p.LocTest +
-		float64(c.ListInserts)*p.ListInsert
 	n.stats.FlopCount += int64(c.Flops)
+	if !n.virtual {
+		return
+	}
+	p := &n.m.params
+	n.m.tr.Advance(n.id, float64(c.Flops)*p.Flop+
+		float64(c.MemRefs)*p.MemRef+
+		float64(c.LoopIters)*p.LoopIter+
+		float64(c.Calls)*p.Call+
+		float64(c.RefChecks)*p.RefCheck+
+		float64(c.LocTests)*p.LocTest+
+		float64(c.ListInserts)*p.ListInsert)
 }
 
 // Cost is a bundle of primitive-operation counts for Charge.
@@ -337,59 +323,47 @@ type Cost struct {
 // a procedure call plus ⌈log2(r+1)⌉ probes (the paper's O(log r)
 // access, Figure 5 discussion).
 func (n *Node) ChargeSearch(r int) {
+	if !n.virtual {
+		return
+	}
 	p := &n.m.params
 	probes := 1
 	for (1 << uint(probes)) <= r {
 		probes++
 	}
-	n.clock += p.SearchBase + float64(probes)*p.SearchProbe
+	n.m.tr.Advance(n.id, p.SearchBase+float64(probes)*p.SearchProbe)
 }
 
 // Send transmits payload to node `to`.  nbytes is the wire size used
-// for cost accounting.  The sender is charged the startup plus copy
-// cost; the message arrives at the receiver at the send completion time
-// plus network latency.
+// for cost accounting.  On the simulator the sender is charged the
+// startup plus copy cost and the message arrives after the modeled
+// network latency; on real backends the transfer happens through
+// shared memory and takes however long it takes.
 func (n *Node) Send(to int, tag Tag, payload any, nbytes int) {
 	if to == n.id {
 		panic("machine: send to self")
 	}
-	p := &n.m.params
-	n.clock += p.MsgStartup + float64(nbytes)*p.MsgPerByte
-	arrive := n.clock + float64(n.m.hops(n.id, to))*p.PerHop
 	n.stats.MsgsSent++
 	n.stats.BytesSent += nbytes
 	if tag == TagRedist {
 		n.stats.RedistMsgsSent++
 		n.stats.RedistBytesSent += nbytes
 	}
-	n.m.nodes[to].mailbox <- Message{
-		From:     n.id,
-		Tag:      tag,
-		Payload:  payload,
-		Bytes:    nbytes,
-		ArriveAt: arrive,
-	}
+	n.m.tr.Send(n.id, to, Message{
+		From:    n.id,
+		Tag:     tag,
+		Payload: payload,
+		Bytes:   nbytes,
+	})
 }
 
 // Recv blocks until a message from `from` with the given tag is
-// available, advances the clock to its arrival time, charges receive
-// overhead, and returns it.
+// available and returns it (advancing the virtual clock to its arrival
+// time and charging receive overhead on the simulator).
 func (n *Node) Recv(from int, tag Tag) Message {
-	for i, msg := range n.pending {
-		if msg.From == from && msg.Tag == tag {
-			n.pending = append(n.pending[:i], n.pending[i+1:]...)
-			n.deliver(msg)
-			return msg
-		}
-	}
-	for {
-		msg := <-n.mailbox
-		if msg.From == from && msg.Tag == tag {
-			n.deliver(msg)
-			return msg
-		}
-		n.pending = append(n.pending, msg)
-	}
+	msg := n.m.tr.Recv(n.id, from, tag)
+	n.stats.MsgsReceived++
+	return msg
 }
 
 // RecvFromEach receives exactly one message with the given tag from
@@ -404,19 +378,23 @@ func (n *Node) RecvFromEach(tag Tag, froms []int) []Message {
 	return out
 }
 
-// deliver applies clock rules for consuming one message.
-func (n *Node) deliver(msg Message) {
-	if msg.ArriveAt > n.clock {
-		n.clock = msg.ArriveAt
-	}
-	n.clock += n.m.params.RecvOverhead + float64(msg.Bytes)*n.m.params.MsgPerByte
-	n.stats.MsgsReceived++
+// Barrier synchronizes all nodes (on the simulator, afterwards every
+// clock equals the pre-barrier maximum plus the collective cost).
+func (n *Node) Barrier() { n.m.tr.Barrier(n.id) }
+
+// AllReduce combines one float64 from every node with op ("sum",
+// "max", "min", "and" — "and" treats nonzero as true) and returns the
+// combined value on every node.  Clocks synchronize like a barrier.
+// The combination order is by node id on every backend, so results
+// are bit-identical across backends.
+func (n *Node) AllReduce(x float64, op string) float64 {
+	return n.m.tr.AllReduce(n.id, x, op)
 }
 
-// StartPhase begins accumulating virtual time under the given name.
+// StartPhase begins accumulating elapsed time under the given name.
 // Phases may nest; time is attributed to every open phase.
 func (n *Node) StartPhase(name string) {
-	n.phaseStack = append(n.phaseStack, phaseFrame{name: name, start: n.clock})
+	n.phaseStack = append(n.phaseStack, phaseFrame{name: name, start: n.m.tr.Elapsed(n.id)})
 }
 
 // StopPhase ends the innermost phase, which must match name.
@@ -429,8 +407,39 @@ func (n *Node) StopPhase(name string) {
 		panic(fmt.Sprintf("machine: StopPhase(%q) but innermost phase is %q", name, top.name))
 	}
 	n.phaseStack = n.phaseStack[:len(n.phaseStack)-1]
-	n.phases[name] += n.clock - top.start
+	n.phases[name] += n.m.tr.Elapsed(n.id) - top.start
 }
 
 // PhaseTime returns the accumulated time of a phase on this node.
 func (n *Node) PhaseTime(name string) float64 { return n.phases[name] }
+
+// ReduceByID combines per-node values in node-id order with op; it is
+// the shared deterministic reduction kernel backends use to implement
+// AllReduce so that results are bit-identical across backends.
+func ReduceByID(vals []float64, op string) float64 {
+	acc := vals[0]
+	for i := 1; i < len(vals); i++ {
+		v := vals[i]
+		switch op {
+		case "sum":
+			acc += v
+		case "max":
+			if v > acc {
+				acc = v
+			}
+		case "min":
+			if v < acc {
+				acc = v
+			}
+		case "and":
+			if acc != 0 && v != 0 {
+				acc = 1
+			} else {
+				acc = 0
+			}
+		default:
+			panic(fmt.Sprintf("machine: unknown reduction op %q", op))
+		}
+	}
+	return acc
+}

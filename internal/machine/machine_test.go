@@ -1,332 +1,11 @@
 package machine
 
-import (
-	"math"
-	"sync/atomic"
-	"testing"
-	"testing/quick"
-)
+import "testing"
 
-func TestNewErrors(t *testing.T) {
-	if _, err := New(0, Ideal()); err == nil {
-		t.Fatal("expected error for 0 nodes")
-	}
-	if _, err := New(-3, Ideal()); err == nil {
-		t.Fatal("expected error for negative nodes")
-	}
-}
-
-func TestDim(t *testing.T) {
-	for _, c := range []struct{ p, dim int }{{1, 0}, {2, 1}, {4, 2}, {8, 3}, {128, 7}, {5, 3}} {
-		m := MustNew(c.p, Ideal())
-		if got := m.Dim(); got != c.dim {
-			t.Errorf("Dim(P=%d) = %d, want %d", c.p, got, c.dim)
-		}
-	}
-}
-
-func TestRunSPMD(t *testing.T) {
-	m := MustNew(8, Ideal())
-	var total int64
-	m.Run(func(n *Node) {
-		atomic.AddInt64(&total, int64(n.ID()))
-	})
-	if total != 28 {
-		t.Fatalf("all nodes should run exactly once; sum = %d", total)
-	}
-}
-
-func TestSendRecvDelivers(t *testing.T) {
-	m := MustNew(2, Ideal())
-	m.Run(func(n *Node) {
-		if n.ID() == 0 {
-			n.Send(1, TagUser, []float64{1, 2, 3}, 24)
-		} else {
-			msg := n.Recv(0, TagUser)
-			data := msg.Payload.([]float64)
-			if len(data) != 3 || data[2] != 3 {
-				t.Errorf("payload corrupted: %v", data)
-			}
-			if msg.Bytes != 24 || msg.From != 0 {
-				t.Errorf("metadata wrong: %+v", msg)
-			}
-		}
-	})
-}
-
-func TestRecvMatchesTagAndSender(t *testing.T) {
-	// Node 2 receives from 0 and 1 in a fixed order even if messages
-	// arrive in the opposite order; tags must also be matched.
-	m := MustNew(3, Ideal())
-	m.Run(func(n *Node) {
-		switch n.ID() {
-		case 0:
-			n.Send(2, TagUser, "a", 1)
-			n.Send(2, TagUser+1, "b", 1)
-		case 1:
-			n.Send(2, TagUser, "c", 1)
-		case 2:
-			if got := n.Recv(1, TagUser).Payload.(string); got != "c" {
-				t.Errorf("from 1: got %q", got)
-			}
-			if got := n.Recv(0, TagUser+1).Payload.(string); got != "b" {
-				t.Errorf("tag+1: got %q", got)
-			}
-			if got := n.Recv(0, TagUser).Payload.(string); got != "a" {
-				t.Errorf("from 0: got %q", got)
-			}
-		}
-	})
-}
-
-func TestMessageCausality(t *testing.T) {
-	// Receiver clock after recv must be >= sender's send-complete time
-	// plus hop latency.
-	p := NCUBE7()
-	m := MustNew(2, p)
-	var sendDone, recvClock float64
-	m.Run(func(n *Node) {
-		if n.ID() == 0 {
-			n.Advance(1.0) // sender is ahead
-			n.Send(1, TagUser, nil, 1000)
-			sendDone = n.Clock()
-		} else {
-			n.Recv(0, TagUser)
-			recvClock = n.Clock()
-		}
-	})
-	wantMin := sendDone + p.PerHop
-	if recvClock < wantMin {
-		t.Fatalf("receiver clock %.6f < causal bound %.6f", recvClock, wantMin)
-	}
-	// And the receiver pays receive overhead + per-byte copy.
-	want := sendDone + p.PerHop + p.RecvOverhead + 1000*p.MsgPerByte
-	if math.Abs(recvClock-want) > 1e-12 {
-		t.Fatalf("receiver clock %.9f, want %.9f", recvClock, want)
-	}
-}
-
-func TestSendChargesSender(t *testing.T) {
-	p := IPSC2()
-	m := MustNew(2, p)
-	m.Run(func(n *Node) {
-		if n.ID() == 0 {
-			n.Send(1, TagUser, nil, 512)
-			want := p.MsgStartup + 512*p.MsgPerByte
-			if math.Abs(n.Clock()-want) > 1e-12 {
-				t.Errorf("sender clock = %g, want %g", n.Clock(), want)
-			}
-			st := n.Stats()
-			if st.MsgsSent != 1 || st.BytesSent != 512 {
-				t.Errorf("stats = %+v", st)
-			}
-		} else {
-			n.Recv(0, TagUser)
-		}
-	})
-}
-
-func TestSendToSelfPanics(t *testing.T) {
-	m := MustNew(2, Ideal())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m.Run(func(n *Node) {
-		if n.ID() == 0 {
-			n.Send(0, TagUser, nil, 0)
-		}
-	})
-}
-
-func TestChargeCosts(t *testing.T) {
-	p := NCUBE7()
-	m := MustNew(1, p)
-	m.Run(func(n *Node) {
-		n.Charge(Cost{Flops: 2, MemRefs: 3, LoopIters: 1, Calls: 1, RefChecks: 5, LocTests: 2, ListInserts: 1})
-		want := 2*p.Flop + 3*p.MemRef + p.LoopIter + p.Call + 5*p.RefCheck + 2*p.LocTest + p.ListInsert
-		if math.Abs(n.Clock()-want) > 1e-12 {
-			t.Errorf("clock = %g, want %g", n.Clock(), want)
-		}
-	})
-}
-
-func TestChargeSearchLog(t *testing.T) {
-	p := NCUBE7()
-	m := MustNew(1, p)
-	m.Run(func(n *Node) {
-		c0 := n.Clock()
-		n.ChargeSearch(1) // 1 range: 1 probe
-		oneRange := n.Clock() - c0
-		c1 := n.Clock()
-		n.ChargeSearch(8) // 8 ranges: 4 probes (2^3 <= 8)
-		eight := n.Clock() - c1
-		wantOne := p.SearchBase + p.SearchProbe
-		wantEight := p.SearchBase + 4*p.SearchProbe
-		if math.Abs(oneRange-wantOne) > 1e-12 || math.Abs(eight-wantEight) > 1e-12 {
-			t.Errorf("search costs: got %g,%g want %g,%g", oneRange, eight, wantOne, wantEight)
-		}
-	})
-}
-
-func TestAdvanceNegativePanics(t *testing.T) {
-	m := MustNew(1, Ideal())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m.Run(func(n *Node) { n.Advance(-1) })
-}
-
-func TestBarrierSynchronizesClocks(t *testing.T) {
-	p := NCUBE7()
-	m := MustNew(4, p)
-	clocks := make([]float64, 4)
-	m.Run(func(n *Node) {
-		n.Advance(float64(n.ID())) // clocks 0,1,2,3
-		n.Barrier()
-		clocks[n.ID()] = n.Clock()
-	})
-	want := 3 + m.collectiveCost(8)
-	for id, c := range clocks {
-		if math.Abs(c-want) > 1e-12 {
-			t.Fatalf("node %d clock = %g, want %g", id, c, want)
-		}
-	}
-}
-
-func TestBarrierReusable(t *testing.T) {
-	m := MustNew(3, Ideal())
-	m.Run(func(n *Node) {
-		for i := 0; i < 50; i++ {
-			n.Barrier()
-		}
-	})
-	// Completing without deadlock is the assertion.
-}
-
-func TestAllReduceOps(t *testing.T) {
-	m := MustNew(4, Ideal())
-	sums := make([]float64, 4)
-	maxs := make([]float64, 4)
-	mins := make([]float64, 4)
-	ands := make([]float64, 4)
-	m.Run(func(n *Node) {
-		v := float64(n.ID() + 1) // 1,2,3,4
-		sums[n.ID()] = n.AllReduce(v, "sum")
-		maxs[n.ID()] = n.AllReduce(v, "max")
-		mins[n.ID()] = n.AllReduce(v, "min")
-		b := 1.0
-		if n.ID() == 2 {
-			b = 0
-		}
-		ands[n.ID()] = n.AllReduce(b, "and")
-	})
-	for id := 0; id < 4; id++ {
-		if sums[id] != 10 || maxs[id] != 4 || mins[id] != 1 || ands[id] != 0 {
-			t.Fatalf("node %d: sum=%g max=%g min=%g and=%g", id, sums[id], maxs[id], mins[id], ands[id])
-		}
-	}
-}
-
-func TestAllReduceAndTrue(t *testing.T) {
-	m := MustNew(3, Ideal())
-	m.Run(func(n *Node) {
-		if got := n.AllReduce(1, "and"); got != 1 {
-			t.Errorf("and of all-true = %g", got)
-		}
-	})
-}
-
-func TestPhaseTimers(t *testing.T) {
-	m := MustNew(2, Ideal())
-	m.Run(func(n *Node) {
-		n.StartPhase("outer")
-		n.Advance(1)
-		n.StartPhase("inner")
-		n.Advance(2)
-		n.StopPhase("inner")
-		n.Advance(3)
-		n.StopPhase("outer")
-		if got := n.PhaseTime("inner"); got != 2 {
-			t.Errorf("inner = %g", got)
-		}
-		if got := n.PhaseTime("outer"); got != 6 {
-			t.Errorf("outer = %g", got)
-		}
-	})
-	if m.MaxPhase("outer") != 6 {
-		t.Fatalf("MaxPhase = %g", m.MaxPhase("outer"))
-	}
-}
-
-func TestPhaseMismatchPanics(t *testing.T) {
-	m := MustNew(1, Ideal())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m.Run(func(n *Node) {
-		n.StartPhase("a")
-		n.StopPhase("b")
-	})
-}
-
-func TestMaxClockAndReset(t *testing.T) {
-	m := MustNew(3, Ideal())
-	m.Run(func(n *Node) { n.Advance(float64(n.ID()) * 5) })
-	if m.MaxClock() != 10 {
-		t.Fatalf("MaxClock = %g", m.MaxClock())
-	}
-	m.Reset()
-	if m.MaxClock() != 0 {
-		t.Fatalf("after Reset MaxClock = %g", m.MaxClock())
-	}
-	// Machine must be runnable again after Reset.
-	m.Run(func(n *Node) { n.Barrier() })
-}
-
-func TestRunPropagatesPanic(t *testing.T) {
-	m := MustNew(4, Ideal())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected node panic to propagate")
-		}
-	}()
-	m.Run(func(n *Node) {
-		if n.ID() == 2 {
-			panic("boom")
-		}
-		n.Barrier() // others must be released, not deadlock
-	})
-}
-
-func TestRecvFromEachDeterministicClock(t *testing.T) {
-	// The final clock must not depend on physical arrival order.
-	run := func() float64 {
-		m := MustNew(4, NCUBE7())
-		var clock float64
-		m.Run(func(n *Node) {
-			if n.ID() == 0 {
-				n.RecvFromEach(TagUser, []int{1, 2, 3})
-				clock = n.Clock()
-			} else {
-				n.Advance(float64(n.ID()) * 0.001)
-				n.Send(0, TagUser, nil, 64)
-			}
-		})
-		return clock
-	}
-	first := run()
-	for i := 0; i < 20; i++ {
-		if got := run(); got != first {
-			t.Fatalf("nondeterministic clock: %g vs %g", got, first)
-		}
-	}
-}
+// Behavioral tests of the machine live with the backends
+// (internal/machine/sim, internal/machine/wallclock); this file covers
+// what is backend-independent: the cost-model presets and the shared
+// reduction kernel.
 
 func TestByName(t *testing.T) {
 	for _, name := range []string{"ncube", "ipsc", "ideal"} {
@@ -352,93 +31,24 @@ func TestParamsContrast(t *testing.T) {
 	}
 }
 
-// TestQuickClockMonotonic: a random walk of charges never decreases
-// the clock.
-func TestQuickClockMonotonic(t *testing.T) {
-	f := func(ops []uint8) bool {
-		m := MustNew(1, NCUBE7())
-		ok := true
-		m.Run(func(n *Node) {
-			prev := n.Clock()
-			for _, op := range ops {
-				switch op % 4 {
-				case 0:
-					n.Charge(Cost{Flops: int(op)})
-				case 1:
-					n.Charge(Cost{MemRefs: int(op), LoopIters: 1})
-				case 2:
-					n.ChargeSearch(int(op%16) + 1)
-				case 3:
-					n.Advance(float64(op) * 1e-6)
-				}
-				if n.Clock() < prev {
-					ok = false
-				}
-				prev = n.Clock()
-			}
-		})
-		return ok
+func TestReduceByID(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5}
+	cases := map[string]float64{"sum": 14, "max": 5, "min": 1, "and": 1}
+	for op, want := range cases {
+		if got := ReduceByID(vals, op); got != want {
+			t.Errorf("ReduceByID(%s) = %g, want %g", op, got, want)
+		}
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
-		t.Fatal(err)
+	if got := ReduceByID([]float64{1, 0, 1}, "and"); got != 0 {
+		t.Errorf("and with a zero = %g, want 0", got)
 	}
 }
 
-// TestPerHopLatency: message arrival time grows with hypercube
-// distance (node ids are addresses; Hamming distance = hops).
-func TestPerHopLatency(t *testing.T) {
-	p := NCUBE7()
-	m := MustNew(8, p)
-	clocks := make([]float64, 8)
-	m.Run(func(n *Node) {
-		if n.ID() == 0 {
-			n.Send(1, TagUser, nil, 8) // 1 hop
-			n.Send(7, TagUser, nil, 8) // 3 hops (111b)
+func TestUnknownReduceOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
 		}
-		if n.ID() == 1 || n.ID() == 7 {
-			n.Recv(0, TagUser)
-			clocks[n.ID()] = n.Clock()
-		}
-	})
-	// Node 7's arrival lags node 1's by exactly 2 extra hops; the
-	// second Send's startup also delays it, so compare with that term.
-	extra := clocks[7] - clocks[1]
-	wantMin := 2 * p.PerHop
-	if extra < wantMin {
-		t.Fatalf("3-hop message arrived %.9f after 1-hop; want >= %.9f", extra, wantMin)
-	}
-}
-
-// TestNonPowerOfTwoHops: on non-hypercube sizes every link is 1 hop.
-func TestNonPowerOfTwoHops(t *testing.T) {
-	m := MustNew(3, NCUBE7())
-	if m.hops(0, 2) != 1 || m.hops(1, 1) != 0 {
-		t.Fatal("non-pow2 hop model wrong")
-	}
-}
-
-// TestHopsHamming: power-of-two machines use Hamming distance.
-func TestHopsHamming(t *testing.T) {
-	m := MustNew(16, Ideal())
-	cases := map[[2]int]int{{0, 15}: 4, {5, 6}: 2, {3, 3}: 0, {8, 0}: 1}
-	for pq, want := range cases {
-		if got := m.hops(pq[0], pq[1]); got != want {
-			t.Fatalf("hops%v = %d, want %d", pq, got, want)
-		}
-	}
-}
-
-func TestMachineAccessors(t *testing.T) {
-	m := MustNew(4, IPSC2())
-	if m.P() != 4 || m.Params().Name != "iPSC/2" {
-		t.Fatal("machine accessors")
-	}
-	if m.Node(2) == nil || m.Node(2) != m.Node(2) {
-		t.Fatal("Node accessor")
-	}
-	m.Run(func(n *Node) {
-		if n.P() != 4 || n.Machine() != m {
-			t.Error("node accessors")
-		}
-	})
+	}()
+	ReduceByID([]float64{1, 2}, "xor")
 }

@@ -1,0 +1,64 @@
+package sim
+
+import "sync"
+
+// barrier is a reusable clock-synchronizing barrier.  The last node to
+// arrive publishes the generation's maximum clock in releasedMax and
+// resets the accumulator for the next generation; because every node
+// participates in every barrier, a new generation cannot complete (and
+// overwrite releasedMax) before all waiters of the previous generation
+// have been released.
+type barrier struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	p           int
+	count       int
+	gen         int
+	maxClock    float64
+	releasedMax float64
+	poisoned    bool
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// poison releases all waiters after a node panic so Run can unwind.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wait blocks until all p nodes arrive and returns the maximum clock
+// among them.
+func (b *barrier) wait(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("machine: barrier poisoned by peer panic")
+	}
+	gen := b.gen
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	b.count++
+	if b.count == b.p {
+		b.releasedMax = b.maxClock
+		b.maxClock = 0
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.releasedMax
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("machine: barrier poisoned by peer panic")
+	}
+	return b.releasedMax
+}

@@ -1,0 +1,204 @@
+// Package sim is the virtual-clock simulator backend of the machine.
+//
+// Every node has a virtual clock advanced by a calibrated cost model
+// (machine.Params) instead of wall-clock measurement, so results are
+// deterministic predictions for the paper's hardware and independent
+// of the host.  Virtual time obeys message causality: a message sent
+// at sender time t arrives no earlier than t + startup + perByte·n +
+// perHop·hops, and a receive advances the receiver's clock to at
+// least the arrival time.  Collectives (barrier, reductions)
+// synchronize clocks the way a dimension-exchange implementation
+// would on a hypercube.
+package sim
+
+import (
+	"math/bits"
+	"sync"
+
+	"kali/internal/machine"
+)
+
+// transport is the virtual-clock machine.Transport.
+type transport struct {
+	params machine.Params
+	p      int
+	cube   bool // node ids are hypercube addresses (P is a power of two)
+
+	clocks    []float64
+	mailboxes []chan machine.Message
+	pending   [][]machine.Message // received but not yet matched, per node
+
+	barrier    *barrier
+	reduceMu   sync.Mutex
+	reduceVals []float64
+}
+
+// New builds a simulated machine with p nodes and the given cost
+// model.  When p is a power of two the node ids are hypercube
+// addresses (per-hop charges use Hamming distance); otherwise hop
+// distance is taken as 1.
+func New(p int, params machine.Params) (*machine.Machine, error) {
+	tr := &transport{
+		params:    params,
+		p:         p,
+		cube:      p > 0 && p&(p-1) == 0,
+		clocks:    make([]float64, max(p, 0)),
+		mailboxes: make([]chan machine.Message, max(p, 0)),
+		pending:   make([][]machine.Message, max(p, 0)),
+		barrier:   newBarrier(p),
+	}
+	for i := range tr.mailboxes {
+		tr.mailboxes[i] = make(chan machine.Message, 4*p+16)
+	}
+	return machine.NewWith(p, params, tr)
+}
+
+// MustNew is New that panics on error.
+func MustNew(p int, params machine.Params) *machine.Machine {
+	m, err := New(p, params)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (t *transport) Backend() string { return "sim" }
+func (t *transport) Virtual() bool   { return true }
+func (t *transport) Begin()          {}
+func (t *transport) Done(me int)     {}
+
+func (t *transport) Elapsed(me int) float64 { return t.clocks[me] }
+
+func (t *transport) MaxElapsed() float64 {
+	max := 0.0
+	for _, c := range t.clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func (t *transport) Advance(me int, seconds float64) { t.clocks[me] += seconds }
+
+// hops returns the link distance between two nodes.
+func (t *transport) hops(p, q int) int {
+	if p == q {
+		return 0
+	}
+	if !t.cube {
+		return 1
+	}
+	return bits.OnesCount(uint(p ^ q))
+}
+
+// Send charges the sender the startup plus copy cost and stamps the
+// message with its receiver-side arrival time: send completion plus
+// the per-hop network latency.
+func (t *transport) Send(me, to int, msg machine.Message) {
+	p := &t.params
+	t.clocks[me] += p.MsgStartup + float64(msg.Bytes)*p.MsgPerByte
+	msg.ArriveAt = t.clocks[me] + float64(t.hops(me, to))*p.PerHop
+	t.mailboxes[to] <- msg
+}
+
+// Recv blocks until a message from `from` with the given tag is
+// available, advances the clock to its arrival time, and charges
+// receive overhead.
+func (t *transport) Recv(me, from int, tag machine.Tag) machine.Message {
+	pend := t.pending[me]
+	for i, msg := range pend {
+		if msg.From == from && msg.Tag == tag {
+			t.pending[me] = append(pend[:i], pend[i+1:]...)
+			t.deliver(me, msg)
+			return msg
+		}
+	}
+	for {
+		msg := <-t.mailboxes[me]
+		if msg.From == from && msg.Tag == tag {
+			t.deliver(me, msg)
+			return msg
+		}
+		t.pending[me] = append(t.pending[me], msg)
+	}
+}
+
+// deliver applies clock rules for consuming one message.
+func (t *transport) deliver(me int, msg machine.Message) {
+	if msg.ArriveAt > t.clocks[me] {
+		t.clocks[me] = msg.ArriveAt
+	}
+	t.clocks[me] += t.params.RecvOverhead + float64(msg.Bytes)*t.params.MsgPerByte
+}
+
+// collectiveCost returns the modeled time of one hypercube collective:
+// Dim stages, each a small-message exchange of nbytes.
+func (t *transport) collectiveCost(nbytes int) float64 {
+	d := 0
+	for (1 << uint(d)) < t.p {
+		d++
+	}
+	if d == 0 {
+		return 0
+	}
+	per := t.params.MsgStartup + float64(nbytes)*t.params.MsgPerByte +
+		t.params.PerHop + t.params.RecvOverhead
+	return float64(d) * per
+}
+
+// Barrier synchronizes all nodes; afterwards every clock equals the
+// pre-barrier maximum plus the collective cost.
+func (t *transport) Barrier(me int) {
+	max := t.barrier.wait(t.clocks[me])
+	t.clocks[me] = max + t.collectiveCost(8)
+}
+
+// AllReduce combines one float64 from every node in node-id order
+// (so results are bit-identical across backends) and synchronizes
+// clocks like a barrier.
+func (t *transport) AllReduce(me int, x float64, op string) float64 {
+	t.reduceMu.Lock()
+	if t.reduceVals == nil {
+		t.reduceVals = make([]float64, t.p)
+	}
+	t.reduceVals[me] = x
+	t.reduceMu.Unlock()
+
+	max := t.barrier.wait(t.clocks[me])
+
+	t.reduceMu.Lock()
+	acc := machine.ReduceByID(t.reduceVals, op)
+	t.reduceMu.Unlock()
+
+	// Second rendezvous so no node races ahead and overwrites the
+	// scratch values of a subsequent AllReduce.
+	_ = t.barrier.wait(0)
+
+	t.clocks[me] = max + t.collectiveCost(8)
+	return acc
+}
+
+func (t *transport) Poison() { t.barrier.poison() }
+
+func (t *transport) Reset() {
+	for i := range t.clocks {
+		t.clocks[i] = 0
+		t.pending[i] = t.pending[i][:0]
+	drain:
+		for {
+			select {
+			case <-t.mailboxes[i]:
+			default:
+				break drain
+			}
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"kali/internal/machine"
+)
+
+// tr extracts the sim transport for tests of backend internals.
+func tr(m *machine.Machine) *transport { return m.Transport().(*transport) }
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, machine.Ideal()); err == nil {
+		t.Fatal("expected error for 0 nodes")
+	}
+	if _, err := New(-3, machine.Ideal()); err == nil {
+		t.Fatal("expected error for negative nodes")
+	}
+}
+
+func TestBackendName(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	if m.Backend() != "sim" {
+		t.Fatalf("Backend() = %q, want sim", m.Backend())
+	}
+	if !m.Transport().Virtual() {
+		t.Fatal("sim must be virtual")
+	}
+}
+
+func TestDim(t *testing.T) {
+	for _, c := range []struct{ p, dim int }{{1, 0}, {2, 1}, {4, 2}, {8, 3}, {128, 7}, {5, 3}} {
+		m := MustNew(c.p, machine.Ideal())
+		if got := m.Dim(); got != c.dim {
+			t.Errorf("Dim(P=%d) = %d, want %d", c.p, got, c.dim)
+		}
+	}
+}
+
+func TestRunSPMD(t *testing.T) {
+	m := MustNew(8, machine.Ideal())
+	var total int64
+	m.Run(func(n *machine.Node) {
+		atomic.AddInt64(&total, int64(n.ID()))
+	})
+	if total != 28 {
+		t.Fatalf("all nodes should run exactly once; sum = %d", total)
+	}
+}
+
+func TestSendRecvDelivers(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			n.Send(1, machine.TagUser, []float64{1, 2, 3}, 24)
+		} else {
+			msg := n.Recv(0, machine.TagUser)
+			data := msg.Payload.([]float64)
+			if len(data) != 3 || data[2] != 3 {
+				t.Errorf("payload corrupted: %v", data)
+			}
+			if msg.Bytes != 24 || msg.From != 0 {
+				t.Errorf("metadata wrong: %+v", msg)
+			}
+		}
+	})
+}
+
+func TestRecvMatchesTagAndSender(t *testing.T) {
+	// Node 2 receives from 0 and 1 in a fixed order even if messages
+	// arrive in the opposite order; tags must also be matched.
+	m := MustNew(3, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		switch n.ID() {
+		case 0:
+			n.Send(2, machine.TagUser, "a", 1)
+			n.Send(2, machine.TagUser+1, "b", 1)
+		case 1:
+			n.Send(2, machine.TagUser, "c", 1)
+		case 2:
+			if got := n.Recv(1, machine.TagUser).Payload.(string); got != "c" {
+				t.Errorf("from 1: got %q", got)
+			}
+			if got := n.Recv(0, machine.TagUser+1).Payload.(string); got != "b" {
+				t.Errorf("tag+1: got %q", got)
+			}
+			if got := n.Recv(0, machine.TagUser).Payload.(string); got != "a" {
+				t.Errorf("from 0: got %q", got)
+			}
+		}
+	})
+}
+
+func TestMessageCausality(t *testing.T) {
+	// Receiver clock after recv must be >= sender's send-complete time
+	// plus hop latency.
+	p := machine.NCUBE7()
+	m := MustNew(2, p)
+	var sendDone, recvClock float64
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			n.Advance(1.0) // sender is ahead
+			n.Send(1, machine.TagUser, nil, 1000)
+			sendDone = n.Clock()
+		} else {
+			n.Recv(0, machine.TagUser)
+			recvClock = n.Clock()
+		}
+	})
+	wantMin := sendDone + p.PerHop
+	if recvClock < wantMin {
+		t.Fatalf("receiver clock %.6f < causal bound %.6f", recvClock, wantMin)
+	}
+	// And the receiver pays receive overhead + per-byte copy.
+	want := sendDone + p.PerHop + p.RecvOverhead + 1000*p.MsgPerByte
+	if math.Abs(recvClock-want) > 1e-12 {
+		t.Fatalf("receiver clock %.9f, want %.9f", recvClock, want)
+	}
+}
+
+func TestSendChargesSender(t *testing.T) {
+	p := machine.IPSC2()
+	m := MustNew(2, p)
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			n.Send(1, machine.TagUser, nil, 512)
+			want := p.MsgStartup + 512*p.MsgPerByte
+			if math.Abs(n.Clock()-want) > 1e-12 {
+				t.Errorf("sender clock = %g, want %g", n.Clock(), want)
+			}
+			st := n.Stats()
+			if st.MsgsSent != 1 || st.BytesSent != 512 {
+				t.Errorf("stats = %+v", st)
+			}
+		} else {
+			n.Recv(0, machine.TagUser)
+		}
+	})
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			n.Send(0, machine.TagUser, nil, 0)
+		}
+	})
+}
+
+func TestChargeCosts(t *testing.T) {
+	p := machine.NCUBE7()
+	m := MustNew(1, p)
+	m.Run(func(n *machine.Node) {
+		n.Charge(machine.Cost{Flops: 2, MemRefs: 3, LoopIters: 1, Calls: 1, RefChecks: 5, LocTests: 2, ListInserts: 1})
+		want := 2*p.Flop + 3*p.MemRef + p.LoopIter + p.Call + 5*p.RefCheck + 2*p.LocTest + p.ListInsert
+		if math.Abs(n.Clock()-want) > 1e-12 {
+			t.Errorf("clock = %g, want %g", n.Clock(), want)
+		}
+	})
+}
+
+func TestChargeSearchLog(t *testing.T) {
+	p := machine.NCUBE7()
+	m := MustNew(1, p)
+	m.Run(func(n *machine.Node) {
+		c0 := n.Clock()
+		n.ChargeSearch(1) // 1 range: 1 probe
+		oneRange := n.Clock() - c0
+		c1 := n.Clock()
+		n.ChargeSearch(8) // 8 ranges: 4 probes (2^3 <= 8)
+		eight := n.Clock() - c1
+		wantOne := p.SearchBase + p.SearchProbe
+		wantEight := p.SearchBase + 4*p.SearchProbe
+		if math.Abs(oneRange-wantOne) > 1e-12 || math.Abs(eight-wantEight) > 1e-12 {
+			t.Errorf("search costs: got %g,%g want %g,%g", oneRange, eight, wantOne, wantEight)
+		}
+	})
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	m := MustNew(1, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(n *machine.Node) { n.Advance(-1) })
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	p := machine.NCUBE7()
+	m := MustNew(4, p)
+	clocks := make([]float64, 4)
+	m.Run(func(n *machine.Node) {
+		n.Advance(float64(n.ID())) // clocks 0,1,2,3
+		n.Barrier()
+		clocks[n.ID()] = n.Clock()
+	})
+	want := 3 + tr(m).collectiveCost(8)
+	for id, c := range clocks {
+		if math.Abs(c-want) > 1e-12 {
+			t.Fatalf("node %d clock = %g, want %g", id, c, want)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m := MustNew(3, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		for i := 0; i < 50; i++ {
+			n.Barrier()
+		}
+	})
+	// Completing without deadlock is the assertion.
+}
+
+func TestAllReduceOps(t *testing.T) {
+	m := MustNew(4, machine.Ideal())
+	sums := make([]float64, 4)
+	maxs := make([]float64, 4)
+	mins := make([]float64, 4)
+	ands := make([]float64, 4)
+	m.Run(func(n *machine.Node) {
+		v := float64(n.ID() + 1) // 1,2,3,4
+		sums[n.ID()] = n.AllReduce(v, "sum")
+		maxs[n.ID()] = n.AllReduce(v, "max")
+		mins[n.ID()] = n.AllReduce(v, "min")
+		b := 1.0
+		if n.ID() == 2 {
+			b = 0
+		}
+		ands[n.ID()] = n.AllReduce(b, "and")
+	})
+	for id := 0; id < 4; id++ {
+		if sums[id] != 10 || maxs[id] != 4 || mins[id] != 1 || ands[id] != 0 {
+			t.Fatalf("node %d: sum=%g max=%g min=%g and=%g", id, sums[id], maxs[id], mins[id], ands[id])
+		}
+	}
+}
+
+func TestAllReduceAndTrue(t *testing.T) {
+	m := MustNew(3, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		if got := n.AllReduce(1, "and"); got != 1 {
+			t.Errorf("and of all-true = %g", got)
+		}
+	})
+}
+
+func TestPhaseTimers(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		n.StartPhase("outer")
+		n.Advance(1)
+		n.StartPhase("inner")
+		n.Advance(2)
+		n.StopPhase("inner")
+		n.Advance(3)
+		n.StopPhase("outer")
+		if got := n.PhaseTime("inner"); got != 2 {
+			t.Errorf("inner = %g", got)
+		}
+		if got := n.PhaseTime("outer"); got != 6 {
+			t.Errorf("outer = %g", got)
+		}
+	})
+	if m.MaxPhase("outer") != 6 {
+		t.Fatalf("MaxPhase = %g", m.MaxPhase("outer"))
+	}
+}
+
+func TestPhaseMismatchPanics(t *testing.T) {
+	m := MustNew(1, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(n *machine.Node) {
+		n.StartPhase("a")
+		n.StopPhase("b")
+	})
+}
+
+func TestMaxClockAndReset(t *testing.T) {
+	m := MustNew(3, machine.Ideal())
+	m.Run(func(n *machine.Node) { n.Advance(float64(n.ID()) * 5) })
+	if m.MaxClock() != 10 {
+		t.Fatalf("MaxClock = %g", m.MaxClock())
+	}
+	m.Reset()
+	if m.MaxClock() != 0 {
+		t.Fatalf("after Reset MaxClock = %g", m.MaxClock())
+	}
+	// Machine must be runnable again after Reset.
+	m.Run(func(n *machine.Node) { n.Barrier() })
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	m := MustNew(4, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected node panic to propagate")
+		}
+	}()
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 2 {
+			panic("boom")
+		}
+		n.Barrier() // others must be released, not deadlock
+	})
+}
+
+func TestRecvFromEachDeterministicClock(t *testing.T) {
+	// The final clock must not depend on physical arrival order.
+	run := func() float64 {
+		m := MustNew(4, machine.NCUBE7())
+		var clock float64
+		m.Run(func(n *machine.Node) {
+			if n.ID() == 0 {
+				n.RecvFromEach(machine.TagUser, []int{1, 2, 3})
+				clock = n.Clock()
+			} else {
+				n.Advance(float64(n.ID()) * 0.001)
+				n.Send(0, machine.TagUser, nil, 64)
+			}
+		})
+		return clock
+	}
+	first := run()
+	for i := 0; i < 20; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic clock: %g vs %g", got, first)
+		}
+	}
+}
+
+// TestQuickClockMonotonic: a random walk of charges never decreases
+// the clock.
+func TestQuickClockMonotonic(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := MustNew(1, machine.NCUBE7())
+		ok := true
+		m.Run(func(n *machine.Node) {
+			prev := n.Clock()
+			for _, op := range ops {
+				switch op % 4 {
+				case 0:
+					n.Charge(machine.Cost{Flops: int(op)})
+				case 1:
+					n.Charge(machine.Cost{MemRefs: int(op), LoopIters: 1})
+				case 2:
+					n.ChargeSearch(int(op%16) + 1)
+				case 3:
+					n.Advance(float64(op) * 1e-6)
+				}
+				if n.Clock() < prev {
+					ok = false
+				}
+				prev = n.Clock()
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerHopLatency: message arrival time grows with hypercube
+// distance (node ids are addresses; Hamming distance = hops).
+func TestPerHopLatency(t *testing.T) {
+	p := machine.NCUBE7()
+	m := MustNew(8, p)
+	clocks := make([]float64, 8)
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			n.Send(1, machine.TagUser, nil, 8) // 1 hop
+			n.Send(7, machine.TagUser, nil, 8) // 3 hops (111b)
+		}
+		if n.ID() == 1 || n.ID() == 7 {
+			n.Recv(0, machine.TagUser)
+			clocks[n.ID()] = n.Clock()
+		}
+	})
+	// Node 7's arrival lags node 1's by exactly 2 extra hops; the
+	// second Send's startup also delays it, so compare with that term.
+	extra := clocks[7] - clocks[1]
+	wantMin := 2 * p.PerHop
+	if extra < wantMin {
+		t.Fatalf("3-hop message arrived %.9f after 1-hop; want >= %.9f", extra, wantMin)
+	}
+}
+
+// TestNonPowerOfTwoHops: on non-hypercube sizes every link is 1 hop.
+func TestNonPowerOfTwoHops(t *testing.T) {
+	m := MustNew(3, machine.NCUBE7())
+	if tr(m).hops(0, 2) != 1 || tr(m).hops(1, 1) != 0 {
+		t.Fatal("non-pow2 hop model wrong")
+	}
+}
+
+// TestHopsHamming: power-of-two machines use Hamming distance.
+func TestHopsHamming(t *testing.T) {
+	m := MustNew(16, machine.Ideal())
+	cases := map[[2]int]int{{0, 15}: 4, {5, 6}: 2, {3, 3}: 0, {8, 0}: 1}
+	for pq, want := range cases {
+		if got := tr(m).hops(pq[0], pq[1]); got != want {
+			t.Fatalf("hops%v = %d, want %d", pq, got, want)
+		}
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	m := MustNew(4, machine.IPSC2())
+	if m.P() != 4 || m.Params().Name != "iPSC/2" {
+		t.Fatal("machine accessors")
+	}
+	if m.Node(2) == nil || m.Node(2) != m.Node(2) {
+		t.Fatal("Node accessor")
+	}
+	m.Run(func(n *machine.Node) {
+		if n.P() != 4 || n.Machine() != m {
+			t.Error("node accessors")
+		}
+	})
+}

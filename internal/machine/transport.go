@@ -1,0 +1,75 @@
+package machine
+
+// Transport is the node runtime behind a Machine: how messages move
+// between nodes, how elapsed time is accounted, and how collectives
+// synchronize.  The paper's entire schedule pipeline — compile-time
+// analysis, the inspector/executor, schedule caching and sharing,
+// redistribution plans — runs above this interface unmodified; only
+// the node runtime swaps:
+//
+//   - sim (internal/machine/sim) is the virtual-clock simulator: every
+//     primitive operation advances a per-node clock by a calibrated
+//     cost model (Params), so reported times are deterministic
+//     predictions for the paper's hardware (§4).
+//   - wallclock (internal/machine/wallclock) runs nodes as pinned OS
+//     threads with real shared-memory message queues: modeled charges
+//     are no-ops, and elapsed time is measured with the monotonic
+//     clock — the same compiled schedules, timed for real.
+//
+// All per-node methods (Send, Recv, Advance, Elapsed, Barrier,
+// AllReduce) are called only from node me's program goroutine; Begin,
+// Poison, MaxElapsed and Reset are called by the Machine while no node
+// program is running (except Poison, which a panicking node calls to
+// release its peers).
+type Transport interface {
+	// Backend names the runtime ("sim", "wall") for reports.
+	Backend() string
+
+	// Virtual reports whether time is modeled: when true, Charge-style
+	// operations must call Advance with their cost-model seconds; when
+	// false the Machine skips the cost arithmetic entirely and elapsed
+	// time comes from the host's monotonic clock.
+	Virtual() bool
+
+	// Begin marks the start of one Machine.Run (wall-clock backends
+	// stamp the epoch all Elapsed values are measured from).
+	Begin()
+
+	// Done marks node me's program as returned, freezing its Elapsed
+	// value so MaxElapsed is stable after the run.
+	Done(me int)
+
+	// Elapsed returns node me's elapsed seconds since Begin: the
+	// virtual clock for the simulator, monotonic wall time for real
+	// backends.  Phase timers are differences of Elapsed.
+	Elapsed(me int) float64
+
+	// MaxElapsed returns the maximum Elapsed over all nodes — the
+	// machine's elapsed time (the slowest node determines it).
+	MaxElapsed() float64
+
+	// Advance charges seconds of modeled time to node me.  Real
+	// backends ignore it (real operations take real time).
+	Advance(me int, seconds float64)
+
+	// Send ships msg from me to node to; it must not block
+	// indefinitely when the receiver is not yet in Recv.  Recv blocks
+	// until the matching (from, tag) message is available and returns
+	// it; messages between one pair are delivered in send order.
+	Send(me, to int, msg Message)
+	Recv(me, from int, tag Tag) Message
+
+	// Barrier blocks until all nodes arrive.  AllReduce combines one
+	// value from every node ("sum", "max", "min", "and") and returns
+	// the result on every node.
+	Barrier(me int)
+	AllReduce(me int, x float64, op string) float64
+
+	// Poison releases all blocked collective/receive waiters after a
+	// node panic so Machine.Run can unwind; released waiters panic.
+	Poison()
+
+	// Reset restores the transport for another Run: clocks zeroed,
+	// queues drained.
+	Reset()
+}

@@ -1,0 +1,52 @@
+package wallclock
+
+import "sync"
+
+// barrier is a reusable counting barrier (no clock bookkeeping — real
+// time passes on its own).  Generations make it reusable: a node of
+// generation g sleeps until the barrier moves to g+1.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	p        int
+	count    int
+	gen      int
+	poisoned bool
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// poison releases all waiters after a node panic so Run can unwind.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wait blocks until all p nodes arrive.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("machine: barrier poisoned by peer panic")
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("machine: barrier poisoned by peer panic")
+	}
+}

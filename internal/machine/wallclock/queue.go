@@ -1,0 +1,85 @@
+package wallclock
+
+import (
+	"sync"
+
+	"kali/internal/machine"
+)
+
+// queue is an unbounded FIFO for one ordered sender→receiver pair.
+// One goroutine pushes (the sender) and one pops (the receiver), but
+// Poison may broadcast from a third, so a mutex+cond keeps it simple
+// and race-free.  The backing array is reused once the queue drains
+// (head catches up with the tail), so steady-state schedule replay —
+// the same message pattern every round — allocates nothing here after
+// the first round establishes the high-water mark.
+type queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []machine.Message
+	head     int
+	poisoned bool
+}
+
+func (q *queue) init() { q.cond = sync.NewCond(&q.mu) }
+
+func (q *queue) push(msg machine.Message) {
+	q.mu.Lock()
+	q.items = append(q.items, msg)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// pop blocks until a message with the given tag is available and
+// removes it.  Tags on one pair almost always arrive in request
+// order, but a mismatch (e.g. redistribution traffic queued behind
+// loop traffic) is handled by scanning past non-matching messages
+// without consuming them.
+func (q *queue) pop(tag machine.Tag) machine.Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	scanned := q.head
+	for {
+		if q.poisoned {
+			panic("machine: queue poisoned by peer panic")
+		}
+		for ; scanned < len(q.items); scanned++ {
+			if q.items[scanned].Tag == tag {
+				msg := q.items[scanned]
+				if scanned == q.head {
+					q.items[q.head] = machine.Message{} // drop payload reference
+					q.head++
+				} else {
+					copy(q.items[scanned:], q.items[scanned+1:])
+					q.items[len(q.items)-1] = machine.Message{}
+					q.items = q.items[:len(q.items)-1]
+				}
+				if q.head == len(q.items) {
+					// Drained: rewind so the backing array is reused.
+					q.items = q.items[:0]
+					q.head = 0
+				}
+				return msg
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *queue) poison() {
+	q.mu.Lock()
+	q.poisoned = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *queue) reset() {
+	q.mu.Lock()
+	for i := range q.items {
+		q.items[i] = machine.Message{}
+	}
+	q.items = q.items[:0]
+	q.head = 0
+	q.poisoned = false
+	q.mu.Unlock()
+}

@@ -1,0 +1,261 @@
+package wallclock
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"kali/internal/machine"
+)
+
+func TestBackendName(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	if m.Backend() != "wall" {
+		t.Fatalf("Backend() = %q, want wall", m.Backend())
+	}
+	if m.Transport().Virtual() {
+		t.Fatal("wall must not be virtual")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, machine.Ideal()); err == nil {
+		t.Fatal("expected error for 0 nodes")
+	}
+}
+
+func TestRunSPMD(t *testing.T) {
+	m := MustNew(8, machine.Ideal())
+	var total int64
+	m.Run(func(n *machine.Node) {
+		atomic.AddInt64(&total, int64(n.ID()))
+	})
+	if total != 28 {
+		t.Fatalf("all nodes should run exactly once; sum = %d", total)
+	}
+}
+
+func TestSendRecvDelivers(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			n.Send(1, machine.TagUser, []float64{1, 2, 3}, 24)
+		} else {
+			msg := n.Recv(0, machine.TagUser)
+			data := msg.Payload.([]float64)
+			if len(data) != 3 || data[2] != 3 {
+				t.Errorf("payload corrupted: %v", data)
+			}
+			if msg.Bytes != 24 || msg.From != 0 {
+				t.Errorf("metadata wrong: %+v", msg)
+			}
+		}
+	})
+}
+
+func TestRecvMatchesTagOutOfOrder(t *testing.T) {
+	// The receiver asks for the second tag first: the queue must scan
+	// past the non-matching message without consuming it.
+	m := MustNew(2, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			n.Send(1, machine.TagUser, "first", 1)
+			n.Send(1, machine.TagUser+1, "second", 1)
+		} else {
+			if got := n.Recv(0, machine.TagUser+1).Payload.(string); got != "second" {
+				t.Errorf("tag+1: got %q", got)
+			}
+			if got := n.Recv(0, machine.TagUser).Payload.(string); got != "first" {
+				t.Errorf("tag: got %q", got)
+			}
+		}
+	})
+}
+
+func TestPairOrderPreserved(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	const k = 100
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			for i := 0; i < k; i++ {
+				n.Send(1, machine.TagUser, i, 8)
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				if got := n.Recv(0, machine.TagUser).Payload.(int); got != i {
+					t.Fatalf("message %d arrived as %d", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestManySendsDoNotBlock(t *testing.T) {
+	// Queues are unbounded: a sender can enqueue far more messages
+	// than any fixed mailbox capacity before the receiver starts.
+	m := MustNew(2, machine.Ideal())
+	const k = 5000
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			for i := 0; i < k; i++ {
+				n.Send(1, machine.TagUser, nil, 1)
+			}
+			n.Barrier()
+		} else {
+			n.Barrier() // receive nothing until all sends are done
+			for i := 0; i < k; i++ {
+				n.Recv(0, machine.TagUser)
+			}
+		}
+	})
+}
+
+func TestChargeAndAdvanceAreNoOps(t *testing.T) {
+	m := MustNew(1, machine.NCUBE7())
+	m.Run(func(n *machine.Node) {
+		n.Charge(machine.Cost{Flops: 1e6, MemRefs: 1e6, Calls: 1e6})
+		n.ChargeSearch(1024)
+		n.Advance(0) // zero is fine; modeled time is ignored anyway
+		st := n.Stats()
+		if st.FlopCount != 1e6 {
+			t.Errorf("flops must still be counted: %d", st.FlopCount)
+		}
+	})
+	// A machine that just did "a million flops" in modeled terms must
+	// report real elapsed time (tiny), not cost-model time (~10 s on
+	// the NCUBE model).
+	if m.MaxClock() > 1.0 {
+		t.Fatalf("modeled charges leaked into wall-clock time: %g s", m.MaxClock())
+	}
+}
+
+func TestElapsedIsRealTime(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		n.Barrier()
+	})
+	e := m.MaxClock()
+	if e <= 0 {
+		t.Fatalf("elapsed must be positive real time, got %g", e)
+	}
+	if e > 10 {
+		t.Fatalf("elapsed implausibly large: %g s", e)
+	}
+}
+
+func TestPhaseTimersMeasure(t *testing.T) {
+	m := MustNew(1, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		n.StartPhase("work")
+		for i := 0; i < 1000; i++ {
+			n.Charge(machine.Cost{Flops: 1})
+		}
+		n.StopPhase("work")
+	})
+	if m.MaxPhase("work") < 0 {
+		t.Fatal("phase time must be non-negative")
+	}
+}
+
+func TestAllReduceOps(t *testing.T) {
+	m := MustNew(4, machine.Ideal())
+	sums := make([]float64, 4)
+	maxs := make([]float64, 4)
+	mins := make([]float64, 4)
+	ands := make([]float64, 4)
+	m.Run(func(n *machine.Node) {
+		v := float64(n.ID() + 1)
+		sums[n.ID()] = n.AllReduce(v, "sum")
+		maxs[n.ID()] = n.AllReduce(v, "max")
+		mins[n.ID()] = n.AllReduce(v, "min")
+		b := 1.0
+		if n.ID() == 2 {
+			b = 0
+		}
+		ands[n.ID()] = n.AllReduce(b, "and")
+	})
+	for id := 0; id < 4; id++ {
+		if sums[id] != 10 || maxs[id] != 4 || mins[id] != 1 || ands[id] != 0 {
+			t.Fatalf("node %d: sum=%g max=%g min=%g and=%g", id, sums[id], maxs[id], mins[id], ands[id])
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m := MustNew(3, machine.Ideal())
+	m.Run(func(n *machine.Node) {
+		for i := 0; i < 50; i++ {
+			n.Barrier()
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	m := MustNew(4, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected node panic to propagate")
+		}
+	}()
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 2 {
+			panic("boom")
+		}
+		n.Barrier() // others must be released, not deadlock
+	})
+}
+
+func TestPoisonReleasesBlockedRecv(t *testing.T) {
+	// A node blocked in Recv on a message that will never come must be
+	// released when a peer panics — otherwise Run deadlocks.
+	m := MustNew(2, machine.Ideal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			panic("boom")
+		}
+		n.Recv(0, machine.TagUser) // never sent
+	})
+}
+
+func TestResetReusable(t *testing.T) {
+	m := MustNew(2, machine.Ideal())
+	for round := 0; round < 3; round++ {
+		m.Run(func(n *machine.Node) {
+			if n.ID() == 0 {
+				n.Send(1, machine.TagUser, round, 8)
+			} else {
+				if got := n.Recv(0, machine.TagUser).Payload.(int); got != round {
+					t.Errorf("round %d: got %d", round, got)
+				}
+			}
+		})
+		m.Reset()
+	}
+}
+
+func TestStatsMatchSim(t *testing.T) {
+	// The same program must produce identical event counts on both
+	// backends; only the clocks differ.
+	prog := func(n *machine.Node) {
+		if n.ID() == 0 {
+			n.Send(1, machine.TagUser, nil, 100)
+			n.Send(1, machine.TagRedist, nil, 50)
+		} else {
+			n.Recv(0, machine.TagUser)
+			n.Recv(0, machine.TagRedist)
+		}
+		n.Barrier()
+	}
+	m := MustNew(2, machine.Ideal())
+	m.Run(prog)
+	st := m.TotalStats()
+	want := machine.Stats{MsgsSent: 2, BytesSent: 150, MsgsReceived: 2,
+		RedistMsgsSent: 1, RedistBytesSent: 50}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+}

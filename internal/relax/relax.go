@@ -30,6 +30,9 @@ type Options struct {
 	Sweeps int
 	P      int
 	Params machine.Params
+	// Backend selects the node runtime ("" / "sim" for the
+	// virtual-clock simulator, "wall" for real threads).
+	Backend string
 
 	// Dist selects the node-dimension distribution of every array
 	// (a, old_a, count, adj, coef all align).  The zero value means
@@ -103,7 +106,7 @@ func Run(opt Options) Result {
 		nodeDim = dist.MapDim(opt.Owners)
 	}
 
-	rep := core.Run(core.Config{P: opt.P, Params: opt.Params}, func(ctx *core.Context) {
+	rep := core.Run(core.Config{P: opt.P, Params: opt.Params, Backend: opt.Backend}, func(ctx *core.Context) {
 		me := ctx.ID()
 		n := m.N
 
