@@ -36,6 +36,7 @@ func main() {
 	procs := flag.Int("p", 8, "available processors")
 	printArrays := flag.String("print", "", "comma-separated array/scalar names to print")
 	stats := flag.Bool("stats", false, "print the traffic breakdown (forall vs redistribution)")
+	noVM := flag.Bool("novm", false, "run forall bodies on the tree-walking interpreter instead of the bytecode VM")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -64,6 +65,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kalirun: %s: %v\n", flag.Arg(0), err)
 		os.Exit(1)
 	}
+	prog.NoVM = *noVM
 	res, err := prog.Run(core.Config{P: *procs, Params: params, Backend: *backend})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kalirun:", err)

@@ -94,6 +94,7 @@ var Registry = map[string]Generator{
 	"redist":       Redist,
 	"granularity":  Granularity,
 	"backend":      Backend,
+	"langvm":       LangVM,
 }
 
 // Order lists the experiments in presentation order.
@@ -101,7 +102,7 @@ var Order = []string{
 	"fig7", "fig8", "fig9", "fig10",
 	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "ctvsrt2d",
 	"distchoice", "enumeration", "enumerate2d", "commvec", "redist", "granularity",
-	"backend",
+	"backend", "langvm",
 }
 
 const sweeps = 100

@@ -165,6 +165,29 @@ func TestCommVecQuick(t *testing.T) {
 	}
 }
 
+// TestLangVMQuick: the compiled-body acceptance criteria — the
+// bytecode VM beats the tree walker on every workload and its warm
+// replay is allocation-free (the speedup magnitude is asserted loosely
+// here because quick mode is noisy; the full table is the headline).
+func TestLangVMQuick(t *testing.T) {
+	tab := LangVM(Options{Quick: true})
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	for i := 0; i+2 < len(tab.Rows); i += 3 {
+		interp, vm, native := tab.Rows[i], tab.Rows[i+1], tab.Rows[i+2]
+		if parse(t, vm[2]) >= parse(t, interp[2])/2 {
+			t.Fatalf("VM not at least 2x faster than walker: %v vs %v", vm, interp)
+		}
+		if parse(t, vm[3]) != 0 || parse(t, native[3]) != 0 {
+			t.Fatalf("warm replay allocated: %v / %v", vm, native)
+		}
+		if parse(t, interp[3]) == 0 {
+			t.Fatalf("walker unexpectedly allocation-free: %v", interp)
+		}
+	}
+}
+
 // TestDistChoiceQuickBlockWins: block is the fastest distribution for
 // the stencil (ABL5).
 func TestDistChoiceQuickBlockWins(t *testing.T) {

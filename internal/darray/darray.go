@@ -42,6 +42,40 @@ type header struct {
 	myCoord []int          // per array dim; my grid coordinate in that dim (-1 if collapsed)
 	lshape  []int          // local extents
 	version int
+
+	// fast, flo, fn are the precomputed per-dimension locality
+	// windows: when every dimension's local index set is one contiguous
+	// interval (collapsed, replicated and block dims — the common
+	// cases), a locality test is two compares and a local offset one
+	// subtract per dim, with no interface calls and no divisions.  The
+	// executor's per-element path lives on this.  Rank ≤ 2 only;
+	// higher ranks and non-contiguous patterns keep fast == false.
+	fast bool
+	flo  [2]int // window start (global index) per dim
+	fn   [2]int // window extent per dim
+}
+
+// initFast computes the contiguous locality windows, if any.  It must
+// run whenever the header's distribution binding changes (New and the
+// redistribution plan's target template).
+func (h *header) initFast() {
+	h.fast = false
+	rank := len(h.shape)
+	if rank > 2 {
+		return
+	}
+	for dim := 0; dim < rank; dim++ {
+		lo, n := 1, h.shape[dim]
+		if !h.repl && h.pats[dim] != nil {
+			ivs := h.pats[dim].Local(h.myCoord[dim]).Intervals()
+			if len(ivs) != 1 {
+				return
+			}
+			lo, n = ivs[0].Lo, ivs[0].Len()
+		}
+		h.flo[dim], h.fn[dim] = lo, n
+	}
+	h.fast = true
 }
 
 func newHeader(name string, d *dist.Dist, n *machine.Node) header {
@@ -60,6 +94,7 @@ func newHeader(name string, d *dist.Dist, n *machine.Node) header {
 		for i := range h.myCoord {
 			h.myCoord[i] = -1
 		}
+		h.initFast()
 		return h
 	}
 	h.lshape = d.LocalShape(n.ID())
@@ -74,6 +109,7 @@ func newHeader(name string, d *dist.Dist, n *machine.Node) header {
 		h.myCoord[dim] = gcoord[gdim]
 		gdim++
 	}
+	h.initFast()
 	return h
 }
 
@@ -274,6 +310,39 @@ func (h *header) IsLocal1(i int) bool {
 	return h.pats[0].Owner(i) == h.myCoord[0]
 }
 
+// IsLocal2 is the allocation-free rank-2 ownership test.
+func (h *header) IsLocal2(i, j int) bool {
+	if h.fast && len(h.shape) == 2 {
+		if uint(i-h.flo[0]) < uint(h.fn[0]) && uint(j-h.flo[1]) < uint(h.fn[1]) {
+			return true
+		}
+		// Miss: nonlocal or out of bounds — decide below (the pattern
+		// panics on out-of-range indices).
+	}
+	if len(h.shape) != 2 {
+		panic(fmt.Sprintf("darray: rank-2 access to rank-%d array %s", len(h.shape), h.name))
+	}
+	for dim, c := range [2]int{i, j} {
+		p := h.pats[dim]
+		if h.repl || p == nil {
+			if c < 1 || c > h.shape[dim] {
+				panic(fmt.Sprintf("darray: coordinate %d out of [1..%d] in dim %d of %s",
+					c, h.shape[dim], dim, h.name))
+			}
+			continue
+		}
+		if p.Owner(c) != h.myCoord[dim] {
+			return false
+		}
+	}
+	return true
+}
+
+// Linear2 converts rank-2 global coordinates to the linearized
+// row-major global index without bounds checks; the caller must have
+// validated (i, j) (e.g. via IsLocal2).
+func (h *header) Linear2(i, j int) int { return (i-1)*h.shape[1] + j }
+
 // Get returns the element at global coordinates, which must be local.
 func (a *Array) Get(coord ...int) float64 { return a.local[a.offset(coord)] }
 
@@ -381,6 +450,13 @@ func (ia *IntArray) LocalCount() int { return len(ia.local) }
 
 // offset1 computes the local offset of rank-1 element i.
 func (h *header) offset1(i int) int {
+	if h.fast && len(h.shape) == 1 {
+		if li := i - h.flo[0]; uint(li) < uint(h.fn[0]) {
+			return li
+		}
+		// Miss: out of bounds or nonlocal — fall through for the
+		// precise panic message.
+	}
 	if len(h.shape) != 1 {
 		panic(fmt.Sprintf("darray: rank-1 access to rank-%d array %s", len(h.shape), h.name))
 	}
@@ -399,6 +475,13 @@ func (h *header) offset1(i int) int {
 
 // offset2 computes the local offset of rank-2 element (i, j).
 func (h *header) offset2(i, j int) int {
+	if h.fast && len(h.shape) == 2 {
+		li, lj := i-h.flo[0], j-h.flo[1]
+		if uint(li) < uint(h.fn[0]) && uint(lj) < uint(h.fn[1]) {
+			return li*h.lshape[1] + lj
+		}
+		// Miss: fall through for the precise panic message.
+	}
 	if len(h.shape) != 2 {
 		panic(fmt.Sprintf("darray: rank-2 access to rank-%d array %s", len(h.shape), h.name))
 	}

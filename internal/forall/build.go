@@ -478,9 +478,15 @@ func (e *Engine) execute(c *loopCore, s *Schedule, env *Env) {
 		c.run(it, env)
 	}
 
-	// Commit buffered writes: copy-in/copy-out semantics.
+	// Commit buffered writes: copy-in/copy-out semantics.  Write2
+	// records coordinates so rank-2 commits skip the linear-index
+	// decomposition.
 	for _, w := range env.writes {
-		w.a.SetLinear(w.g, w.v)
+		if w.i != 0 {
+			w.a.Set2(w.i, w.j, w.v)
+		} else {
+			w.a.SetLinear(w.g, w.v)
+		}
 	}
 	env.writes = env.writes[:0]
 }

@@ -56,7 +56,9 @@ type Env struct {
 
 type write struct {
 	a *darray.Array
-	g int
+	g int // linearized global index; 0 when (i, j) is set
+	i int // rank-2 coordinates from Write2 (1-based; 0 = unset)
+	j int
 	v float64
 }
 
@@ -110,7 +112,7 @@ func (e *Env) Read(a *darray.Array, g int) float64 {
 		return 0 // value unused by a well-formed inspector pass
 
 	case modeExecLocal:
-		e.node.Charge(machine.Cost{MemRefs: 1})
+		e.node.ChargeMemRefs(1)
 		return a.GetLinear(g)
 
 	default: // modeExecNonlocal
@@ -126,16 +128,16 @@ func (e *Env) Read(a *darray.Array, g int) float64 {
 				panic(fmt.Sprintf("forall %s: body reference sequence diverged from inspection (%s[%d] vs slot %d[%d])",
 					e.core.name, a.Name(), g, ref.Slot, ref.G))
 			}
-			e.node.Charge(machine.Cost{MemRefs: 2})
+			e.node.ChargeMemRefs(2)
 			if ref.Buf == -1 {
 				return a.GetLinear(g)
 			}
 			return e.sched.arrays[ref.Slot].buf[ref.Buf]
 		}
-		e.node.Charge(machine.Cost{LocTests: 1})
+		e.node.ChargeLocTest()
 		owner := a.OwnerLinear(g)
 		if owner == -1 || owner == e.node.ID() {
-			e.node.Charge(machine.Cost{MemRefs: 1})
+			e.node.ChargeMemRefs(1)
 			return a.GetLinear(g)
 		}
 		as := e.sched.arrays[e.slotOf(a)]
@@ -145,7 +147,7 @@ func (e *Env) Read(a *darray.Array, g int) float64 {
 			panic(fmt.Sprintf("forall %s: element %s[%d] not in communication schedule — body references changed since inspection (add the driving array to DependsOn)",
 				e.core.name, a.Name(), g))
 		}
-		e.node.Charge(machine.Cost{MemRefs: 1})
+		e.node.ChargeMemRefs(1)
 		return as.buf[slot]
 	}
 }
@@ -156,13 +158,50 @@ func (e *Env) ReadAt(a *darray.Array, coord ...int) float64 {
 	return e.Read(a, a.Linear(coord...))
 }
 
+// Read2 is Read for rank-2 arrays, addressed by coordinates.  The
+// charge sequence is identical to Read of the linearized index — same
+// clocks, same stats — but the executor-mode paths test locality and
+// compute the local offset directly from the coordinates, skipping the
+// linearize/delinearize round trip.
+func (e *Env) Read2(a *darray.Array, i, j int) float64 {
+	switch e.mode {
+	case modeExecLocal:
+		e.node.ChargeMemRefs(1)
+		return a.Get2(i, j)
+
+	case modeExecNonlocal:
+		if e.core.enumerate {
+			return e.Read(a, a.Linear(i, j))
+		}
+		e.node.ChargeLocTest()
+		if a.IsLocal2(i, j) {
+			e.node.ChargeMemRefs(1)
+			return a.Get2(i, j)
+		}
+		// IsLocal2 validated the coordinates, so Linear2 is safe.
+		g := a.Linear2(i, j)
+		as := e.sched.arrays[e.slotOf(a)]
+		e.node.ChargeSearch(as.in.NumRanges())
+		slot, ok := as.in.Find(a.OwnerLinear(g), g)
+		if !ok {
+			panic(fmt.Sprintf("forall %s: element %s[%d] not in communication schedule — body references changed since inspection (add the driving array to DependsOn)",
+				e.core.name, a.Name(), g))
+		}
+		e.node.ChargeMemRefs(1)
+		return as.buf[slot]
+
+	default: // modeInspect — cold path, charges handled by Read
+		return e.Read(a, a.Linear(i, j))
+	}
+}
+
 // ReadLocal fetches element i of a 1-D array through an access the
 // compiler proved local (subscript aligned with the on clause, or
 // replicated array).  It panics if the element is in fact nonlocal —
 // that is a program bug, not a run-time condition.
 func (e *Env) ReadLocal(a *darray.Array, i int) float64 {
 	if e.mode != modeInspect {
-		e.node.Charge(machine.Cost{MemRefs: 1})
+		e.node.ChargeMemRefs(1)
 	}
 	return a.Get1(i)
 }
@@ -170,7 +209,7 @@ func (e *Env) ReadLocal(a *darray.Array, i int) float64 {
 // ReadLocal2 is ReadLocal for rank-2 arrays.
 func (e *Env) ReadLocal2(a *darray.Array, i, j int) float64 {
 	if e.mode != modeInspect {
-		e.node.Charge(machine.Cost{MemRefs: 1})
+		e.node.ChargeMemRefs(1)
 	}
 	return a.Get2(i, j)
 }
@@ -179,7 +218,7 @@ func (e *Env) ReadLocal2(a *darray.Array, i, j int) float64 {
 // local/aligned — subscript arrays travel with their loop).
 func (e *Env) ReadInt(a *darray.IntArray, i int) int {
 	if e.mode != modeInspect {
-		e.node.Charge(machine.Cost{MemRefs: 1})
+		e.node.ChargeMemRefs(1)
 	}
 	return a.Get1(i)
 }
@@ -187,7 +226,7 @@ func (e *Env) ReadInt(a *darray.IntArray, i int) int {
 // ReadInt2 is ReadInt for rank-2 arrays.
 func (e *Env) ReadInt2(a *darray.IntArray, i, j int) int {
 	if e.mode != modeInspect {
-		e.node.Charge(machine.Cost{MemRefs: 1})
+		e.node.ChargeMemRefs(1)
 	}
 	return a.Get2(i, j)
 }
@@ -210,7 +249,7 @@ func (e *Env) Write(a *darray.Array, g int, v float64) {
 		}
 		return
 	}
-	e.node.Charge(machine.Cost{MemRefs: 1})
+	e.node.ChargeMemRefs(1)
 	if a.Replicated() {
 		panic(fmt.Sprintf("forall %s: write to replicated array %q", e.core.name, a.Name()))
 	}
@@ -226,11 +265,48 @@ func (e *Env) WriteAt(a *darray.Array, v float64, coord ...int) {
 	e.Write(a, a.Linear(coord...), v)
 }
 
+// Write2 is Write for rank-2 arrays, addressed by coordinates, with
+// the same charges and owner-computes checks but no linear-index
+// arithmetic on the hot path (the buffered write carries the
+// coordinates through to commit).
+func (e *Env) Write2(a *darray.Array, i, j int, v float64) {
+	if e.mode == modeInspect {
+		if a.Replicated() {
+			panic(fmt.Sprintf("forall %s: write to replicated array %q", e.core.name, a.Name()))
+		}
+		if !a.IsLocal2(i, j) {
+			panic(fmt.Sprintf("forall %s: non-owner write to %s[%d,%d] on node %d",
+				e.core.name, a.Name(), i, j, e.node.ID()))
+		}
+		return
+	}
+	e.node.ChargeMemRefs(1)
+	if a.Replicated() {
+		panic(fmt.Sprintf("forall %s: write to replicated array %q", e.core.name, a.Name()))
+	}
+	if !a.IsLocal2(i, j) {
+		panic(fmt.Sprintf("forall %s: non-owner write to %s[%d,%d] on node %d",
+			e.core.name, a.Name(), i, j, e.node.ID()))
+	}
+	e.writes = append(e.writes, write{a: a, i: i, j: j, v: v})
+}
+
 // Flops charges k floating-point operations of body arithmetic.  Free
 // during inspection (the recording pass skips the computation).
 func (e *Env) Flops(k int) {
 	if e.mode != modeInspect {
-		e.node.Charge(machine.Cost{Flops: k})
+		e.node.ChargeFlops(k)
+	}
+}
+
+// FlopsUnit charges k flops as k separate single-flop charges —
+// observably identical to calling Flops(1) k times, which is how the
+// language interpreter's tree walker charges per-operator costs.  The
+// bytecode VM replays coalesced charge runs through it so compiled
+// and walked bodies produce bit-identical virtual clocks.
+func (e *Env) FlopsUnit(k int) {
+	if e.mode != modeInspect {
+		e.node.ChargeFlopsUnit(k)
 	}
 }
 

@@ -51,6 +51,13 @@ type ConstDecl struct {
 	Name string
 	X    Expr
 	Line int
+
+	// Folded/Val cache the Check-time evaluation of X for constants
+	// that do not depend on P; elaboration and the bytecode compiler
+	// reuse the cached value.  P-dependent constants stay unfolded and
+	// are evaluated once the processor count is chosen.
+	Folded bool
+	Val    value
 }
 
 // DistItem is one entry of a dist clause.
@@ -108,6 +115,12 @@ type Forall struct {
 	// set by the checker:
 	reads []*readInfo
 	deps  []string // int arrays the reference pattern depends on
+	// slotNames/intSlotNames number the real and integer arrays read
+	// in the body, in first-reference order; every ArrayRef.slot below
+	// indexes into the matching list.  The bytecode compiler binds VM
+	// array slots from this numbering.
+	slotNames    []string
+	intSlotNames []string
 }
 
 // LocalDecl is a per-iteration variable inside a forall.
@@ -202,7 +215,7 @@ type ArrayRef struct {
 
 	// set by the checker for refs inside foralls:
 	access accessMode
-	slot   int // read slot for indirect/affine reads
+	slot   int // index into the forall's slotNames/intSlotNames
 }
 
 // Unary is "-x" or "not x".

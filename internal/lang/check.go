@@ -93,7 +93,13 @@ func Check(f *File) error {
 			c.syms[name] = &symbol{kind: symArray, typ: d.Elem, decl: d}
 		}
 	}
-	return c.stmts(f.Main, nil, "")
+	if err := c.stmts(f.Main, nil, ""); err != nil {
+		return err
+	}
+	// Evaluate P-independent constants now (cached on the AST), so
+	// overflow and division-by-zero surface as positioned compile-time
+	// diagnostics rather than run-time panics.
+	return foldConsts(f)
 }
 
 // distributed reports whether an array declaration has a dist clause.
@@ -475,6 +481,41 @@ func (c *checker) forall2(fa *Forall) error {
 	return c.classify2(fa)
 }
 
+// slotNumberer assigns the forall's array slots: each distinct real
+// (or integer) array read in the body gets a slot in first-reference
+// order, recorded on the ArrayRef and in the forall's slot name lists.
+// The bytecode compiler binds VM array slots from this numbering.
+type slotNumberer struct {
+	fa    *Forall
+	reals map[string]int
+	ints  map[string]int
+}
+
+func newSlotNumberer(fa *Forall) *slotNumberer {
+	fa.slotNames, fa.intSlotNames = nil, nil
+	return &slotNumberer{fa: fa, reals: map[string]int{}, ints: map[string]int{}}
+}
+
+func (sn *slotNumberer) real(ref *ArrayRef) {
+	k, ok := sn.reals[ref.Name]
+	if !ok {
+		k = len(sn.fa.slotNames)
+		sn.reals[ref.Name] = k
+		sn.fa.slotNames = append(sn.fa.slotNames, ref.Name)
+	}
+	ref.slot = k
+}
+
+func (sn *slotNumberer) integer(ref *ArrayRef) {
+	k, ok := sn.ints[ref.Name]
+	if !ok {
+		k = len(sn.fa.intSlotNames)
+		sn.ints[ref.Name] = k
+		sn.fa.intSlotNames = append(sn.fa.intSlotNames, ref.Name)
+	}
+	ref.slot = k
+}
+
 // classify2 annotates references inside a two-index forall: aligned
 // [i,j] accesses under an identity on clause are local; reads whose
 // subscripts are per-dimension affine — X[aI*i+cI, aJ*j+cJ] — get
@@ -493,6 +534,7 @@ func (c *checker) classify2(fa *Forall) error {
 	}
 	seenIndirect := map[string]bool{}
 	seenDep := map[string]bool{}
+	sn := newSlotNumberer(fa)
 	var err error
 	walkStmts(fa.Body, func(e Expr) {
 		if err != nil {
@@ -509,16 +551,23 @@ func (c *checker) classify2(fa *Forall) error {
 		d := sym.decl
 		if !distributed(d) {
 			ref.access = accReplicated
+			if d.Elem == TInt {
+				sn.integer(ref)
+			} else {
+				sn.real(ref)
+			}
 			return
 		}
 		if d.Elem == TInt {
 			ref.access = accAligned
+			sn.integer(ref)
 			if !seenDep[ref.Name] {
 				seenDep[ref.Name] = true
 				fa.deps = append(fa.deps, ref.Name)
 			}
 			return
 		}
+		sn.real(ref)
 		if len(d.Dims) == 2 {
 			// The [i,j] shortcut is provably local only when the read
 			// array shares the on array's declaration (hence its dist
@@ -562,6 +611,7 @@ func (c *checker) classify2(fa *Forall) error {
 func (c *checker) classify(fa *Forall) error {
 	seenIndirect := map[string]bool{}
 	seenDep := map[string]bool{}
+	sn := newSlotNumberer(fa)
 	var err error
 	walkStmts(fa.Body, func(e Expr) {
 		if err != nil {
@@ -578,18 +628,25 @@ func (c *checker) classify(fa *Forall) error {
 		d := sym.decl
 		if !distributed(d) {
 			ref.access = accReplicated
+			if d.Elem == TInt {
+				sn.integer(ref)
+			} else {
+				sn.real(ref)
+			}
 			return
 		}
 		if d.Elem == TInt {
 			// Subscript arrays travel with the loop (aligned); their
 			// contents drive the reference pattern.
 			ref.access = accAligned
+			sn.integer(ref)
 			if !seenDep[ref.Name] {
 				seenDep[ref.Name] = true
 				fa.deps = append(fa.deps, ref.Name)
 			}
 			return
 		}
+		sn.real(ref)
 		switch len(d.Dims) {
 		case 1:
 			if aE, cE, ok := c.affineOf(ref.Indexes[0], fa.Var); ok {

@@ -113,6 +113,162 @@ func TestQuickProgramsProcessorIndependent(t *testing.T) {
 	}
 }
 
+// genVMProgram builds a random program that stresses the bytecode
+// compiler beyond the plain stencils of genProgram: forall bodies with
+// local variables, if/else with boolean connectives, inner for loops,
+// builtin calls, unary minus, and integer div/mod — every construct
+// the VM lowers.  Used by the VM-vs-walker differential tests.
+func genVMProgram(r *rand.Rand) string {
+	n := 8 + r.Intn(24)
+	k := 2 + r.Intn(4)
+	dists := []string{"block", "cyclic", fmt.Sprintf("block_cyclic(%d)", 1+r.Intn(4))}
+	distA := dists[r.Intn(len(dists))]
+	distB := dists[r.Intn(len(dists))]
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "processors Procs : array[1..P] with P in 1..64;\n")
+	fmt.Fprintf(&b, "const n = %d;\n", n)
+	fmt.Fprintf(&b, "      k = %d;\n", k)
+	fmt.Fprintf(&b, "var a : array[1..n] of real dist by [%s] on Procs;\n", distA)
+	fmt.Fprintf(&b, "    b : array[1..n] of real dist by [%s] on Procs;\n", distB)
+	fmt.Fprintf(&b, "    perm : array[1..n] of integer dist by [%s] on Procs;\n", distB)
+	fmt.Fprintf(&b, "    i : integer;\n")
+	fmt.Fprintf(&b, "begin\n")
+	fmt.Fprintf(&b, "  for i in 1..n do\n")
+	fmt.Fprintf(&b, "    a[i] := float(i) * %d.0 - %d.5;\n", 1+r.Intn(5), r.Intn(3))
+	fmt.Fprintf(&b, "    b[i] := float(i * i) / %d.0;\n", 2+r.Intn(3))
+	fmt.Fprintf(&b, "    perm[i] := (i * %d) mod n + 1;\n", 1+2*r.Intn(4))
+	fmt.Fprintf(&b, "  end;\n")
+
+	stmts := 1 + r.Intn(3)
+	for s := 0; s < stmts; s++ {
+		switch r.Intn(5) {
+		case 0: // affine stencil with a const-folded coefficient
+			c := r.Intn(3) - 1
+			lo, hi := 1, n
+			sub := "i"
+			if c > 0 {
+				hi, sub = n-c, fmt.Sprintf("i+%d", c)
+			} else if c < 0 {
+				lo, sub = 1-c, fmt.Sprintf("i-%d", -c)
+			}
+			fmt.Fprintf(&b, "  forall i in %d..%d on a[i].loc do\n", lo, hi)
+			fmt.Fprintf(&b, "    a[i] := b[%s] * (1.0 / float(k)) + a[i];\n", sub)
+			fmt.Fprintf(&b, "  end;\n")
+		case 1: // indirect gather through perm
+			fmt.Fprintf(&b, "  forall i in 1..n on b[i].loc do b[i] := a[ perm[i] ]; end;\n")
+		case 2: // locals, builtins, if/else with and/or
+			fmt.Fprintf(&b, "  forall i in 1..n on a[i].loc do\n")
+			fmt.Fprintf(&b, "    var t : real; m : integer;\n")
+			fmt.Fprintf(&b, "    t := abs(b[i]) + sqrt(abs(a[i]));\n")
+			fmt.Fprintf(&b, "    m := trunc(t) mod k + 1;\n")
+			fmt.Fprintf(&b, "    if (t > float(m)) and (i mod 2 = 0) then\n")
+			fmt.Fprintf(&b, "      a[i] := min(t, a[i]) - float(m);\n")
+			fmt.Fprintf(&b, "    else\n")
+			fmt.Fprintf(&b, "      a[i] := max(t * 0.5, -a[i]);\n")
+			fmt.Fprintf(&b, "    end;\n")
+			fmt.Fprintf(&b, "  end;\n")
+		case 3: // inner for loop accumulating into a local
+			fmt.Fprintf(&b, "  forall i in 1..n on a[i].loc do\n")
+			fmt.Fprintf(&b, "    var s2 : real; q : integer;\n")
+			fmt.Fprintf(&b, "    s2 := 0.0;\n")
+			fmt.Fprintf(&b, "    for q in 1..k do\n")
+			fmt.Fprintf(&b, "      s2 := s2 + b[i] * float(q);\n")
+			fmt.Fprintf(&b, "    end;\n")
+			fmt.Fprintf(&b, "    a[i] := s2 / float(k);\n")
+			fmt.Fprintf(&b, "  end;\n")
+		default: // strided update with integer arithmetic in subscripts
+			fmt.Fprintf(&b, "  forall i in 1..n div 2 on a[2*i].loc do\n")
+			fmt.Fprintf(&b, "    a[2*i] := a[2*i] * 0.5 + b[2*i-1];\n")
+			fmt.Fprintf(&b, "  end;\n")
+		}
+	}
+	fmt.Fprintf(&b, "end.\n")
+	return b.String()
+}
+
+// diffVMWalker runs src twice — once through the bytecode VM, once
+// through the tree walker — and fails unless the final arrays are
+// bit-identical and the simulated cost report (time, messages, bytes)
+// matches exactly.  The VM must be observationally invisible.
+func diffVMWalker(t *testing.T, src string, p int) {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	cfg := core.Config{P: p, Params: machine.NCUBE7()}
+	vm, err := prog.Run(cfg)
+	if err != nil {
+		t.Fatalf("vm run: %v\n%s", err, src)
+	}
+	prog.NoVM = true
+	walk, err := prog.Run(cfg)
+	prog.NoVM = false
+	if err != nil {
+		t.Fatalf("walker run: %v\n%s", err, src)
+	}
+	for name, want := range walk.Arrays {
+		got := vm.Arrays[name]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %v (vm), want %v (walker)\n%s", name, i+1, got[i], want[i], src)
+			}
+		}
+	}
+	for name, want := range walk.IntArrays {
+		got := vm.IntArrays[name]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %d (vm), want %d (walker)\n%s", name, i+1, got[i], want[i], src)
+			}
+		}
+	}
+	if vm.Report.Total != walk.Report.Total ||
+		vm.Report.Inspector != walk.Report.Inspector ||
+		vm.Report.Executor != walk.Report.Executor {
+		t.Fatalf("simulated times diverge: vm total=%v insp=%v exec=%v, walker total=%v insp=%v exec=%v\n%s",
+			vm.Report.Total, vm.Report.Inspector, vm.Report.Executor,
+			walk.Report.Total, walk.Report.Inspector, walk.Report.Executor, src)
+	}
+	if vm.Report.MsgsSent != walk.Report.MsgsSent || vm.Report.BytesSent != walk.Report.BytesSent {
+		t.Fatalf("traffic diverges: vm %d msgs/%d bytes, walker %d msgs/%d bytes\n%s",
+			vm.Report.MsgsSent, vm.Report.BytesSent,
+			walk.Report.MsgsSent, walk.Report.BytesSent, src)
+	}
+}
+
+// TestQuickVMDifferential: every generated program produces
+// bit-identical arrays and an identical cost report on the VM and the
+// tree walker, across processor counts.
+func TestQuickVMDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genVMProgram(r)
+		for _, p := range []int{1, 3, 4} {
+			diffVMWalker(t, src, p)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzVMDifferential is the native-fuzzing entry point for the same
+// property; `go test -fuzz=FuzzVMDifferential` explores seeds beyond
+// the fixed quick.Check budget.
+func FuzzVMDifferential(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1990, 123456789} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		src := genVMProgram(r)
+		diffVMWalker(t, src, 4)
+	})
+}
+
 // TestQuickProgramsDeterministicTiming: generated programs also have
 // identical simulated time on repeated runs (full determinism).
 func TestQuickProgramsDeterministicTiming(t *testing.T) {

@@ -16,6 +16,12 @@ import (
 type Program struct {
 	file *File
 	src  string
+
+	// NoVM disables the bytecode VM for forall bodies and runs them
+	// through the retained tree-walking interpreter instead (kalirun
+	// -novm).  The two paths are observably identical — the walker is
+	// kept as the differential-test oracle and as an escape hatch.
+	NoVM bool
 }
 
 // Compile parses and checks Kali source.
@@ -44,67 +50,66 @@ type Result struct {
 	Scalars map[string]float64
 }
 
-// Run elaborates the program (choosing P within the declared bounds,
-// building distributions) and interprets it SPMD on the simulated
-// machine.
-func (p *Program) Run(cfg core.Config) (res *Result, err error) {
+// elaboration is the host-side product of Program.elaborate: fully
+// evaluated constants, the chosen processor grid, and (unless NoVM)
+// the compiled bytecode for every forall body.  It is immutable and
+// shared read-only by every node goroutine.
+type elaboration struct {
+	consts   map[string]value
+	grid     *topology.Grid
+	procP    int
+	compiled map[*Forall]*compiledBody
+}
+
+// elaborate evaluates the constants and the processors declaration,
+// then lowers forall bodies to bytecode.  Constants may reference P
+// (e.g. perProc = n div P) and the processor bounds may reference
+// constants, so evaluation is two-phase: the P-independent constants
+// were already folded at Check time (ConstDecl.Folded), then the real
+// estate agent chooses P, then the P-dependent constants evaluate —
+// which is also why body compilation cannot happen before run time.
+func (p *Program) elaborate(availP int) (el *elaboration, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("lang: runtime error: %v", r)
+			if le, ok := r.(*Error); ok {
+				err = le
+				return
+			}
+			err = fmt.Errorf("lang: elaboration error: %v", r)
 		}
 	}()
 
-	// Elaborate constants and the processors declaration.  Constants
-	// may reference P (e.g. perProc = n div P) and the processor bounds
-	// may reference constants, so evaluation is two-phase: first the
-	// constants that do not (transitively) depend on P, then the real
-	// estate agent, then the P-dependent constants.
 	consts := map[string]value{}
-	ev0 := &evaluator{consts: consts}
-	pDep := map[string]bool{}
-	if sv := p.file.Procs.SizeVar; sv != "" {
-		pDep[sv] = true
-	}
-	dependsOnP := func(e Expr) bool {
-		found := false
-		walkExpr(e, func(x Expr) {
-			if id, ok := x.(*Ident); ok && pDep[id.Name] {
-				found = true
-			}
-		})
-		return found
-	}
+	ce := &constEval{consts: consts}
 	for _, d := range p.file.Consts {
-		if dependsOnP(d.X) {
-			pDep[d.Name] = true
-			continue
+		if d.Folded {
+			consts[d.Name] = d.Val
 		}
-		consts[d.Name] = ev0.eval(d.X)
 	}
 	var grid *topology.Grid
 	var procP int
 	if p.file.Procs.Rank2() {
 		// 2-D processor arrays have constant extents; the program needs
 		// exactly p1×p2 processors.
-		p1 := ev0.evalConstInt(p.file.Procs.Size)
-		p2 := ev0.evalConstInt(p.file.Procs.Size2)
+		p1 := ce.intVal(p.file.Procs.Size)
+		p2 := ce.intVal(p.file.Procs.Size2)
 		var cerr error
-		procP, cerr = topology.Choose(p1*p2, p1*p2, cfg.P)
+		procP, cerr = topology.Choose(p1*p2, p1*p2, availP)
 		if cerr != nil {
 			return nil, cerr
 		}
 		grid = topology.MustGrid(p1, p2)
 	} else {
-		minP, maxP := 1, cfg.P
+		minP, maxP := 1, availP
 		if p.file.Procs.MinP != nil {
-			minP = ev0.evalConstInt(p.file.Procs.MinP)
-			maxP = ev0.evalConstInt(p.file.Procs.MaxP)
+			minP = ce.intVal(p.file.Procs.MinP)
+			maxP = ce.intVal(p.file.Procs.MaxP)
 		} else if p.file.Procs.Size != nil {
-			minP = ev0.evalConstInt(p.file.Procs.Size)
+			minP = ce.intVal(p.file.Procs.Size)
 			maxP = minP
 		}
 		var cerr error
-		procP, cerr = topology.Choose(minP, maxP, cfg.P)
+		procP, cerr = topology.Choose(minP, maxP, availP)
 		if cerr != nil {
 			return nil, cerr
 		}
@@ -114,29 +119,50 @@ func (p *Program) Run(cfg core.Config) (res *Result, err error) {
 		consts[p.file.Procs.SizeVar] = intVal(procP)
 	}
 	for _, d := range p.file.Consts {
-		if pDep[d.Name] && d.Name != p.file.Procs.SizeVar {
-			consts[d.Name] = ev0.eval(d.X)
+		if !d.Folded && d.Name != p.file.Procs.SizeVar {
+			consts[d.Name] = ce.val(d.X)
 		}
 	}
+	el = &elaboration{consts: consts, grid: grid, procP: procP}
+	if !p.NoVM {
+		el.compiled = compileForalls(p.file, consts)
+	}
+	return el, nil
+}
 
+// Run elaborates the program (choosing P within the declared bounds,
+// building distributions, compiling forall bodies) and executes it
+// SPMD on the simulated machine.
+func (p *Program) Run(cfg core.Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("lang: runtime error: %v", r)
+		}
+	}()
+
+	el, err := p.elaborate(cfg.P)
+	if err != nil {
+		return nil, err
+	}
 	res = &Result{
-		P:         procP,
+		P:         el.procP,
 		Arrays:    map[string][]float64{},
 		IntArrays: map[string][]int{},
 		Scalars:   map[string]float64{},
 	}
-	cfg.P = procP
+	cfg.P = el.procP
 
 	// Pre-allocate gather buffers host-side (shapes are elaborable
 	// without the machine), so nodes fill disjoint slots with no
 	// synchronization.
+	ce := &constEval{consts: el.consts}
 	for _, d := range p.file.Vars {
 		if len(d.Dims) == 0 {
 			continue
 		}
 		size := 1
 		for _, dim := range d.Dims {
-			size *= ev0.evalConstInt(dim.Hi)
+			size *= ce.intVal(dim.Hi)
 		}
 		for _, name := range d.Names {
 			if d.Elem == TInt {
@@ -148,7 +174,7 @@ func (p *Program) Run(cfg core.Config) (res *Result, err error) {
 	}
 
 	rep := core.Run(cfg, func(ctx *core.Context) {
-		in := newInterp(p.file, ctx, consts, grid)
+		in := newInterp(p.file, ctx, el)
 		in.declareArrays()
 		in.execStmts(p.file.Main, nil, nil)
 		in.gather(res)
@@ -188,7 +214,12 @@ type interp struct {
 	arrays  map[string]*darray.Array
 	ints    map[string]*darray.IntArray
 
-	// compiled forall loops, keyed by AST node.
+	// compiled forall bodies (shared, host-compiled) and this node's
+	// VM states for them; nil/empty under NoVM.
+	compiled map[*Forall]*compiledBody
+	vms      map[*Forall]*vmState
+
+	// lowered forall loops, keyed by AST node.
 	loops  map[*Forall]*forall.Loop
 	loops2 map[*Forall]*forall.Loop2
 	// elaborated redistribute targets, keyed by AST node: the checker
@@ -199,57 +230,20 @@ type interp struct {
 	redists map[*Redistribute]*dist.Dist
 }
 
-func newInterp(f *File, ctx *core.Context, consts map[string]value, grid *topology.Grid) *interp {
+func newInterp(f *File, ctx *core.Context, el *elaboration) *interp {
 	return &interp{
-		file:    f,
-		ctx:     ctx,
-		grid:    grid,
-		consts:  consts,
-		scalars: map[string]*value{},
-		arrays:  map[string]*darray.Array{},
-		ints:    map[string]*darray.IntArray{},
-		loops:   map[*Forall]*forall.Loop{},
-		loops2:  map[*Forall]*forall.Loop2{},
-		redists: map[*Redistribute]*dist.Dist{},
-	}
-}
-
-// evaluator evaluates constant expressions during elaboration.
-type evaluator struct {
-	consts map[string]value
-}
-
-func (ev *evaluator) evalConstInt(e Expr) int {
-	v := ev.eval(e)
-	if v.t != TInt {
-		panic("constant expression is not an integer")
-	}
-	return v.i
-}
-
-func (ev *evaluator) eval(e Expr) value {
-	switch e := e.(type) {
-	case *IntLit:
-		return intVal(e.V)
-	case *RealLit:
-		return realVal(e.V)
-	case *Ident:
-		v, ok := ev.consts[e.Name]
-		if !ok {
-			panic(fmt.Sprintf("unknown constant %q", e.Name))
-		}
-		return v
-	case *Unary:
-		v := ev.eval(e.X)
-		if v.t == TInt {
-			return intVal(-v.i)
-		}
-		return realVal(-v.f)
-	case *Binary:
-		l, r := ev.eval(e.L), ev.eval(e.R)
-		return arith(e.Op, l, r)
-	default:
-		panic(fmt.Sprintf("non-constant expression %T", e))
+		file:     f,
+		ctx:      ctx,
+		grid:     el.grid,
+		consts:   el.consts,
+		compiled: el.compiled,
+		vms:      map[*Forall]*vmState{},
+		scalars:  map[string]*value{},
+		arrays:   map[string]*darray.Array{},
+		ints:     map[string]*darray.IntArray{},
+		loops:    map[*Forall]*forall.Loop{},
+		loops2:   map[*Forall]*forall.Loop2{},
+		redists:  map[*Redistribute]*dist.Dist{},
 	}
 }
 
@@ -307,7 +301,7 @@ func arith(op Kind, l, r value) value {
 
 // declareArrays elaborates the var section on this node.
 func (in *interp) declareArrays() {
-	ev := &evaluator{consts: in.consts}
+	ce := &constEval{consts: in.consts}
 	for _, d := range in.file.Vars {
 		for _, name := range d.Names {
 			if len(d.Dims) == 0 {
@@ -317,8 +311,8 @@ func (in *interp) declareArrays() {
 			}
 			shape := make([]int, len(d.Dims))
 			for k, dim := range d.Dims {
-				lo := ev.evalConstInt(dim.Lo)
-				hi := ev.evalConstInt(dim.Hi)
+				lo := ce.intVal(dim.Lo)
+				hi := ce.intVal(dim.Hi)
 				if lo != 1 {
 					panic(fmt.Sprintf("array %q: lower bound must be 1", name))
 				}
@@ -348,7 +342,7 @@ func (in *interp) declareArrays() {
 // expressions are evaluated per index; dist compresses the table into
 // owner runs.
 func (in *interp) elabDist(name string, shape []int, items []DistItem) *dist.Dist {
-	ev := &evaluator{consts: in.consts}
+	ce := &constEval{consts: in.consts}
 	specs := make([]dist.DimSpec, len(items))
 	for k, item := range items {
 		switch item.Kind {
@@ -357,16 +351,16 @@ func (in *interp) elabDist(name string, shape []int, items []DistItem) *dist.Dis
 		case KWCyclic:
 			specs[k] = dist.CyclicDim()
 		case KWBlockCyclic:
-			specs[k] = dist.BlockCyclicDim(ev.evalConstInt(item.Block))
+			specs[k] = dist.BlockCyclicDim(ce.intVal(item.Block))
 		case KWMap:
 			owners := make([]int, shape[k])
-			mev := &evaluator{consts: map[string]value{}}
+			mce := &constEval{consts: map[string]value{}}
 			for cn, cv := range in.consts {
-				mev.consts[cn] = cv
+				mce.consts[cn] = cv
 			}
 			for i := 1; i <= shape[k]; i++ {
-				mev.consts[item.MapVar] = intVal(i)
-				owners[i-1] = mev.evalConstInt(item.MapExpr)
+				mce.consts[item.MapVar] = intVal(i)
+				owners[i-1] = mce.intVal(item.MapExpr)
 			}
 			specs[k] = dist.MapDim(owners)
 		case STAR:
@@ -513,6 +507,9 @@ func (in *interp) execForall(fa *Forall) {
 			loop = in.buildLoop2(fa)
 			in.loops2[fa] = loop
 		}
+		if st := in.vms[fa]; st != nil {
+			st.bindScalars(in)
+		}
 		loop.LoI = in.evalExpr(fa.Lo, nil, nil).i
 		loop.HiI = in.evalExpr(fa.Hi, nil, nil).i
 		loop.LoJ = in.evalExpr(fa.Lo2, nil, nil).i
@@ -525,6 +522,12 @@ func (in *interp) execForall(fa *Forall) {
 		loop = in.buildLoop(fa)
 		in.loops[fa] = loop
 	}
+	// Refresh the VM's global-scalar input registers: globals are
+	// immutable within one forall execution (checker-enforced), so one
+	// binding per launch suffices.
+	if st := in.vms[fa]; st != nil {
+		st.bindScalars(in)
+	}
 	loop.Lo = in.evalExpr(fa.Lo, nil, nil).i
 	loop.Hi = in.evalExpr(fa.Hi, nil, nil).i
 	in.ctx.Forall(loop)
@@ -532,7 +535,7 @@ func (in *interp) execForall(fa *Forall) {
 
 // buildLoop2 translates a two-index Forall into a forall.Loop2.
 func (in *interp) buildLoop2(fa *Forall) *forall.Loop2 {
-	ev := &evaluator{consts: in.consts}
+	ce := &constEval{consts: in.consts}
 	onArr := in.arrays[fa.OnArray]
 	if onArr == nil {
 		panic(fmt.Sprintf("on-clause array %q is not a real array", fa.OnArray))
@@ -545,8 +548,8 @@ func (in *interp) buildLoop2(fa *Forall) *forall.Loop2 {
 		panic("2-D on clause subscripts not affine (checker should have caught this)")
 	}
 	onF2 := analysis.Affine2{
-		I: analysis.Affine{A: evalCoeff(ev, aIE), C: evalCoeff(ev, cIE)},
-		J: analysis.Affine{A: evalCoeff(ev, aJE), C: evalCoeff(ev, cJE)},
+		I: analysis.Affine{A: ce.coeff(aIE), C: ce.coeff(cIE)},
+		J: analysis.Affine{A: ce.coeff(aJE), C: ce.coeff(cJE)},
 	}
 	// A constant coefficient expression can evaluate to zero (only
 	// elaboration knows the const values); diagnose it with the source
@@ -559,8 +562,8 @@ func (in *interp) buildLoop2(fa *Forall) *forall.Loop2 {
 		arr := in.arrays[ri.array]
 		if ri.affine2 {
 			aff := &analysis.Affine2{
-				I: analysis.Affine{A: evalCoeff(ev, ri.aIExpr), C: evalCoeff(ev, ri.cIExpr)},
-				J: analysis.Affine{A: evalCoeff(ev, ri.aJExpr), C: evalCoeff(ev, ri.cJExpr)},
+				I: analysis.Affine{A: ce.coeff(ri.aIExpr), C: ce.coeff(ri.cIExpr)},
+				J: analysis.Affine{A: ce.coeff(ri.aJExpr), C: ce.coeff(ri.cJExpr)},
 			}
 			reads = append(reads, forall.ReadSpec{Array: arr, Affine2: aff})
 			continue
@@ -578,23 +581,29 @@ func (in *interp) buildLoop2(fa *Forall) *forall.Loop2 {
 		Reads:     reads,
 		DependsOn: deps,
 	}
-	loop.Body = func(i, j int, env *forall.Env) {
-		sc := scope{
-			fa.Var:  &value{t: TInt, i: i},
-			fa.Var2: &value{t: TInt, i: j},
+	if cb := in.compiled[fa]; cb != nil {
+		st := newVMState(cb, in)
+		in.vms[fa] = st
+		loop.Body = st.body2
+	} else {
+		loop.Body = func(i, j int, env *forall.Env) {
+			sc := scope{
+				fa.Var:  &value{t: TInt, i: i},
+				fa.Var2: &value{t: TInt, i: j},
+			}
+			for _, d := range fa.Decls {
+				v := value{t: d.Type}
+				sc[d.Name] = &v
+			}
+			in.execStmts(fa.Body, sc, env)
 		}
-		for _, d := range fa.Decls {
-			v := value{t: d.Type}
-			sc[d.Name] = &v
-		}
-		in.execStmts(fa.Body, sc, env)
 	}
 	return loop
 }
 
 // buildLoop translates an annotated Forall into a forall.Loop.
 func (in *interp) buildLoop(fa *Forall) *forall.Loop {
-	ev := &evaluator{consts: in.consts}
+	ce := &constEval{consts: in.consts}
 	onArr := in.arrays[fa.OnArray]
 	if onArr == nil {
 		panic(fmt.Sprintf("on-clause array %q is not a real array", fa.OnArray))
@@ -604,7 +613,7 @@ func (in *interp) buildLoop(fa *Forall) *forall.Loop {
 	if !ok {
 		panic("on clause subscript not affine (checker should have caught this)")
 	}
-	onF := analysis.Affine{A: evalCoeff(ev, aE), C: evalCoeff(ev, cE)}
+	onF := analysis.Affine{A: ce.coeff(aE), C: ce.coeff(cE)}
 	if onF.A == 0 {
 		panic(fmt.Sprintf("line %d: on clause subscript coefficient evaluates to zero (not affine in the index variable)", fa.Line))
 	}
@@ -613,7 +622,7 @@ func (in *interp) buildLoop(fa *Forall) *forall.Loop {
 	for _, ri := range fa.reads {
 		arr := in.arrays[ri.array]
 		if ri.affine {
-			aff := &analysis.Affine{A: evalCoeff(ev, ri.aExpr), C: evalCoeff(ev, ri.cExpr)}
+			aff := &analysis.Affine{A: ce.coeff(ri.aExpr), C: ce.coeff(ri.cExpr)}
 			reads = append(reads, forall.ReadSpec{Array: arr, Affine: aff})
 		} else {
 			reads = append(reads, forall.ReadSpec{Array: arr})
@@ -631,13 +640,19 @@ func (in *interp) buildLoop(fa *Forall) *forall.Loop {
 		Reads:     reads,
 		DependsOn: deps,
 	}
-	loop.Body = func(i int, env *forall.Env) {
-		sc := scope{fa.Var: &value{t: TInt, i: i}}
-		for _, d := range fa.Decls {
-			v := value{t: d.Type}
-			sc[d.Name] = &v
+	if cb := in.compiled[fa]; cb != nil {
+		st := newVMState(cb, in)
+		in.vms[fa] = st
+		loop.Body = st.body1
+	} else {
+		loop.Body = func(i int, env *forall.Env) {
+			sc := scope{fa.Var: &value{t: TInt, i: i}}
+			for _, d := range fa.Decls {
+				v := value{t: d.Type}
+				sc[d.Name] = &v
+			}
+			in.execStmts(fa.Body, sc, env)
 		}
-		in.execStmts(fa.Body, sc, env)
 	}
 	return loop
 }
@@ -662,14 +677,6 @@ func (in *interp) checkerSyms() map[string]*symbol {
 		}
 	}
 	return syms
-}
-
-// evalCoeff evaluates a (possibly nil) affine coefficient expression.
-func evalCoeff(ev *evaluator, e Expr) int {
-	if e == nil {
-		return 0
-	}
-	return ev.evalConstInt(e)
 }
 
 // execReduce implements the reduce statement: local fold over owned

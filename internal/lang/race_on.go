@@ -1,0 +1,7 @@
+//go:build race
+
+package lang
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so allocation-exactness tests skip.
+const raceEnabled = true

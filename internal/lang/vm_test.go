@@ -1,0 +1,265 @@
+package lang
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"kali/internal/core"
+	"kali/internal/machine"
+)
+
+// findForall returns the n-th forall statement of the program, walking
+// into sequential control flow.
+func findForall(ss []Stmt, n int) *Forall {
+	count := 0
+	var find func(ss []Stmt) *Forall
+	find = func(ss []Stmt) *Forall {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Forall:
+				if count == n {
+					return s
+				}
+				count++
+			case *ForLoop:
+				if fa := find(s.Body); fa != nil {
+					return fa
+				}
+			case *While:
+				if fa := find(s.Body); fa != nil {
+					return fa
+				}
+			case *If:
+				if fa := find(s.Then); fa != nil {
+					return fa
+				}
+				if fa := find(s.Else); fa != nil {
+					return fa
+				}
+			}
+		}
+		return nil
+	}
+	return find(ss)
+}
+
+// TestVMReplayAllocationFree: once a forall's schedule is cached and
+// its vmState built, replaying the compiled body — including a
+// nonlocal affine read, a local stencil read, a builtin call and a
+// conditional — performs zero heap allocations across the whole
+// machine.  This is the property the bytecode VM exists for: the tree
+// walker allocates a scope map and boxed values per element.
+func TestVMReplayAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+const n = 64;
+var u, v : array[1..n] of real dist by [block] on Procs;
+    i : integer;
+begin
+  for i in 1..n do
+    u[i] := float(i) * 0.5;
+    v[i] := float(n - i);
+  end;
+  forall i in 2..n-1 on u[i].loc do
+    var t : real;
+    t := v[i-1] + v[i+1];
+    if t > u[i] then
+      u[i] := min(t, u[i] + 1.0);
+    else
+      u[i] := max(t, u[i] - 1.0);
+    end;
+  end;
+end.
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := prog.elaborate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(el.compiled) == 0 {
+		t.Fatal("no compiled bodies — VM not engaged")
+	}
+	fa := findForall(prog.file.Main, 0)
+	if fa == nil {
+		t.Fatal("no forall in program")
+	}
+
+	const warmup, reps = 5, 20
+	old := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(old)
+
+	var mallocs uint64
+	var mu sync.Mutex
+	cfg := core.Config{P: el.procP, Params: machine.Ideal()}
+	core.Run(cfg, func(ctx *core.Context) {
+		in := newInterp(prog.file, ctx, el)
+		in.declareArrays()
+		in.execStmts(prog.file.Main, nil, nil)
+		// Warmup replays grow the payload pool to the pattern's peak
+		// demand; the per-replay barriers keep a fast node from racing
+		// ahead and forcing growth at an arbitrary later point.
+		for k := 0; k < warmup; k++ {
+			in.execStmt(fa, nil, nil)
+			ctx.Node.Barrier()
+		}
+
+		var before, after runtime.MemStats
+		ctx.Node.Barrier()
+		if ctx.Node.ID() == 0 {
+			runtime.ReadMemStats(&before)
+		}
+		ctx.Node.Barrier()
+		for k := 0; k < reps; k++ {
+			in.execStmt(fa, nil, nil)
+			ctx.Node.Barrier()
+		}
+		ctx.Node.Barrier()
+		if ctx.Node.ID() == 0 {
+			runtime.ReadMemStats(&after)
+			mu.Lock()
+			mallocs = after.Mallocs - before.Mallocs
+			mu.Unlock()
+		}
+		ctx.Node.Barrier()
+	})
+	if mallocs != 0 {
+		t.Fatalf("steady-state VM replay allocated %d objects over %d replays, want 0", mallocs, reps)
+	}
+}
+
+// TestVMStrengthReduction: affine subscripts compile to opLinI (or
+// vanish for the identity), never to general expression code.
+func TestVMStrengthReduction(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+const n = 32;
+var a, b : array[1..n] of real dist by [block] on Procs;
+    i : integer;
+begin
+  for i in 1..n do a[i] := float(i); b[i] := 0.0; end;
+  forall i in 1..n div 2 on b[2*i].loc do
+    b[2*i] := a[2*i-1];
+  end;
+end.
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := prog.elaborate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := findForall(prog.file.Main, 0)
+	cb := el.compiled[fa]
+	if cb == nil {
+		t.Fatal("forall not compiled")
+	}
+	lin, mul := 0, 0
+	for _, ins := range cb.code {
+		switch ins.op {
+		case opLinI:
+			lin++
+		case opMulI, opSubI:
+			mul++
+		}
+	}
+	if lin != 2 {
+		t.Fatalf("want 2 opLinI (2*i and 2*i-1), got %d in %d instrs", lin, len(cb.code))
+	}
+	if mul != 0 {
+		t.Fatalf("affine subscripts must strength-reduce, found %d general int ops", mul)
+	}
+}
+
+// TestVMConstantFolding: const subexpressions collapse into pinned
+// registers — no arithmetic instructions — while still charging the
+// walker's flops (checked by the differential tests; here we check the
+// instruction stream shape).
+func TestVMConstantFolding(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+const n = 16;
+      w = 4;
+var a : array[1..n] of real dist by [block] on Procs;
+    i : integer;
+begin
+  for i in 1..n do a[i] := 0.0; end;
+  forall i in 1..n on a[i].loc do
+    a[i] := 1.0 / float(w * 2);
+  end;
+end.
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := prog.elaborate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := el.compiled[findForall(prog.file.Main, 0)]
+	if cb == nil {
+		t.Fatal("forall not compiled")
+	}
+	for _, ins := range cb.code {
+		switch ins.op {
+		case opDivF, opMulI, opIntToF:
+			t.Fatalf("constant expression 1.0/float(w*2) must fold, found %v", ins.op)
+		}
+	}
+	// The folded flops (mul, float, div) must still be charged.
+	flops := int32(0)
+	for _, ins := range cb.code {
+		if ins.op == opFlops {
+			flops += ins.a
+		}
+	}
+	if flops != 3 {
+		t.Fatalf("folded body must charge 3 flops (mul, float, div), charges %d", flops)
+	}
+}
+
+// TestVMScalarRebinding: a global scalar read inside a forall is
+// re-bound at every launch — a second execution after the scalar
+// changes must see the new value.
+func TestVMScalarRebinding(t *testing.T) {
+	src := `
+processors Procs : array[1..P] with P in 1..4;
+const n = 16;
+var a : array[1..n] of real dist by [block] on Procs;
+    scale : real;
+    i, rep : integer;
+begin
+  for i in 1..n do a[i] := 1.0; end;
+  for rep in 1..3 do
+    scale := float(rep) * 10.0;
+    forall i in 1..n on a[i].loc do
+      a[i] := a[i] + scale;
+    end;
+  end;
+end.
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(core.Config{P: 2, Params: machine.Ideal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 10 + 20 + 30 = 61 everywhere.
+	for i, v := range res.Arrays["a"] {
+		if v != 61.0 {
+			t.Fatalf("a[%d] = %g, want 61 (scalar not re-bound per launch)", i+1, v)
+		}
+	}
+}

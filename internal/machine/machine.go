@@ -68,6 +68,7 @@ func NewWith(p int, params Params, tr Transport) (*Machine, error) {
 		return nil, fmt.Errorf("machine: need at least one node, got %d", p)
 	}
 	m := &Machine{params: params, p: p, tr: tr}
+	ca, _ := tr.(ClockAddr)
 	m.nodes = make([]*Node, p)
 	for i := 0; i < p; i++ {
 		m.nodes[i] = &Node{
@@ -75,6 +76,9 @@ func NewWith(p int, params Params, tr Transport) (*Machine, error) {
 			m:       m,
 			virtual: tr.Virtual(),
 			phases:  map[string]float64{},
+		}
+		if ca != nil && tr.Virtual() {
+			m.nodes[i].clock = ca.ClockAddr(i)
 		}
 	}
 	return m, nil
@@ -252,6 +256,11 @@ type Node struct {
 	id      int
 	m       *Machine
 	virtual bool // cached Transport.Virtual: skip cost arithmetic on real backends
+	// clock, when non-nil, addresses this node's virtual-clock
+	// accumulator directly (Transport implements ClockAddr), so the
+	// per-operator charges on the body hot path skip the interface
+	// dispatch.  The arithmetic is the same either way.
+	clock *float64
 
 	phases     map[string]float64
 	phaseStack []phaseFrame
@@ -286,6 +295,16 @@ func (n *Node) Advance(seconds float64) {
 	if seconds < 0 {
 		panic("machine: negative time advance")
 	}
+	n.advance(seconds)
+}
+
+// advance adds modeled seconds through the direct clock pointer when
+// the transport exposes one, else through the Transport interface.
+func (n *Node) advance(seconds float64) {
+	if n.clock != nil {
+		*n.clock += seconds
+		return
+	}
 	n.m.tr.Advance(n.id, seconds)
 }
 
@@ -299,13 +318,67 @@ func (n *Node) Charge(c Cost) {
 		return
 	}
 	p := &n.m.params
-	n.m.tr.Advance(n.id, float64(c.Flops)*p.Flop+
-		float64(c.MemRefs)*p.MemRef+
-		float64(c.LoopIters)*p.LoopIter+
-		float64(c.Calls)*p.Call+
-		float64(c.RefChecks)*p.RefCheck+
-		float64(c.LocTests)*p.LocTest+
+	n.advance(float64(c.Flops)*p.Flop +
+		float64(c.MemRefs)*p.MemRef +
+		float64(c.LoopIters)*p.LoopIter +
+		float64(c.Calls)*p.Call +
+		float64(c.RefChecks)*p.RefCheck +
+		float64(c.LocTests)*p.LocTest +
 		float64(c.ListInserts)*p.ListInsert)
+}
+
+// The single-category fast charges below are bit-identical to the
+// general Charge with the same counts — in Charge's sum every other
+// term contributes exactly +0.0, which never changes the value of a
+// non-negative cost — but skip the six dead multiplies.  They exist
+// for the per-element body path (one charge per operator and per
+// reference), where Charge itself showed up in profiles.
+
+// ChargeFlops charges k flops as one advance of k*Flop seconds,
+// exactly like Charge(Cost{Flops: k}).
+func (n *Node) ChargeFlops(k int) {
+	n.stats.FlopCount += int64(k)
+	if n.virtual {
+		n.advance(float64(k) * n.m.params.Flop)
+	}
+}
+
+// ChargeFlopsUnit charges k single-flop operations as k separate unit
+// advances — bit-identical to k calls of Charge(Cost{Flops: 1}), NOT
+// to ChargeFlops(k): the clock is a float accumulator, so both the
+// unit size and the accumulation order are observable.  The bytecode
+// VM uses it to replay the tree-walker's per-operator charges.
+func (n *Node) ChargeFlopsUnit(k int) {
+	n.stats.FlopCount += int64(k)
+	if !n.virtual {
+		return
+	}
+	f := n.m.params.Flop
+	if c := n.clock; c != nil {
+		for i := 0; i < k; i++ {
+			*c += f
+		}
+		return
+	}
+	for i := 0; i < k; i++ {
+		n.m.tr.Advance(n.id, f)
+	}
+}
+
+// ChargeMemRefs charges k memory references, exactly like
+// Charge(Cost{MemRefs: k}).
+func (n *Node) ChargeMemRefs(k int) {
+	if n.virtual {
+		n.advance(float64(k) * n.m.params.MemRef)
+	}
+}
+
+// ChargeLocTest charges one locality test, exactly like
+// Charge(Cost{LocTests: 1}).
+func (n *Node) ChargeLocTest() {
+	if n.virtual {
+		n.advance(n.m.params.LocTest)
+	}
 }
 
 // Cost is a bundle of primitive-operation counts for Charge.
@@ -331,7 +404,7 @@ func (n *Node) ChargeSearch(r int) {
 	for (1 << uint(probes)) <= r {
 		probes++
 	}
-	n.m.tr.Advance(n.id, p.SearchBase+float64(probes)*p.SearchProbe)
+	n.advance(p.SearchBase + float64(probes)*p.SearchProbe)
 }
 
 // Send transmits payload to node `to`.  nbytes is the wire size used

@@ -88,6 +88,11 @@ func (t *transport) MaxElapsed() float64 {
 
 func (t *transport) Advance(me int, seconds float64) { t.clocks[me] += seconds }
 
+// ClockAddr exposes node me's clock accumulator for the Machine's
+// direct-charge fast path (machine.ClockAddr); Reset zeroes the
+// slice in place, so the address stays valid for the machine's life.
+func (t *transport) ClockAddr(me int) *float64 { return &t.clocks[me] }
+
 // hops returns the link distance between two nodes.
 func (t *transport) hops(p, q int) int {
 	if p == q {

@@ -73,3 +73,13 @@ type Transport interface {
 	// queues drained.
 	Reset()
 }
+
+// ClockAddr is an optional Transport extension for virtual-time
+// backends whose per-node clock is a plain float64 accumulator: it
+// exposes the accumulator's address so the Machine can apply
+// per-operator charges without an interface call per advance.  The
+// pointer must stay valid across Reset (Reset may zero the value, not
+// replace the storage).
+type ClockAddr interface {
+	ClockAddr(me int) *float64
+}
