@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	kalirun [-machine ncube|ipsc|ideal] [-backend sim|wall] [-p N] [-print name,...] [-stats] prog.kali
+//	kalirun [-machine ncube|ipsc|ideal] [-backend sim|wall] [-p N] [-overlap on|off] [-print name,...] [-stats] prog.kali
 //
 // -backend sim (default) runs on the virtual-clock simulator: times
 // are deterministic cost-model predictions for the chosen -machine.
 // -backend wall runs the same compiled schedules on real OS threads
 // with shared-memory message queues: times are measured wall-clock
 // seconds (and -machine only labels the report).
+//
+// -overlap on (default) executes foralls split-phase: sends are
+// posted nonblocking before the interior iterations, and the boundary
+// pass drains receives as they complete, so communication overlaps
+// computation.  -overlap off restores the paper's phase-synchronous
+// executor — same messages, same results, more critical-path time.
 //
 // The program's processors declaration (the "real estate agent") may
 // choose fewer processors than -p provides.  After execution the
@@ -37,6 +43,7 @@ func main() {
 	printArrays := flag.String("print", "", "comma-separated array/scalar names to print")
 	stats := flag.Bool("stats", false, "print the traffic breakdown (forall vs redistribution)")
 	noVM := flag.Bool("novm", false, "run forall bodies on the tree-walking interpreter instead of the bytecode VM")
+	overlap := flag.String("overlap", "on", "communication/computation overlap: on (split-phase executors) or off (phase-synchronous)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -59,6 +66,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kalirun: unknown backend %q (want sim or wall)\n", *backend)
 		os.Exit(2)
 	}
+	switch *overlap {
+	case "on", "off":
+	default:
+		fmt.Fprintf(os.Stderr, "kalirun: unknown -overlap %q (want on or off)\n", *overlap)
+		os.Exit(2)
+	}
 
 	prog, err := lang.Compile(string(src))
 	if err != nil {
@@ -66,7 +79,7 @@ func main() {
 		os.Exit(1)
 	}
 	prog.NoVM = *noVM
-	res, err := prog.Run(core.Config{P: *procs, Params: params, Backend: *backend})
+	res, err := prog.Run(core.Config{P: *procs, Params: params, Backend: *backend, NoOverlap: *overlap == "off"})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kalirun:", err)
 		os.Exit(1)

@@ -95,6 +95,7 @@ var Registry = map[string]Generator{
 	"granularity":  Granularity,
 	"backend":      Backend,
 	"langvm":       LangVM,
+	"overlap":      Overlap,
 }
 
 // Order lists the experiments in presentation order.
@@ -102,7 +103,7 @@ var Order = []string{
 	"fig7", "fig8", "fig9", "fig10",
 	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "ctvsrt2d",
 	"distchoice", "enumeration", "enumerate2d", "commvec", "redist", "granularity",
-	"backend", "langvm",
+	"backend", "langvm", "overlap",
 }
 
 const sweeps = 100

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+
+	"kali/internal/analysis"
+	"kali/internal/core"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/forall"
+	"kali/internal/machine"
+	"kali/internal/machine/sim"
+	"kali/internal/machine/wallclock"
+	"kali/internal/mg"
+	"kali/internal/topology"
+)
+
+// Overlap measures the split-phase executors: the same cached
+// schedules replayed with communication/computation overlap (ISend
+// posts before the interior sweep, completion-order drain before the
+// boundary) against the phase-synchronous oracle (-overlap=off), on
+// both backends.  Workloads: the 2-D five-point jacobi (compile-time
+// schedules, four-neighbor boundary traffic), an ADI cycle whose
+// row/column smooths couple across the distributed dimension between
+// [block,*]↔[*,block] transposes, and the multigrid V-cycle (a stack
+// of small boundary exchanges on every level).
+//
+// The sim columns are deterministic cost-model predictions and stay
+// under the CI gate; the "sim time pct" column is the overlap win
+// expressed gate-compatibly (overlap time as a percentage of
+// phase-sync time, < 100 when overlap pays; growth past baseline means
+// the overlap stopped paying and fails -diff — CI re-checks this table
+// at a tight tolerance, which the sim columns' determinism makes
+// safe).  Wall columns are measured and excluded as
+// in the backend table.  The traffic is identical in all cells of a
+// workload — overlap moves messages off the critical path, it never
+// adds or removes any — so msgs/rep is reported once, from the
+// overlapped sim run, like allocs/replay (0 = replay stays
+// allocation-free with the drain's preallocated pending slots).
+func Overlap(opt Options) *Table {
+	jacobiN, adiN, mgDepth := 96, 128, 9
+	p := 8
+	const reps = 200
+	if opt.Quick {
+		jacobiN, adiN, mgDepth = 48, 48, 6
+		p = 4
+	}
+	t := &Table{
+		ID:    "overlap",
+		Title: "split-phase executors: communication/computation overlap vs phase-sync",
+		Header: []string{"workload", "threads",
+			"sim time/rep (sync)", "sim time/rep (overlap)", "sim time pct (overlap/sync)",
+			"wall ms/rep (sync)", "wall ms/rep (overlap)",
+			"msgs/rep", "allocs/replay"},
+		Notes: []string{
+			fmt.Sprintf("NCUBE/7 sim vs measured wall; jacobi2d %dx%d, adi %dx%d with transpose ping-pong, multigrid depth %d; %d replays",
+				jacobiN, jacobiN, adiN, adiN, mgDepth, reps),
+		},
+	}
+	for _, w := range []struct {
+		name    string
+		program func(noOverlap bool) backendProgram
+	}{
+		{"jacobi2d", func(noOv bool) backendProgram { return jacobi2DProgram(jacobiN, p, noOv) }},
+		{"adi", func(noOv bool) backendProgram { return adiOverlapProgram(adiN, p, noOv) }},
+		{"mg", func(noOv bool) backendProgram { return mgProgram(mgDepth, p, noOv) }},
+	} {
+		simSync := backendRun(sim.MustNew(p, machine.NCUBE7()), p, reps, w.program(true))
+		simOver := backendRun(sim.MustNew(p, machine.NCUBE7()), p, reps, w.program(false))
+		wallSync := backendRun(wallclock.MustNew(p, machine.NCUBE7()), p, reps, w.program(true))
+		wallOver := backendRun(wallclock.MustNew(p, machine.NCUBE7()), p, reps, w.program(false))
+		pct := 100.0
+		if simSync.secPerRep > 0 {
+			pct = 100 * simOver.secPerRep / simSync.secPerRep
+		}
+		t.Rows = append(t.Rows, []string{
+			w.name, fmt.Sprint(p),
+			fmt.Sprintf("%.6f", simSync.secPerRep),
+			fmt.Sprintf("%.6f", simOver.secPerRep),
+			fmt.Sprintf("%.2f", pct),
+			fmt.Sprintf("%.3f", wallSync.secPerRep*1e3),
+			fmt.Sprintf("%.3f", wallOver.secPerRep*1e3),
+			fmt.Sprintf("%.1f", simOver.msgsPerRep),
+			fmt.Sprintf("%.1f", simOver.allocsPerRep),
+		})
+	}
+	return t
+}
+
+// jacobi2DProgram replays the shared five-point stencil Loop2 on an
+// n×n [block,block] array: compile-time schedules, one coalesced
+// boundary message to each of up to four neighbors per rep.
+func jacobi2DProgram(n, p int, noOverlap bool) backendProgram {
+	pr, pc := grid2(p)
+	return func(nd *machine.Node) func() {
+		g := topology.MustGrid(pr, pc)
+		d := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.BlockDim()}, g)
+		a, old := darray.New("o2a", d, nd), darray.New("o2b", d, nd)
+		a.EachLocal(func(gl int) { a.SetLinear(gl, float64(gl%17)) })
+		old.EachLocal(func(gl int) { old.SetLinear(gl, float64(gl%13)) })
+		eng := forall.NewEngine(nd)
+		eng.NoOverlap = noOverlap
+		loop := Relax2DLoop(a, old, n)
+		return func() { eng.Run2(loop) }
+	}
+}
+
+// grid2 factors p into the most-square pr×pc processor grid.
+func grid2(p int) (int, int) {
+	pr := 1
+	for f := 2; p > 1; {
+		if p%f == 0 {
+			pr *= f
+			p /= f
+			f = 2
+			if pr >= p {
+				break
+			}
+			continue
+		}
+		f++
+	}
+	return pr, p
+}
+
+// adiOverlapProgram is one ADI cycle with cross-row coupling: a smooth
+// reading the neighboring rows under [block,*] (inspector schedule,
+// overlappable boundary traffic), a transpose to [*,block], the same
+// smooth along the other axis, and the transpose back.  Redistribution
+// itself stays phase-synchronous — the contrast isolates what overlap
+// buys the foralls of an otherwise redistribution-bound cycle.
+func adiOverlapProgram(n, p int, noOverlap bool) backendProgram {
+	return func(nd *machine.Node) func() {
+		g := topology.MustGrid(p)
+		rows := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
+		cols := dist.Must([]int{n, n}, []dist.DimSpec{dist.CollapsedDim(), dist.BlockDim()}, g)
+		u := darray.New("oau", rows, nd)
+		v := darray.New("oav", rows, nd)
+		line := darray.New("oaline", dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g), nd)
+		u.EachLocal(func(gl int) { u.SetLinear(gl, float64(gl%11)) })
+		v.EachLocal(func(gl int) { v.SetLinear(gl, 0) })
+		eng := forall.NewEngine(nd)
+		eng.NoOverlap = noOverlap
+		// Unlike the pure ADI transpose (where each phase is fully
+		// local), both smooths here read ±1 across the distributed
+		// dimension, so every sweep has boundary traffic to overlap.
+		rowSweep := &forall.Loop{
+			Name: "oa.row", Lo: 2, Hi: n - 1,
+			On: line, OnF: analysis.Identity,
+			Reads: []forall.ReadSpec{{Array: u}}, // rows i±1: decided at run time
+			Body: func(i int, e *forall.Env) {
+				for j := 1; j <= n; j++ {
+					x := 0.25*e.ReadAt(u, i-1, j) + 0.5*e.ReadAt(u, i, j) + 0.25*e.ReadAt(u, i+1, j)
+					e.Flops(5)
+					e.WriteAt(v, x, i, j)
+				}
+			},
+		}
+		colSweep := &forall.Loop{
+			Name: "oa.col", Lo: 2, Hi: n - 1,
+			On: line, OnF: analysis.Identity,
+			Reads: []forall.ReadSpec{{Array: u}}, // columns j±1: decided at run time
+			Body: func(j int, e *forall.Env) {
+				for i := 1; i <= n; i++ {
+					x := 0.25*e.ReadAt(u, i, j-1) + 0.5*e.ReadAt(u, i, j) + 0.25*e.ReadAt(u, i, j+1)
+					e.Flops(5)
+					e.WriteAt(v, x, i, j)
+				}
+			},
+		}
+		return func() {
+			eng.Run(rowSweep)
+			darray.Redistribute(u, cols)
+			darray.Redistribute(v, cols)
+			eng.Run(colSweep)
+			darray.Redistribute(u, rows)
+			darray.Redistribute(v, rows)
+		}
+	}
+}
+
+// mgProgram replays one multigrid V-cycle: every level smooths,
+// restricts and prolongs through 1-D block arrays whose ±1 boundary
+// exchanges are all compile-time schedules — many small messages whose
+// startup-dominated wire time the split-phase executor hides.
+func mgProgram(depth, p int, noOverlap bool) backendProgram {
+	return func(nd *machine.Node) func() {
+		eng := forall.NewEngine(nd)
+		eng.NoOverlap = noOverlap
+		ctx := &core.Context{Node: nd, Eng: eng, Grid: topology.MustGrid(p)}
+		s := mg.New(ctx, depth)
+		s.SetRHS(func(x float64) float64 { return x * (1 - x) })
+		return func() { s.VCycle() }
+	}
+}

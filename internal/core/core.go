@@ -38,6 +38,12 @@ type Config struct {
 	// virtual-clock simulator, deterministic predicted times) or
 	// "wall" (real threads and shared-memory queues, measured times).
 	Backend string
+	// NoOverlap runs the phase-synchronous executors (blocking sends,
+	// fixed-order drains) instead of the default split-phase overlap
+	// execution; `kalirun -overlap=off` sets it.  The escape hatch and
+	// the differential oracle: results and message counts are identical
+	// either way.
+	NoOverlap bool
 }
 
 // NewMachine builds the machine cfg describes, choosing the backend
@@ -176,19 +182,26 @@ func Run(cfg Config, prog func(ctx *Context)) Report {
 	if err != nil {
 		panic(err)
 	}
-	return RunOn(m, prog)
+	return runOn(m, cfg.NoOverlap, prog)
 }
 
 // RunOn executes prog on an existing machine (reset first), allowing
-// reuse across experiments.
+// reuse across experiments.  Engines run with default options (overlap
+// on); use Run with a Config to ablate.
 func RunOn(m *machine.Machine, prog func(ctx *Context)) Report {
+	return runOn(m, false, prog)
+}
+
+func runOn(m *machine.Machine, noOverlap bool, prog func(ctx *Context)) Report {
 	m.Reset()
 	grid := topology.MustGrid(m.P())
 	engines := make([]*forall.Engine, m.P())
 	m.Run(func(n *machine.Node) {
+		eng := forall.NewEngine(n)
+		eng.NoOverlap = noOverlap
 		ctx := &Context{
 			Node: n,
-			Eng:  forall.NewEngine(n),
+			Eng:  eng,
 			Grid: grid,
 		}
 		engines[n.ID()] = ctx.Eng

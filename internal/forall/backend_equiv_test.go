@@ -26,6 +26,7 @@ type equivCase struct {
 	spec      dist.DimSpec
 	affine    bool // affine read (else indirect via permutation)
 	offset    int  // affine read offset
+	onOff     int  // affine on-clause offset: iteration i on b[i+onOff]'s owner
 	perm      []int
 	force     bool // ForceInspector
 	enumerate bool
@@ -50,6 +51,9 @@ func drawCase(r *rand.Rand) equivCase {
 	}
 	if c.affine {
 		c.offset = []int{-2, -1, 1, 2}[r.Intn(4)]
+		// Random on-clause: strided placement stays owner-correct because
+		// the body writes b[i+onOff], the element the placement names.
+		c.onOff = []int{-1, 0, 0, 1}[r.Intn(4)]
 	} else {
 		c.perm = make([]int, c.n)
 		for i := range c.perm {
@@ -61,10 +65,20 @@ func drawCase(r *rand.Rand) equivCase {
 	return c
 }
 
-// runEquivCase executes the case's program on the given machine and
-// returns the final gathered contents of the output array plus the
-// machine-wide message totals.
-func runEquivCase(c equivCase, m *machine.Machine) ([]float64, machine.Stats) {
+// equivExec selects one executor variant for a case: the schedule path
+// (compile-time unless forced/enumerated) and the execution discipline
+// (split-phase overlap by default, phase-synchronous with noOverlap).
+type equivExec struct {
+	force     bool
+	enumerate bool
+	noOverlap bool
+}
+
+// runEquivCase executes the case's program on the given machine with
+// the given executor variant and returns the final gathered contents
+// of the output array, the machine-wide message totals, and the
+// machine's elapsed clock (virtual seconds on sim).
+func runEquivCase(c equivCase, m *machine.Machine, ex equivExec) ([]float64, machine.Stats, float64) {
 	g := topology.MustGrid(m.P())
 	d := dist.Must([]int{c.n}, []dist.DimSpec{c.spec}, g)
 	result := make([]float64, c.n+1)
@@ -75,22 +89,31 @@ func runEquivCase(c equivCase, m *machine.Machine) ([]float64, machine.Stats) {
 		a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)*1.5) })
 		b.EachLocal(func(gl int) { b.Set1(gl, 0) })
 		eng := NewEngine(nd)
-		eng.ForceInspector = c.force
+		eng.ForceInspector = ex.force
+		eng.NoOverlap = ex.noOverlap
 
 		var loop *Loop
 		if c.affine {
+			// Bounds keep both the read subscript i+offset and the
+			// placement/write subscript i+onOff inside [1, n].
 			lo, hi := 1, c.n
 			if c.offset > 0 {
 				hi = c.n - c.offset
 			} else {
 				lo = 1 - c.offset
 			}
+			if c.onOff > 0 && c.n-c.onOff < hi {
+				hi = c.n - c.onOff
+			}
+			if c.onOff < 0 && 1-c.onOff > lo {
+				lo = 1 - c.onOff
+			}
 			loop = &Loop{
 				Name: "equiv", Lo: lo, Hi: hi,
-				On: b, OnF: analysis.Identity,
+				On: b, OnF: analysis.Affine{A: 1, C: c.onOff},
 				Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: c.offset}}},
 				Body: func(i int, e *Env) {
-					e.Write(b, i, e.Read(a, i+c.offset)+float64(i))
+					e.Write(b, i+c.onOff, e.Read(a, i+c.offset)+float64(i))
 				},
 			}
 		} else {
@@ -103,7 +126,7 @@ func runEquivCase(c equivCase, m *machine.Machine) ([]float64, machine.Stats) {
 				On: b, OnF: analysis.Identity,
 				Reads:     []ReadSpec{{Array: a}}, // indirect
 				DependsOn: []Dep{ip},
-				Enumerate: c.enumerate,
+				Enumerate: ex.enumerate,
 				Body: func(i int, e *Env) {
 					j := e.ReadInt(ip, i)
 					e.Write(b, i, e.Read(a, j)+float64(i))
@@ -117,7 +140,7 @@ func runEquivCase(c equivCase, m *machine.Machine) ([]float64, machine.Stats) {
 		b.EachLocal(func(gl int) { result[gl] = b.Get1(gl) })
 		mu.Unlock()
 	})
-	return result, m.TotalStats()
+	return result, m.TotalStats(), m.MaxClock()
 }
 
 func TestBackendEquivalenceProperty(t *testing.T) {
@@ -127,8 +150,9 @@ func TestBackendEquivalenceProperty(t *testing.T) {
 		simM := sim.MustNew(c.p, machine.Ideal())
 		wallM := wallclock.MustNew(c.p, machine.Ideal())
 
-		simVals, simStats := runEquivCase(c, simM)
-		wallVals, wallStats := runEquivCase(c, wallM)
+		ex := equivExec{force: c.force, enumerate: c.enumerate}
+		simVals, simStats, _ := runEquivCase(c, simM, ex)
+		wallVals, wallStats, _ := runEquivCase(c, wallM, ex)
 
 		for i := range simVals {
 			if simVals[i] != wallVals[i] {
@@ -144,6 +168,157 @@ func TestBackendEquivalenceProperty(t *testing.T) {
 			t.Fatalf("trial %d: receives differ: sim %d, wall %d",
 				trial, simStats.MsgsReceived, wallStats.MsgsReceived)
 		}
+	}
+}
+
+// TestOverlapExecutorBackendMatrix is the full equivalence matrix:
+// {overlap, phase-sync} × {sim, wall} × {compile-time, inspector,
+// enumerate} over random distributions, reads and on-clauses.  All
+// four backend/overlap combinations of one executor kind must produce
+// bit-identical array contents and identical machine-wide Stats
+// (overlap moves traffic off the critical path; it never changes the
+// traffic), and the simulated clock with overlap may only shrink
+// relative to phase-sync, never grow.
+func TestOverlapExecutorBackendMatrix(t *testing.T) {
+	type kind struct {
+		name      string
+		force     bool
+		enumerate bool
+	}
+	r := rand.New(rand.NewSource(8816))
+	for trial := 0; trial < 15; trial++ {
+		c := drawCase(r)
+		var kinds []kind
+		if c.affine {
+			kinds = []kind{{"compile-time", false, false}, {"inspector", true, false}}
+		} else {
+			kinds = []kind{{"inspector", false, false}, {"enumerate", false, true}}
+		}
+		for _, k := range kinds {
+			var refVals []float64
+			var refStats machine.Stats
+			var simClock [2]float64 // indexed by noOverlap
+			first := true
+			for _, backend := range []string{"sim", "wall"} {
+				for _, noOv := range []bool{false, true} {
+					var m *machine.Machine
+					if backend == "sim" {
+						m = sim.MustNew(c.p, machine.Ideal())
+					} else {
+						m = wallclock.MustNew(c.p, machine.Ideal())
+					}
+					ex := equivExec{force: k.force, enumerate: k.enumerate, noOverlap: noOv}
+					vals, stats, clock := runEquivCase(c, m, ex)
+					if backend == "sim" {
+						if noOv {
+							simClock[1] = clock
+						} else {
+							simClock[0] = clock
+						}
+					}
+					if first {
+						refVals, refStats, first = vals, stats, false
+						continue
+					}
+					for i := range vals {
+						if vals[i] != refVals[i] {
+							t.Fatalf("trial %d %s %s overlap=%v (%+v): element %d differs: %v vs %v",
+								trial, k.name, backend, !noOv, c, i, vals[i], refVals[i])
+						}
+					}
+					if stats != refStats {
+						t.Fatalf("trial %d %s %s overlap=%v (%+v): stats differ: %+v vs %+v",
+							trial, k.name, backend, !noOv, c, stats, refStats)
+					}
+				}
+			}
+			if simClock[0] > simClock[1] {
+				t.Fatalf("trial %d %s (%+v): overlap grew the simulated clock: %.9g > %.9g",
+					trial, k.name, c, simClock[0], simClock[1])
+			}
+		}
+	}
+}
+
+// TestOverlapEquivalenceRedistribution runs a redistribute ping-pong
+// with foralls between the remaps through the same matrix: overlap ×
+// backend must leave values and Stats identical (redistribution itself
+// stays on blocking sends), and overlap may only shrink sim clocks.
+func TestOverlapEquivalenceRedistribution(t *testing.T) {
+	const n, p = 48, 4
+	run := func(m *machine.Machine, noOverlap bool) ([]float64, machine.Stats, float64) {
+		g := topology.MustGrid(p)
+		db := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+		dc := dist.Must([]int{n}, []dist.DimSpec{dist.CyclicDim()}, g)
+		result := make([]float64, 2*n)
+		var mu sync.Mutex
+		m.Run(func(nd *machine.Node) {
+			a := darray.New("A", db, nd)
+			b := darray.New("B", db, nd)
+			a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)*1.25) })
+			b.EachLocal(func(gl int) { b.Set1(gl, 0) })
+			eng := NewEngine(nd)
+			eng.NoOverlap = noOverlap
+			fwd := &Loop{
+				Name: "rd.fwd", Lo: 1, Hi: n - 1,
+				On: b, OnF: analysis.Identity,
+				Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: 1}}},
+				Body: func(i int, e *Env) {
+					e.Write(b, i, e.Read(a, i+1)+float64(i))
+				},
+			}
+			bwd := &Loop{
+				Name: "rd.bwd", Lo: 2, Hi: n,
+				On: a, OnF: analysis.Identity,
+				Reads: []ReadSpec{{Array: b, Affine: &analysis.Affine{A: 1, C: -1}}},
+				Body: func(i int, e *Env) {
+					e.Write(a, i, e.Read(b, i-1)*0.5)
+				},
+			}
+			for round := 0; round < 3; round++ {
+				eng.Run(fwd)
+				darray.Redistribute(a, dc)
+				darray.Redistribute(b, dc)
+				eng.Run(bwd)
+				darray.Redistribute(a, db)
+				darray.Redistribute(b, db)
+			}
+			mu.Lock()
+			a.EachLocal(func(gl int) { result[gl-1] = a.Get1(gl) })
+			b.EachLocal(func(gl int) { result[n+gl-1] = b.Get1(gl) })
+			mu.Unlock()
+		})
+		return result, m.TotalStats(), m.MaxClock()
+	}
+
+	refVals, refStats, _ := run(sim.MustNew(p, machine.Ideal()), false)
+	_, _, simSync := run(sim.MustNew(p, machine.Ideal()), true)
+	simOverlap := 0.0
+	for _, backend := range []string{"sim", "wall"} {
+		for _, noOv := range []bool{false, true} {
+			var m *machine.Machine
+			if backend == "sim" {
+				m = sim.MustNew(p, machine.Ideal())
+			} else {
+				m = wallclock.MustNew(p, machine.Ideal())
+			}
+			vals, stats, clock := run(m, noOv)
+			if backend == "sim" && !noOv {
+				simOverlap = clock
+			}
+			for i := range vals {
+				if vals[i] != refVals[i] {
+					t.Fatalf("%s overlap=%v: element %d differs: %v vs %v",
+						backend, !noOv, i, vals[i], refVals[i])
+				}
+			}
+			if stats != refStats {
+				t.Fatalf("%s overlap=%v: stats differ: %+v vs %+v", backend, !noOv, stats, refStats)
+			}
+		}
+	}
+	if simOverlap > simSync {
+		t.Fatalf("overlap grew the simulated clock: %.9g > %.9g", simOverlap, simSync)
 	}
 }
 

@@ -166,6 +166,22 @@ func finalizePeers(s *Schedule) {
 	}
 	s.sendTo = peersOf(sendAll)
 	s.recvFrom = peersOf(recvAll)
+
+	// Preallocate the split-phase drain's pending-receive slots (both
+	// message layouts — which one runs is an executor-time choice), so
+	// overlap replay allocates nothing.
+	s.recvReqs = make([]machine.Request, len(s.recvFrom))
+	s.recvDone = make([]bool, len(s.recvFrom))
+	for i, pc := range s.recvFrom {
+		s.recvReqs[i] = machine.Request{From: pc.q, Tag: machine.TagData}
+	}
+	for k, as := range s.arrays {
+		for _, pc := range as.inPeers {
+			s.ncRecv = append(s.ncRecv, slotPeer{slot: k, pc: pc})
+			s.ncReqs = append(s.ncReqs, machine.Request{From: pc.q, Tag: tagFor(k)})
+		}
+	}
+	s.ncDone = make([]bool, len(s.ncReqs))
 }
 
 func peersOf(byQ map[int]int) []peerCount {
@@ -384,88 +400,33 @@ func (e *Engine) exchange(parcels []crystal.Parcel) []crystal.Parcel {
 // warmed communication pattern replays without allocating.
 var payloadPool comm.BufPool
 
-// execute runs the paper's Figure 3 pipeline with a prepared schedule,
-// for loops of either rank.  The schedule is structural; the loop's
-// own arrays are bound to its slots here, in the same first-appearance
-// order assembleArrays used, so a shared schedule executes correctly
-// against whichever loop adopted it.  On the cached-replay path this
-// function allocates nothing: the Env, write log, peer lists, receive
-// buffers and message payloads are all reused.
+// execute runs the split-phase form of the paper's Figure 3 pipeline
+// with a prepared schedule, for loops of either rank: post sends →
+// compute interior (execLocal) → drain receives → compute boundary
+// (execNonlocal).  By default sends are nonblocking and the drain
+// completes peers as their messages arrive, so communication overlaps
+// the interior compute; with Engine.NoOverlap the same traffic moves
+// through blocking sends and a fixed-order drain — the paper's
+// phase-synchronous executor, kept as the differential oracle.  The
+// schedule is structural; the loop's own arrays are bound to its slots
+// here, in the same first-appearance order assembleArrays used, so a
+// shared schedule executes correctly against whichever loop adopted
+// it.  On the cached-replay path this function allocates nothing: the
+// Env, write log, peer lists, pending-receive slots, receive buffers
+// and message payloads are all reused.
 func (e *Engine) execute(c *loopCore, s *Schedule, env *Env) {
 	env.reset(e, c, s, modeExecLocal)
 	bindArrays(env, c)
 
-	// Send messages to other processors: per-Range bulk copies from
-	// local storage into a pooled payload.  The per-byte message charge
-	// (paid at both ends by Send/Recv) covers the pack/unpack copies.
-	// By default all arrays' data for one destination travel in a
-	// single combined message (the paper's message-combining).
-	if e.NoCombine {
-		for k, as := range s.arrays {
-			arr := env.arrays[k]
-			for _, pc := range as.outPeers {
-				pb := payloadPool.Get(pc.n)
-				off := 0
-				for _, r := range as.out.RangesTo(pc.q) {
-					arr.CopyLinearRange(r.Low, r.High, pb.Vals[off:off+r.Len()])
-					off += r.Len()
-				}
-				e.node.Send(pc.q, tagFor(k), pb, 8*off)
-			}
-		}
-	} else {
-		for _, pc := range s.sendTo {
-			pb := payloadPool.Get(pc.n)
-			off := 0
-			for k, as := range s.arrays {
-				arr := env.arrays[k]
-				for _, r := range as.out.RangesTo(pc.q) {
-					arr.CopyLinearRange(r.Low, r.High, pb.Vals[off:off+r.Len()])
-					off += r.Len()
-				}
-			}
-			e.node.Send(pc.q, machine.TagData, pb, 8*off)
-		}
-	}
+	e.postSends(s, env)
 
-	// Do local iterations.
+	// Do local iterations (the interior — posted sends are in flight).
 	for _, it := range s.execLocal {
 		e.node.Charge(machine.Cost{LoopIters: 1})
 		c.run(it, env)
 	}
 
-	// Receive messages from other processors; each record lands in the
-	// slot's receive buffer with one bulk copy, and the payload goes
-	// back to the pool.
-	if e.NoCombine {
-		for k, as := range s.arrays {
-			for _, pc := range as.inPeers {
-				msg := e.node.Recv(pc.q, tagFor(k))
-				pb := msg.Payload.(*comm.Payload)
-				as.in.Unpack(pc.q, pb.Vals, as.buf)
-				payloadPool.Put(pb)
-			}
-		}
-	} else {
-		for _, pc := range s.recvFrom {
-			msg := e.node.Recv(pc.q, machine.TagData)
-			pb := msg.Payload.(*comm.Payload)
-			off := 0
-			for _, as := range s.arrays {
-				n := as.in.CountFrom(pc.q)
-				if n == 0 {
-					continue
-				}
-				as.in.Unpack(pc.q, pb.Vals[off:off+n], as.buf)
-				off += n
-			}
-			if off != len(pb.Vals) {
-				panic(fmt.Sprintf("forall %s: combined message from %d has %d values, schedules expect %d",
-					c.name, pc.q, len(pb.Vals), off))
-			}
-			payloadPool.Put(pb)
-		}
-	}
+	e.drainRecvs(c, s)
 
 	// Do nonlocal iterations.
 	env.mode = modeExecNonlocal
@@ -496,4 +457,117 @@ func (e *Engine) execute(c *loopCore, s *Schedule, env *Env) {
 // env.arrays' backing storage.
 func bindArrays(env *Env, c *loopCore) {
 	env.arrays = appendDistinct(env.arrays[:0], c.reads)
+}
+
+// postSends ships this node's out sets: per-Range bulk copies from
+// local storage into a pooled payload.  The per-byte message charge
+// (paid at both ends by Send/Recv) covers the pack/unpack copies.  By
+// default all arrays' data for one destination travel in a single
+// combined message (the paper's message-combining), posted with ISend
+// so the wire time overlaps the interior compute; NoOverlap uses
+// blocking Send, NoCombine one message per (array, destination).
+func (e *Engine) postSends(s *Schedule, env *Env) {
+	if e.NoCombine {
+		for k, as := range s.arrays {
+			arr := env.arrays[k]
+			for _, pc := range as.outPeers {
+				pb := payloadPool.Get(pc.n)
+				off := 0
+				for _, r := range as.out.RangesTo(pc.q) {
+					arr.CopyLinearRange(r.Low, r.High, pb.Vals[off:off+r.Len()])
+					off += r.Len()
+				}
+				if e.NoOverlap {
+					e.node.Send(pc.q, tagFor(k), pb, 8*off)
+				} else {
+					e.node.ISend(pc.q, tagFor(k), pb, 8*off)
+				}
+			}
+		}
+		return
+	}
+	for _, pc := range s.sendTo {
+		pb := payloadPool.Get(pc.n)
+		off := 0
+		for k, as := range s.arrays {
+			arr := env.arrays[k]
+			for _, r := range as.out.RangesTo(pc.q) {
+				arr.CopyLinearRange(r.Low, r.High, pb.Vals[off:off+r.Len()])
+				off += r.Len()
+			}
+		}
+		if e.NoOverlap {
+			e.node.Send(pc.q, machine.TagData, pb, 8*off)
+		} else {
+			e.node.ISend(pc.q, machine.TagData, pb, 8*off)
+		}
+	}
+}
+
+// drainRecvs completes this node's in sets before the boundary pass;
+// each record lands in the slot's receive buffer with one bulk copy,
+// and the payload goes back to the pool.  The overlap drain waits on
+// all pending peers at once (schedule-preallocated request slots) and
+// unpacks whichever message is available — senders write disjoint
+// buffer regions, so completion order cannot change results; NoOverlap
+// drains in fixed ascending-peer order, blocking per peer.
+func (e *Engine) drainRecvs(c *loopCore, s *Schedule) {
+	switch {
+	case e.NoCombine && e.NoOverlap:
+		for k, as := range s.arrays {
+			for _, pc := range as.inPeers {
+				msg := e.node.Recv(pc.q, tagFor(k))
+				pb := msg.Payload.(*comm.Payload)
+				as.in.Unpack(pc.q, pb.Vals, as.buf)
+				payloadPool.Put(pb)
+			}
+		}
+	case e.NoCombine:
+		for i := range s.ncDone {
+			s.ncDone[i] = false
+		}
+		for range s.ncRecv {
+			i, msg := e.node.WaitAny(s.ncReqs, s.ncDone)
+			s.ncDone[i] = true
+			sp := s.ncRecv[i]
+			as := s.arrays[sp.slot]
+			pb := msg.Payload.(*comm.Payload)
+			as.in.Unpack(sp.pc.q, pb.Vals, as.buf)
+			payloadPool.Put(pb)
+		}
+	case e.NoOverlap:
+		for _, pc := range s.recvFrom {
+			msg := e.node.Recv(pc.q, machine.TagData)
+			e.unpackCombined(c, s, pc.q, msg)
+		}
+	default:
+		for i := range s.recvDone {
+			s.recvDone[i] = false
+		}
+		for range s.recvFrom {
+			i, msg := e.node.WaitAny(s.recvReqs, s.recvDone)
+			s.recvDone[i] = true
+			e.unpackCombined(c, s, s.recvFrom[i].q, msg)
+		}
+	}
+}
+
+// unpackCombined scatters one combined message from peer q into every
+// slot's receive buffer.
+func (e *Engine) unpackCombined(c *loopCore, s *Schedule, q int, msg machine.Message) {
+	pb := msg.Payload.(*comm.Payload)
+	off := 0
+	for _, as := range s.arrays {
+		n := as.in.CountFrom(q)
+		if n == 0 {
+			continue
+		}
+		as.in.Unpack(q, pb.Vals[off:off+n], as.buf)
+		off += n
+	}
+	if off != len(pb.Vals) {
+		panic(fmt.Sprintf("forall %s: combined message from %d has %d values, schedules expect %d",
+			c.name, q, len(pb.Vals), off))
+	}
+	payloadPool.Put(pb)
 }

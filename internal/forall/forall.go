@@ -297,6 +297,14 @@ type enumRef struct {
 	Buf  int
 }
 
+// slotPeer is one (array slot, sending peer) pair of the NoCombine
+// receive schedule, flattened so the overlap drain can wait on all
+// slots' messages at once instead of slot by slot.
+type slotPeer struct {
+	slot int
+	pc   peerCount
+}
+
 // Schedule is the result of inspecting/analyzing one loop shape on one
 // node, for loops of any rank.  It is purely structural: iteration
 // lists, per-slot communication sets and buffers, but no binding to
@@ -315,6 +323,15 @@ type Schedule struct {
 	// allocating.
 	sendTo   []peerCount
 	recvFrom []peerCount
+	// Pending-receive slots for the split-phase drain, preallocated at
+	// build time so overlap replay stays zero-alloc: recvReqs/recvDone
+	// parallel recvFrom (combined messages), ncRecv/ncReqs/ncDone
+	// flatten every (slot, peer) of the NoCombine path.
+	recvReqs []machine.Request
+	recvDone []bool
+	ncRecv   []slotPeer
+	ncReqs   []machine.Request
+	ncDone   []bool
 	// enum[k] lists every resolved reference of nonlocal iteration
 	// execNonlocal[k], in body order — row-major for rank-2 loops
 	// (Loop.Enumerate / Loop2.Enumerate only).
@@ -450,6 +467,16 @@ type Engine struct {
 	// combine messages between the same two processors, thus saving on
 	// the number of messages").
 	NoCombine bool
+	// NoOverlap restores the phase-synchronous executor the paper
+	// describes literally: blocking sends whose wire time lands on the
+	// sender's critical path, and a fixed-order receive drain.  By
+	// default execution is split-phase — nonblocking sends posted
+	// before the interior compute, boundary receives drained after it —
+	// so communication overlaps the local iterations.  The traffic is
+	// identical either way (same messages, same counts, same
+	// contents); only its placement relative to compute changes, which
+	// makes this flag the differential oracle for the overlap path.
+	NoOverlap bool
 
 	lastKind   BuildKind
 	builds     int

@@ -259,8 +259,22 @@ func TestScheduleNoSharingForInspector(t *testing.T) {
 // TestReplayAllocationFree: once a loop's schedule is cached and the
 // payload pool is warm, replaying it — packing, sending, receiving,
 // unpacking, running the body, committing writes — performs zero heap
-// allocations across the whole machine.
+// allocations across the whole machine.  Run for both execution
+// disciplines: the phase-synchronous oracle here, the default
+// split-phase overlap in TestOverlapReplayAllocationFree (whose drain
+// uses the schedule's preallocated pending-receive slots).
 func TestReplayAllocationFree(t *testing.T) {
+	measureReplayMallocs(t, true)
+}
+
+// TestOverlapReplayAllocationFree pins the split-phase executor: warm
+// overlap replay — ISend posts, interior compute, WaitAny drain — is
+// still 0 allocs/replay machine-wide.
+func TestOverlapReplayAllocationFree(t *testing.T) {
+	measureReplayMallocs(t, false)
+}
+
+func measureReplayMallocs(t *testing.T, noOverlap bool) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
@@ -285,6 +299,7 @@ func TestReplayAllocationFree(t *testing.T) {
 			}
 		}
 		eng := NewEngine(nd)
+		eng.NoOverlap = noOverlap
 		loop := &Loop{
 			Name: "replay", Lo: 1, Hi: n - 1,
 			On: out, OnF: analysis.Identity,

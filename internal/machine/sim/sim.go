@@ -25,6 +25,7 @@ type transport struct {
 	cube   bool // node ids are hypercube addresses (P is a power of two)
 
 	clocks    []float64
+	nicFree   []float64 // per-node network-interface busy-until time (ISend wire serialization)
 	mailboxes []chan machine.Message
 	pending   [][]machine.Message // received but not yet matched, per node
 
@@ -43,6 +44,7 @@ func New(p int, params machine.Params) (*machine.Machine, error) {
 		p:         p,
 		cube:      p > 0 && p&(p-1) == 0,
 		clocks:    make([]float64, max(p, 0)),
+		nicFree:   make([]float64, max(p, 0)),
 		mailboxes: make([]chan machine.Message, max(p, 0)),
 		pending:   make([][]machine.Message, max(p, 0)),
 		barrier:   newBarrier(p),
@@ -106,11 +108,38 @@ func (t *transport) hops(p, q int) int {
 
 // Send charges the sender the startup plus copy cost and stamps the
 // message with its receiver-side arrival time: send completion plus
-// the per-hop network latency.
+// the per-hop network latency.  A blocking send drives the wire
+// itself, so the NIC timeline catches up to the clock — mixing Send
+// and ISend on one node stays coherent, and a run made only of
+// blocking sends is bit-identical to the pre-overlap model.
 func (t *transport) Send(me, to int, msg machine.Message) {
 	p := &t.params
 	t.clocks[me] += p.MsgStartup + float64(msg.Bytes)*p.MsgPerByte
+	t.nicFree[me] = t.clocks[me]
 	msg.ArriveAt = t.clocks[me] + float64(t.hops(me, to))*p.PerHop
+	t.mailboxes[to] <- msg
+}
+
+// ISend charges the sender only the send startup; the per-byte wire
+// time is serialized on the node's network interface, which runs
+// concurrently with whatever the node computes next.  The transfer
+// starts when both the startup is issued and the NIC is free, so
+// back-to-back ISends queue on the wire rather than magically
+// overlapping each other.  Every timestamp here is ≤ its blocking-Send
+// counterpart (startup-only charge ≤ full charge; nic start takes the
+// max of values that are each ≤ the blocking clock), and the receive
+// rules are monotone in ArriveAt, so overlap can only shrink simulated
+// clocks, never grow them.
+func (t *transport) ISend(me, to int, msg machine.Message) {
+	p := &t.params
+	t.clocks[me] += p.MsgStartup
+	start := t.clocks[me]
+	if t.nicFree[me] > start {
+		start = t.nicFree[me]
+	}
+	end := start + float64(msg.Bytes)*p.MsgPerByte
+	t.nicFree[me] = end
+	msg.ArriveAt = end + float64(t.hops(me, to))*p.PerHop
 	t.mailboxes[to] <- msg
 }
 
@@ -134,6 +163,20 @@ func (t *transport) Recv(me, from int, tag machine.Tag) machine.Message {
 		}
 		t.pending[me] = append(t.pending[me], msg)
 	}
+}
+
+// WaitAny completes the lowest-indexed outstanding request: virtual
+// clocks are shared mutable state, so the simulator consumes messages
+// in a fixed order regardless of which goroutine enqueued first —
+// identical drains to the phase-synchronous executor, hence identical
+// determinism guarantees.
+func (t *transport) WaitAny(me int, reqs []machine.Request, done []bool) (int, machine.Message) {
+	for i, r := range reqs {
+		if !done[i] {
+			return i, t.Recv(me, r.From, r.Tag)
+		}
+	}
+	panic("sim: WaitAny with no outstanding request")
 }
 
 // deliver applies clock rules for consuming one message.
@@ -196,6 +239,7 @@ func (t *transport) Poison() { t.barrier.poison() }
 func (t *transport) Reset() {
 	for i := range t.clocks {
 		t.clocks[i] = 0
+		t.nicFree[i] = 0
 		t.pending[i] = t.pending[i][:0]
 	drain:
 		for {

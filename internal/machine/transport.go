@@ -59,6 +59,24 @@ type Transport interface {
 	Send(me, to int, msg Message)
 	Recv(me, from int, tag Tag) Message
 
+	// ISend is the nonblocking Send behind split-phase executors: the
+	// transfer's wire time must not sit on the sender's critical path.
+	// The simulator charges the sender only the send startup and
+	// serializes the per-byte copy on the node's network interface,
+	// overlapping subsequent compute; real backends already enqueue
+	// without rendezvous, so ISend and Send coincide there.  Delivery
+	// order between one pair is still send order, and Send/ISend may be
+	// mixed on one stream.
+	ISend(me, to int, msg Message)
+
+	// WaitAny blocks until some request reqs[i] with !done[i] has a
+	// matching message available and returns (i, message); the caller
+	// marks done[i].  Virtual-time backends complete requests in slice
+	// order so clocks stay deterministic; wall-clock backends return
+	// whichever request physically completes first.  WaitAny must not
+	// allocate on the steady-state path.
+	WaitAny(me int, reqs []Request, done []bool) (int, Message)
+
 	// Barrier blocks until all nodes arrive.  AllReduce combines one
 	// value from every node ("sum", "max", "min", "and") and returns
 	// the result on every node.

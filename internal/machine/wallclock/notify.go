@@ -1,0 +1,64 @@
+package wallclock
+
+import "sync"
+
+// notify is one node's receive-side doorbell: a sequence number bumped
+// by every push toward the node, with a condition variable the node's
+// WaitAny sleeps on.  The snapshot/scan/wait(seq) protocol cannot lose
+// a wakeup — a push between the snapshot and the wait leaves seq ahead
+// of the snapshot, so wait returns immediately and the drain rescans.
+type notify struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	seq      uint64
+	poisoned bool
+}
+
+func (n *notify) init() { n.cond = sync.NewCond(&n.mu) }
+
+// bump records one new push toward this node and wakes its drain.
+func (n *notify) bump() {
+	n.mu.Lock()
+	n.seq++
+	n.cond.Signal()
+	n.mu.Unlock()
+}
+
+// snapshot returns the current sequence number (panicking if the
+// machine was poisoned, so a drain never spins on a dead run).
+func (n *notify) snapshot() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.poisoned {
+		panic("machine: queue poisoned by peer panic")
+	}
+	return n.seq
+}
+
+// wait blocks until the sequence number moves past seq or the machine
+// is poisoned (then it panics, releasing the drain to unwind).
+func (n *notify) wait(seq uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.seq == seq && !n.poisoned {
+		n.cond.Wait()
+	}
+	if n.poisoned {
+		panic("machine: queue poisoned by peer panic")
+	}
+}
+
+// poison releases all waiters; they panic on wake.
+func (n *notify) poison() {
+	n.mu.Lock()
+	n.poisoned = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+func (n *notify) reset() {
+	n.mu.Lock()
+	n.seq = 0
+	n.poisoned = false
+	n.mu.Unlock()
+}

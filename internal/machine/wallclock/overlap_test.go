@@ -1,0 +1,65 @@
+package wallclock
+
+import (
+	"testing"
+	"time"
+
+	"kali/internal/machine"
+)
+
+// TestWaitAnyCompletionOrder: the wall-clock drain must complete
+// whichever peer's message physically arrives first.  Node 1 only
+// sends after node 0 has consumed node 2's message, so a fixed-order
+// drain (receive from 1, then 2) would deadlock here; WaitAny
+// returning node 2's request first is what breaks the cycle.
+func TestWaitAnyCompletionOrder(t *testing.T) {
+	m := MustNew(3, machine.Ideal())
+	gate := make(chan struct{})
+	firstIdx := -1
+	m.Run(func(n *machine.Node) {
+		switch n.ID() {
+		case 0:
+			reqs := []machine.Request{
+				n.IRecv(1, machine.TagUser),
+				n.IRecv(2, machine.TagUser),
+			}
+			done := make([]bool, 2)
+			i, _ := n.WaitAny(reqs, done)
+			done[i] = true
+			firstIdx = i
+			close(gate) // node 2's message consumed; release node 1
+			n.WaitAny(reqs, done)
+		case 1:
+			<-gate
+			n.Send(0, machine.TagUser, nil, 8)
+		case 2:
+			n.Send(0, machine.TagUser, nil, 8)
+		}
+	})
+	if firstIdx != 1 {
+		t.Fatalf("first completed request %d, want 1 (node 2's message arrived first)", firstIdx)
+	}
+}
+
+// TestRecvFromEachOutOfOrderArrival: RecvFromEach consumes messages in
+// completion order on this backend, but its results stay indexed by
+// the froms slice regardless of arrival order.
+func TestRecvFromEachOutOfOrderArrival(t *testing.T) {
+	m := MustNew(4, machine.Ideal())
+	var got [3]int
+	m.Run(func(n *machine.Node) {
+		if n.ID() == 0 {
+			msgs := n.RecvFromEach(machine.TagUser, []int{1, 2, 3})
+			for i, msg := range msgs {
+				got[i] = msg.Payload.(int)
+			}
+			return
+		}
+		// Stagger sends in reverse node order: 3 first, 1 last.
+		time.Sleep(time.Duration(3-n.ID()) * 5 * time.Millisecond)
+		n.Send(0, machine.TagUser, 11*n.ID(), 8)
+	})
+	if got != [3]int{11, 22, 33} {
+		t.Fatalf("RecvFromEach results %v, want [11 22 33] (indexed by froms)", got)
+	}
+}

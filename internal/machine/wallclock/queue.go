@@ -45,25 +45,49 @@ func (q *queue) pop(tag machine.Tag) machine.Message {
 		}
 		for ; scanned < len(q.items); scanned++ {
 			if q.items[scanned].Tag == tag {
-				msg := q.items[scanned]
-				if scanned == q.head {
-					q.items[q.head] = machine.Message{} // drop payload reference
-					q.head++
-				} else {
-					copy(q.items[scanned:], q.items[scanned+1:])
-					q.items[len(q.items)-1] = machine.Message{}
-					q.items = q.items[:len(q.items)-1]
-				}
-				if q.head == len(q.items) {
-					// Drained: rewind so the backing array is reused.
-					q.items = q.items[:0]
-					q.head = 0
-				}
-				return msg
+				return q.takeLocked(scanned)
 			}
 		}
 		q.cond.Wait()
 	}
+}
+
+// tryPop is pop without the wait: it removes and returns the first
+// queued message with the given tag if one is present right now.  The
+// completion-order drain (WaitAny) polls every outstanding peer with
+// it and sleeps on the receiver's notify cond — not on any one
+// queue's — when nothing is ready.
+func (q *queue) tryPop(tag machine.Tag) (machine.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.poisoned {
+		panic("machine: queue poisoned by peer panic")
+	}
+	for i := q.head; i < len(q.items); i++ {
+		if q.items[i].Tag == tag {
+			return q.takeLocked(i), true
+		}
+	}
+	return machine.Message{}, false
+}
+
+// takeLocked removes and returns the message at index i (mu held).
+func (q *queue) takeLocked(i int) machine.Message {
+	msg := q.items[i]
+	if i == q.head {
+		q.items[q.head] = machine.Message{} // drop payload reference
+		q.head++
+	} else {
+		copy(q.items[i:], q.items[i+1:])
+		q.items[len(q.items)-1] = machine.Message{}
+		q.items = q.items[:len(q.items)-1]
+	}
+	if q.head == len(q.items) {
+		// Drained: rewind so the backing array is reused.
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return msg
 }
 
 func (q *queue) poison() {

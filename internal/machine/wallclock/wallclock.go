@@ -26,6 +26,12 @@ type transport struct {
 	// queues[to*p+from] carries messages from `from` to `to`.
 	queues []queue
 
+	// notify[me] wakes node me's completion-order drain: every push
+	// toward me bumps its sequence number, so WaitAny can poll all
+	// outstanding peers and sleep on one condition variable instead of
+	// committing to a single queue.
+	notify []notify
+
 	barrier    *barrier
 	reduceVals []float64
 
@@ -52,6 +58,10 @@ func New(p int, params machine.Params) (*machine.Machine, error) {
 		tr.queues = make([]queue, p*p)
 		for i := range tr.queues {
 			tr.queues[i].init()
+		}
+		tr.notify = make([]notify, p)
+		for i := range tr.notify {
+			tr.notify[i].init()
 		}
 	}
 	return machine.NewWith(p, params, tr)
@@ -111,10 +121,47 @@ func (t *transport) Advance(me int, seconds float64) {}
 
 func (t *transport) Send(me, to int, msg machine.Message) {
 	t.queues[to*t.p+me].push(msg)
+	t.notify[to].bump()
+}
+
+// ISend is Send: pushes already complete without rendezvous on this
+// backend, so the nonblocking semantics hold for free.  The real
+// overlap is on the receive side — WaitAny lets the boundary pass
+// consume whichever peer finishes first instead of blocking on a
+// fixed order.
+func (t *transport) ISend(me, to int, msg machine.Message) {
+	t.Send(me, to, msg)
 }
 
 func (t *transport) Recv(me, from int, tag machine.Tag) machine.Message {
 	return t.queues[me*t.p+from].pop(tag)
+}
+
+// WaitAny polls every outstanding request's queue and returns the
+// first message found; if none is ready it sleeps on the node's
+// notify cond until a new push (or Poison) arrives, then rescans.
+// Completion order is physical arrival order, so one slow peer never
+// blocks the drain of messages that are already here.  Steady-state
+// replay allocates nothing here.
+func (t *transport) WaitAny(me int, reqs []machine.Request, done []bool) (int, machine.Message) {
+	n := &t.notify[me]
+	for {
+		seq := n.snapshot()
+		any := false
+		for i := range reqs {
+			if done[i] {
+				continue
+			}
+			any = true
+			if msg, ok := t.queues[me*t.p+reqs[i].From].tryPop(reqs[i].Tag); ok {
+				return i, msg
+			}
+		}
+		if !any {
+			panic("wallclock: WaitAny with no outstanding request")
+		}
+		n.wait(seq)
+	}
 }
 
 func (t *transport) Barrier(me int) { t.barrier.wait() }
@@ -137,11 +184,17 @@ func (t *transport) Poison() {
 	for i := range t.queues {
 		t.queues[i].poison()
 	}
+	for i := range t.notify {
+		t.notify[i].poison()
+	}
 }
 
 func (t *transport) Reset() {
 	for i := range t.queues {
 		t.queues[i].reset()
+	}
+	for i := range t.notify {
+		t.notify[i].reset()
 	}
 	for i := range t.done {
 		t.done[i] = false

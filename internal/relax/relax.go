@@ -51,6 +51,9 @@ type Options struct {
 	// the paper's §5 comparison (ablation ABL7): no locality tests or
 	// searches during execution, more schedule storage.
 	Enumerate bool
+	// NoOverlap runs the phase-synchronous executor instead of the
+	// default split-phase communication/computation overlap.
+	NoOverlap bool
 	// CheckConvergence adds the while-loop convergence reduction each
 	// sweep (off in the paper's timed runs, which sweep a fixed count).
 	CheckConvergence bool
@@ -106,7 +109,7 @@ func Run(opt Options) Result {
 		nodeDim = dist.MapDim(opt.Owners)
 	}
 
-	rep := core.Run(core.Config{P: opt.P, Params: opt.Params, Backend: opt.Backend}, func(ctx *core.Context) {
+	rep := core.Run(core.Config{P: opt.P, Params: opt.Params, Backend: opt.Backend, NoOverlap: opt.NoOverlap}, func(ctx *core.Context) {
 		me := ctx.ID()
 		n := m.N
 
