@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kalirun [-machine ncube|ipsc|ideal] [-backend sim|wall] [-p N] [-overlap on|off] [-print name,...] [-stats] prog.kali
+//	kalirun [-machine ncube|ipsc|ideal] [-backend sim|wall] [-p N] [-overlap on|off] [-fuse on|off] [-print name,...] [-stats] prog.kali
 //
 // -backend sim (default) runs on the virtual-clock simulator: times
 // are deterministic cost-model predictions for the chosen -machine.
@@ -16,6 +16,13 @@
 // pass drains receives as they complete, so communication overlaps
 // computation.  -overlap off restores the paper's phase-synchronous
 // executor — same messages, same results, more critical-path time.
+//
+// -fuse on (default) aggregates messages across adjacent foralls:
+// runs of consecutive loops whose reads are untouched by the earlier
+// loops' writes post one combined message per processor pair up front
+// and pipeline their boundary passes.  -fuse off runs every loop
+// through the per-loop pipeline — same results and bytes, more
+// messages and startup time.
 //
 // The program's processors declaration (the "real estate agent") may
 // choose fewer processors than -p provides.  After execution the
@@ -44,6 +51,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print the traffic breakdown (forall vs redistribution)")
 	noVM := flag.Bool("novm", false, "run forall bodies on the tree-walking interpreter instead of the bytecode VM")
 	overlap := flag.String("overlap", "on", "communication/computation overlap: on (split-phase executors) or off (phase-synchronous)")
+	fuse := flag.String("fuse", "on", "cross-loop message aggregation: on (adjacent foralls share sends) or off (per-loop pipeline)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -72,6 +80,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kalirun: unknown -overlap %q (want on or off)\n", *overlap)
 		os.Exit(2)
 	}
+	switch *fuse {
+	case "on", "off":
+	default:
+		fmt.Fprintf(os.Stderr, "kalirun: unknown -fuse %q (want on or off)\n", *fuse)
+		os.Exit(2)
+	}
 
 	prog, err := lang.Compile(string(src))
 	if err != nil {
@@ -79,7 +93,7 @@ func main() {
 		os.Exit(1)
 	}
 	prog.NoVM = *noVM
-	res, err := prog.Run(core.Config{P: *procs, Params: params, Backend: *backend, NoOverlap: *overlap == "off"})
+	res, err := prog.Run(core.Config{P: *procs, Params: params, Backend: *backend, NoOverlap: *overlap == "off", NoFuse: *fuse == "off"})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kalirun:", err)
 		os.Exit(1)
@@ -98,6 +112,7 @@ func main() {
 		fmt.Printf("messages: %d total, %d bytes\n", r.MsgsSent, r.BytesSent)
 		fmt.Printf("  forall/other:  %d msgs, %d bytes\n", r.MsgsSent-r.RedistMsgs, r.BytesSent-r.RedistBytes)
 		fmt.Printf("  redistribute:  %d msgs, %d bytes\n", r.RedistMsgs, r.RedistBytes)
+		fmt.Printf("  cross-loop fused:  %d msgs, %d bytes\n", r.FusedMsgs, r.FusedBytes)
 	}
 
 	for _, name := range strings.Split(*printArrays, ",") {

@@ -15,73 +15,86 @@ import (
 	"kali/internal/topology"
 )
 
-// Overlap measures the split-phase executors: the same cached
-// schedules replayed with communication/computation overlap (ISend
-// posts before the interior sweep, completion-order drain before the
-// boundary) against the phase-synchronous oracle (-overlap=off), on
-// both backends.  Workloads: the 2-D five-point jacobi (compile-time
-// schedules, four-neighbor boundary traffic), an ADI cycle whose
-// row/column smooths couple across the distributed dimension between
-// [block,*]↔[*,block] transposes, and the multigrid V-cycle (a stack
-// of small boundary exchanges on every level).
+// Overlap measures the split-phase executors and the cross-loop
+// aggregation built on them: the same cached schedules replayed with
+// communication/computation overlap (ISend posts before the interior
+// sweep, completion-order drain before the boundary) against the
+// phase-synchronous oracle (-overlap=off), and the overlapped run
+// again with adjacent loops fused into one aggregated send per
+// processor pair (-fuse=off is the middle column).  Workloads: the
+// 2-D five-point jacobi (a single loop — fusion has nothing to merge,
+// its fused columns pin the no-regression case), an ADI cycle whose
+// coupled row/column sweep pairs read the same array and fuse between
+// [block,*]↔[*,block] transposes, and the multigrid V-cycle (whose
+// prolongation interpolates through the sequence API on every level).
 //
 // The sim columns are deterministic cost-model predictions and stay
-// under the CI gate; the "sim time pct" column is the overlap win
-// expressed gate-compatibly (overlap time as a percentage of
-// phase-sync time, < 100 when overlap pays; growth past baseline means
-// the overlap stopped paying and fails -diff — CI re-checks this table
-// at a tight tolerance, which the sim columns' determinism makes
-// safe).  Wall columns are measured and excluded as
-// in the backend table.  The traffic is identical in all cells of a
-// workload — overlap moves messages off the critical path, it never
-// adds or removes any — so msgs/rep is reported once, from the
-// overlapped sim run, like allocs/replay (0 = replay stays
-// allocation-free with the drain's preallocated pending slots).
+// under the CI gate; the pct columns express each win
+// gate-compatibly (overlap as a percentage of phase-sync, fused as a
+// percentage of overlap, < 100 when the mechanism pays; growth past
+// baseline means it stopped paying and fails -diff).  Wall columns
+// are measured and excluded as in the backend table.  Overlap never
+// changes traffic, but fusion merges messages: msgs/rep is reported
+// for the unfused and fused runs separately, and the fused column is
+// gated so a lost merge (more envelopes) fails CI.  Byte totals are
+// identical in every cell of a row.  allocs/replay comes from the
+// fused sim run: warm fused replay must stay allocation-free.
 func Overlap(opt Options) *Table {
 	jacobiN, adiN, mgDepth := 96, 128, 9
-	p := 8
+	p, mgP := 8, 5
 	const reps = 200
 	if opt.Quick {
 		jacobiN, adiN, mgDepth = 48, 48, 6
-		p = 4
+		p, mgP = 4, 3
 	}
 	t := &Table{
 		ID:    "overlap",
-		Title: "split-phase executors: communication/computation overlap vs phase-sync",
+		Title: "split-phase executors: overlap vs phase-sync, cross-loop fusion vs per-loop",
 		Header: []string{"workload", "threads",
-			"sim time/rep (sync)", "sim time/rep (overlap)", "sim time pct (overlap/sync)",
+			"sim time/rep (sync)", "sim time/rep (overlap)", "sim time/rep (fused)",
+			"sim time pct (overlap/sync)", "sim time pct (fused/overlap)",
 			"wall ms/rep (sync)", "wall ms/rep (overlap)",
-			"msgs/rep", "allocs/replay"},
+			"msgs/rep (unfused)", "msgs/rep (fused)", "allocs/replay"},
 		Notes: []string{
-			fmt.Sprintf("NCUBE/7 sim vs measured wall; jacobi2d %dx%d, adi %dx%d with transpose ping-pong, multigrid depth %d; %d replays",
+			fmt.Sprintf("NCUBE/7 sim vs measured wall; jacobi2d %dx%d, adi %dx%d coupled sweep pairs with transpose ping-pong, multigrid depth %d; %d replays",
 				jacobiN, jacobiN, adiN, adiN, mgDepth, reps),
+			fmt.Sprintf("mg runs on %d threads: an odd block size misaligns the fine and coarse block boundaries, so both interpolation loops of the prolongation pair exchange boundary values and fusion has messages to merge (when the fine block is exactly twice the coarse one, the even-point loop is fully local)", mgP),
 		},
 	}
 	for _, w := range []struct {
 		name    string
-		program func(noOverlap bool) backendProgram
+		p       int
+		program func(noOverlap, noFuse bool) backendProgram
 	}{
-		{"jacobi2d", func(noOv bool) backendProgram { return jacobi2DProgram(jacobiN, p, noOv) }},
-		{"adi", func(noOv bool) backendProgram { return adiOverlapProgram(adiN, p, noOv) }},
-		{"mg", func(noOv bool) backendProgram { return mgProgram(mgDepth, p, noOv) }},
+		{"jacobi2d", p, func(noOv, noFuse bool) backendProgram { return jacobi2DProgram(jacobiN, p, noOv, noFuse) }},
+		{"adi", p, func(noOv, noFuse bool) backendProgram { return adiOverlapProgram(adiN, p, noOv, noFuse) }},
+		{"mg", mgP, func(noOv, noFuse bool) backendProgram { return mgProgram(mgDepth, mgP, noOv, noFuse) }},
 	} {
-		simSync := backendRun(sim.MustNew(p, machine.NCUBE7()), p, reps, w.program(true))
-		simOver := backendRun(sim.MustNew(p, machine.NCUBE7()), p, reps, w.program(false))
-		wallSync := backendRun(wallclock.MustNew(p, machine.NCUBE7()), p, reps, w.program(true))
-		wallOver := backendRun(wallclock.MustNew(p, machine.NCUBE7()), p, reps, w.program(false))
-		pct := 100.0
+		p := w.p
+		simSync := backendRun(sim.MustNew(p, machine.NCUBE7()), p, reps, w.program(true, true))
+		simOver := backendRun(sim.MustNew(p, machine.NCUBE7()), p, reps, w.program(false, true))
+		simFused := backendRun(sim.MustNew(p, machine.NCUBE7()), p, reps, w.program(false, false))
+		wallSync := backendRun(wallclock.MustNew(p, machine.NCUBE7()), p, reps, w.program(true, true))
+		wallOver := backendRun(wallclock.MustNew(p, machine.NCUBE7()), p, reps, w.program(false, true))
+		pctOver, pctFused := 100.0, 100.0
 		if simSync.secPerRep > 0 {
-			pct = 100 * simOver.secPerRep / simSync.secPerRep
+			pctOver = 100 * simOver.secPerRep / simSync.secPerRep
+		}
+		if simOver.secPerRep > 0 {
+			pctFused = 100 * simFused.secPerRep / simOver.secPerRep
 		}
 		t.Rows = append(t.Rows, []string{
 			w.name, fmt.Sprint(p),
 			fmt.Sprintf("%.6f", simSync.secPerRep),
 			fmt.Sprintf("%.6f", simOver.secPerRep),
-			fmt.Sprintf("%.2f", pct),
+			fmt.Sprintf("%.6f", simFused.secPerRep),
+			fmt.Sprintf("%.2f", pctOver),
+			fmt.Sprintf("%.2f", pctFused),
 			fmt.Sprintf("%.3f", wallSync.secPerRep*1e3),
 			fmt.Sprintf("%.3f", wallOver.secPerRep*1e3),
 			fmt.Sprintf("%.1f", simOver.msgsPerRep),
-			fmt.Sprintf("%.1f", simOver.allocsPerRep),
+			fmt.Sprintf("%.1f", simFused.msgsPerRep),
+			fmt.Sprintf("%.1f", simFused.allocsPerRep),
 		})
 	}
 	return t
@@ -90,7 +103,7 @@ func Overlap(opt Options) *Table {
 // jacobi2DProgram replays the shared five-point stencil Loop2 on an
 // n×n [block,block] array: compile-time schedules, one coalesced
 // boundary message to each of up to four neighbors per rep.
-func jacobi2DProgram(n, p int, noOverlap bool) backendProgram {
+func jacobi2DProgram(n, p int, noOverlap, noFuse bool) backendProgram {
 	pr, pc := grid2(p)
 	return func(nd *machine.Node) func() {
 		g := topology.MustGrid(pr, pc)
@@ -100,6 +113,7 @@ func jacobi2DProgram(n, p int, noOverlap bool) backendProgram {
 		old.EachLocal(func(gl int) { old.SetLinear(gl, float64(gl%13)) })
 		eng := forall.NewEngine(nd)
 		eng.NoOverlap = noOverlap
+		eng.NoFuse = noFuse
 		loop := Relax2DLoop(a, old, n)
 		return func() { eng.Run2(loop) }
 	}
@@ -123,29 +137,37 @@ func grid2(p int) (int, int) {
 	return pr, p
 }
 
-// adiOverlapProgram is one ADI cycle with cross-row coupling: a smooth
-// reading the neighboring rows under [block,*] (inspector schedule,
-// overlappable boundary traffic), a transpose to [*,block], the same
-// smooth along the other axis, and the transpose back.  Redistribution
-// itself stays phase-synchronous — the contrast isolates what overlap
-// buys the foralls of an otherwise redistribution-bound cycle.
-func adiOverlapProgram(n, p int, noOverlap bool) backendProgram {
+// adiOverlapProgram is one ADI cycle with cross-row coupling and a
+// coupled sweep pair per phase: two smooths with different stencils
+// both read the neighboring rows of u under [block,*] (inspector
+// schedules, overlappable boundary traffic) and write independent
+// arrays, so the sequence API merges their per-pair messages into one
+// aggregated send; then a transpose to [*,block], the coupled pair
+// along the other axis, and the transpose back.  Redistribution stays
+// phase-synchronous — the contrast isolates what overlap and fusion
+// buy the foralls of an otherwise redistribution-bound cycle.
+func adiOverlapProgram(n, p int, noOverlap, noFuse bool) backendProgram {
 	return func(nd *machine.Node) func() {
 		g := topology.MustGrid(p)
 		rows := dist.Must([]int{n, n}, []dist.DimSpec{dist.BlockDim(), dist.CollapsedDim()}, g)
 		cols := dist.Must([]int{n, n}, []dist.DimSpec{dist.CollapsedDim(), dist.BlockDim()}, g)
 		u := darray.New("oau", rows, nd)
 		v := darray.New("oav", rows, nd)
+		w := darray.New("oaw", rows, nd)
 		line := darray.New("oaline", dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g), nd)
 		u.EachLocal(func(gl int) { u.SetLinear(gl, float64(gl%11)) })
 		v.EachLocal(func(gl int) { v.SetLinear(gl, 0) })
+		w.EachLocal(func(gl int) { w.SetLinear(gl, 0) })
 		eng := forall.NewEngine(nd)
 		eng.NoOverlap = noOverlap
+		eng.NoFuse = noFuse
 		// Unlike the pure ADI transpose (where each phase is fully
-		// local), both smooths here read ±1 across the distributed
-		// dimension, so every sweep has boundary traffic to overlap.
-		rowSweep := &forall.Loop{
-			Name: "oa.row", Lo: 2, Hi: n - 1,
+		// local), every sweep here reads ±1 across the distributed
+		// dimension, so each rep has boundary traffic to overlap — and
+		// each phase's two sweeps read the same rows of u, so their
+		// messages merge under fusion.
+		rowSweepV := &forall.Loop{
+			Name: "oa.rowv", Lo: 2, Hi: n - 1,
 			On: line, OnF: analysis.Identity,
 			Reads: []forall.ReadSpec{{Array: u}}, // rows i±1: decided at run time
 			Body: func(i int, e *forall.Env) {
@@ -156,8 +178,20 @@ func adiOverlapProgram(n, p int, noOverlap bool) backendProgram {
 				}
 			},
 		}
-		colSweep := &forall.Loop{
-			Name: "oa.col", Lo: 2, Hi: n - 1,
+		rowSweepW := &forall.Loop{
+			Name: "oa.roww", Lo: 2, Hi: n - 1,
+			On: line, OnF: analysis.Identity,
+			Reads: []forall.ReadSpec{{Array: u}},
+			Body: func(i int, e *forall.Env) {
+				for j := 1; j <= n; j++ {
+					x := 0.5 * (e.ReadAt(u, i-1, j) + e.ReadAt(u, i+1, j))
+					e.Flops(3)
+					e.WriteAt(w, x, i, j)
+				}
+			},
+		}
+		colSweepV := &forall.Loop{
+			Name: "oa.colv", Lo: 2, Hi: n - 1,
 			On: line, OnF: analysis.Identity,
 			Reads: []forall.ReadSpec{{Array: u}}, // columns j±1: decided at run time
 			Body: func(j int, e *forall.Env) {
@@ -168,13 +202,35 @@ func adiOverlapProgram(n, p int, noOverlap bool) backendProgram {
 				}
 			},
 		}
+		colSweepW := &forall.Loop{
+			Name: "oa.colw", Lo: 2, Hi: n - 1,
+			On: line, OnF: analysis.Identity,
+			Reads: []forall.ReadSpec{{Array: u}},
+			Body: func(j int, e *forall.Env) {
+				for i := 1; i <= n; i++ {
+					x := 0.5 * (e.ReadAt(u, i, j-1) + e.ReadAt(u, i, j+1))
+					e.Flops(3)
+					e.WriteAt(w, x, i, j)
+				}
+			},
+		}
+		rowPair := []forall.SeqLoop{
+			{L: rowSweepV, Writes: []*darray.Array{v}},
+			{L: rowSweepW, Writes: []*darray.Array{w}},
+		}
+		colPair := []forall.SeqLoop{
+			{L: colSweepV, Writes: []*darray.Array{v}},
+			{L: colSweepW, Writes: []*darray.Array{w}},
+		}
 		return func() {
-			eng.Run(rowSweep)
+			eng.RunSequence(rowPair)
 			darray.Redistribute(u, cols)
 			darray.Redistribute(v, cols)
-			eng.Run(colSweep)
+			darray.Redistribute(w, cols)
+			eng.RunSequence(colPair)
 			darray.Redistribute(u, rows)
 			darray.Redistribute(v, rows)
+			darray.Redistribute(w, rows)
 		}
 	}
 }
@@ -182,11 +238,13 @@ func adiOverlapProgram(n, p int, noOverlap bool) backendProgram {
 // mgProgram replays one multigrid V-cycle: every level smooths,
 // restricts and prolongs through 1-D block arrays whose ±1 boundary
 // exchanges are all compile-time schedules — many small messages whose
-// startup-dominated wire time the split-phase executor hides.
-func mgProgram(depth, p int, noOverlap bool) backendProgram {
+// startup-dominated wire time the split-phase executor hides, and
+// whose per-level prolongation pair fuses through the sequence API.
+func mgProgram(depth, p int, noOverlap, noFuse bool) backendProgram {
 	return func(nd *machine.Node) func() {
 		eng := forall.NewEngine(nd)
 		eng.NoOverlap = noOverlap
+		eng.NoFuse = noFuse
 		ctx := &core.Context{Node: nd, Eng: eng, Grid: topology.MustGrid(p)}
 		s := mg.New(ctx, depth)
 		s.SetRHS(func(x float64) float64 { return x * (1 - x) })

@@ -44,6 +44,13 @@ type Config struct {
 	// the differential oracle: results and message counts are identical
 	// either way.
 	NoOverlap bool
+	// NoFuse disables cross-loop message aggregation: ForallSeq (and
+	// the language interpreter's adjacent-forall batching built on it)
+	// degrades to sequential per-loop execution — the phase-per-loop
+	// oracle `kalirun -fuse=off` selects.  Results, byte counts and
+	// contents are identical either way; only message counts and timing
+	// change.
+	NoFuse bool
 }
 
 // NewMachine builds the machine cfg describes, choosing the backend
@@ -111,6 +118,14 @@ func (c *Context) Forall(l *forall.Loop) { c.Eng.Run(l) }
 // Forall2 executes a two-dimensional forall loop (Engine.Run2).
 func (c *Context) Forall2(l *forall.Loop2) { c.Eng.Run2(l) }
 
+// ForallSeq executes a sequence of forall loops through the engine's
+// cross-loop aggregation pipeline (Engine.RunSequence): consecutive
+// loops whose reads are untouched by the preceding loops' writes merge
+// their per-pair messages into one fused send posted up front, and
+// execution pipelines without inter-loop barriers.  Semantically
+// identical to running the loops one by one.
+func (c *Context) ForallSeq(seq []forall.SeqLoop) { c.Eng.RunSequence(seq) }
+
 // AllReduce combines one value from every node ("sum", "max", "min",
 // "and") — Kali's convergence-test primitive.
 func (c *Context) AllReduce(x float64, op string) float64 {
@@ -151,6 +166,11 @@ type Report struct {
 	// from forall traffic.
 	RedistMsgs  int
 	RedistBytes int
+	// FusedMsgs/FusedBytes are the subset moved as cross-loop aggregated
+	// messages (machine.TagFused): each fused message replaces several
+	// per-loop messages to the same peer.
+	FusedMsgs  int
+	FusedBytes int
 
 	// SchedEvictions counts forall schedules dropped from the bounded
 	// content-addressed stores (summed over nodes); PlanEvictions
@@ -182,23 +202,24 @@ func Run(cfg Config, prog func(ctx *Context)) Report {
 	if err != nil {
 		panic(err)
 	}
-	return runOn(m, cfg.NoOverlap, prog)
+	return runOn(m, cfg.NoOverlap, cfg.NoFuse, prog)
 }
 
 // RunOn executes prog on an existing machine (reset first), allowing
 // reuse across experiments.  Engines run with default options (overlap
-// on); use Run with a Config to ablate.
+// and fusion on); use Run with a Config to ablate.
 func RunOn(m *machine.Machine, prog func(ctx *Context)) Report {
-	return runOn(m, false, prog)
+	return runOn(m, false, false, prog)
 }
 
-func runOn(m *machine.Machine, noOverlap bool, prog func(ctx *Context)) Report {
+func runOn(m *machine.Machine, noOverlap, noFuse bool, prog func(ctx *Context)) Report {
 	m.Reset()
 	grid := topology.MustGrid(m.P())
 	engines := make([]*forall.Engine, m.P())
 	m.Run(func(n *machine.Node) {
 		eng := forall.NewEngine(n)
 		eng.NoOverlap = noOverlap
+		eng.NoFuse = noFuse
 		ctx := &Context{
 			Node: n,
 			Eng:  eng,
@@ -223,6 +244,8 @@ func runOn(m *machine.Machine, noOverlap bool, prog func(ctx *Context)) Report {
 		rep.BytesSent += st.BytesSent
 		rep.RedistMsgs += st.RedistMsgsSent
 		rep.RedistBytes += st.RedistBytesSent
+		rep.FusedMsgs += st.FusedMsgsSent
+		rep.FusedBytes += st.FusedBytesSent
 	}
 	for _, e := range engines {
 		if e != nil {

@@ -84,6 +84,68 @@ func TestSharedStoreEvictionCounted(t *testing.T) {
 	})
 }
 
+// TestFusedPlanStoreBounded: cycling through more distinct fusion
+// windows than the plan store holds must evict (counted, bounded) and
+// never corrupt results — an evicted window that comes back rebuilds
+// its plan from its schedules.  Distinct loop bounds give distinct
+// schedules, so each window is a distinct plan key; the window's two
+// identically-shaped loops also share one schedule, so every plan
+// drains two section streams out of one set of receive buffers — the
+// sharing case the stash-until-drain logic exists for.
+func TestFusedPlanStoreBounded(t *testing.T) {
+	const p = 2
+	windows := fusedPlanCap + 8 // force plan evictions
+	n := windows + 4
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	mach := sim.MustNew(p, machine.Ideal())
+	mach.Run(func(nd *machine.Node) {
+		out1, out2 := darray.New("out1", d, nd), darray.New("out2", d, nd)
+		src := darray.New("src", d, nd)
+		for i := 1; i <= n; i++ {
+			if src.IsLocal1(i) {
+				src.Set1(i, float64(i))
+			}
+		}
+		eng := NewEngine(nd)
+		runWindowHi := func(hi int) {
+			l1 := shiftLoop("w1", n, out1, src)
+			l1.Hi = hi
+			l2 := shiftLoop("w2", n, out2, src)
+			l2.Hi = hi
+			eng.RunSequence([]SeqLoop{
+				{L: l1, Writes: []*darray.Array{out1}},
+				{L: l2, Writes: []*darray.Array{out2}},
+			})
+		}
+		for round := 0; round < 3; round++ {
+			for hi := 2; hi < 2+windows; hi++ {
+				runWindowHi(hi)
+			}
+		}
+		if got := eng.FusedPlans(); got > fusedPlanCap {
+			t.Errorf("fused plan store holds %d plans, cap is %d", got, fusedPlanCap)
+		}
+		if eng.FusedPlanEvictions() == 0 {
+			t.Errorf("expected plan evictions after %d distinct windows with cap %d",
+				windows, fusedPlanCap)
+		}
+		if eng.FusedWindows() == 0 {
+			t.Error("no window actually fused")
+		}
+		// Values stay correct throughout the eviction churn (the widest
+		// window writes out[1..windows+1]).
+		for i := 1; i <= windows+1; i++ {
+			if out1.IsLocal1(i) && out1.Get1(i) != float64(i+1) {
+				t.Errorf("out1[%d] = %g, want %g", i, out1.Get1(i), float64(i+1))
+			}
+			if out2.IsLocal1(i) && out2.Get1(i) != float64(i+1) {
+				t.Errorf("out2[%d] = %g, want %g", i, out2.Get1(i), float64(i+1))
+			}
+		}
+	})
+}
+
 // TestRedistPlanStoreBounded: cycling through more distribution pairs
 // than the plan store holds must evict (counted in PlanEvictions) and
 // keep redistribution correct.

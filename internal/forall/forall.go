@@ -336,6 +336,11 @@ type Schedule struct {
 	// execNonlocal[k], in body order — row-major for rank-2 loops
 	// (Loop.Enumerate / Loop2.Enumerate only).
 	enum [][]enumRef
+	// sid is the engine-assigned schedule identity, minted once per
+	// built schedule; fusion plans key on the window's sid tuple, so a
+	// rebuilt (or freshly adopted) schedule can never alias a stale
+	// plan.
+	sid uint64
 }
 
 // Rank returns the loop rank the schedule was built for.
@@ -477,10 +482,23 @@ type Engine struct {
 	// contents); only its placement relative to compute changes, which
 	// makes this flag the differential oracle for the overlap path.
 	NoOverlap bool
+	// NoFuse disables cross-loop message aggregation: RunSequence
+	// degrades to sequential Run/Run2 calls — the phase-per-loop
+	// executor kept as the differential oracle for the fusion path
+	// (kalirun -fuse=off).  Fusion also stands down automatically under
+	// NoOverlap and NoCombine, whose oracle semantics it composes with.
+	NoFuse bool
 
 	lastKind   BuildKind
 	builds     int
 	sharedHits int
+
+	// Fusion state: the bounded fused-plan store (fuse.go), the
+	// schedule-id mint backing its keys, and the window counter tests
+	// and benches use to assert fusion actually engaged.
+	fusedPlans   *lru.Cache[uint64, *fusedPlan]
+	sidCounter   uint64
+	fusedWindows int
 
 	// Replay scratch, reused across executions so a cached replay
 	// allocates nothing.  Guarded by inRun: a (pathological) nested Run
@@ -488,14 +506,23 @@ type Engine struct {
 	inRun   bool
 	coreBuf loopCore
 	envBuf  Env
+
+	// Sequence scratch (RunSequence): lowered cores, per-window
+	// schedules, accumulated window writes, and per-loop slot bindings,
+	// all with recycled backing so warm fused replay allocates nothing.
+	seqCores  []loopCore
+	seqScheds []*Schedule
+	seqWrites []*darray.Array
+	seqSlots  [][]*darray.Array
 }
 
 // NewEngine creates the per-node forall engine.
 func NewEngine(n *machine.Node) *Engine {
 	return &Engine{
-		node:   n,
-		cache:  map[schedKey]*cacheEntry{},
-		shared: lru.New[shareKey, *Schedule](sharedScheduleCap),
+		node:       n,
+		cache:      map[schedKey]*cacheEntry{},
+		shared:     lru.New[shareKey, *Schedule](sharedScheduleCap),
+		fusedPlans: lru.New[uint64, *fusedPlan](fusedPlanCap),
 	}
 }
 
@@ -521,6 +548,17 @@ func (e *Engine) SharedSchedules() int { return e.shared.Len() }
 // SharedEvictions returns how many schedules the bounded
 // content-addressed store has evicted for capacity.
 func (e *Engine) SharedEvictions() int { return e.shared.Evictions() }
+
+// FusedWindows returns how many fusion windows (≥ 2 loops) the engine
+// has executed through RunSequence.
+func (e *Engine) FusedWindows() int { return e.fusedWindows }
+
+// FusedPlans returns the number of fused plans currently cached.
+func (e *Engine) FusedPlans() int { return e.fusedPlans.Len() }
+
+// FusedPlanEvictions returns how many fused plans the bounded store
+// has evicted for capacity.
+func (e *Engine) FusedPlanEvictions() int { return e.fusedPlans.Evictions() }
 
 // Schedule returns the cached schedule of a rank-1 loop, or nil if the
 // loop has not run (or caching is disabled).
@@ -553,6 +591,7 @@ func (e *Engine) Invalidate(name string) {
 func (e *Engine) InvalidateAll() {
 	e.cache = map[schedKey]*cacheEntry{}
 	e.shared.Reset()
+	e.fusedPlans.Reset()
 }
 
 // Run executes one rank-1 forall: schedule acquisition is timed under
@@ -595,13 +634,19 @@ func (e *Engine) release(c *loopCore) {
 // runCore is the shared schedule-then-execute pipeline.
 func (e *Engine) runCore(c *loopCore, env *Env) {
 	s := e.schedule(c)
-	phase := c.phase
-	if phase == "" {
-		phase = PhaseExecutor
-	}
+	phase := phaseOf(c)
 	e.node.StartPhase(phase)
 	e.execute(c, s, env)
 	e.node.StopPhase(phase)
+}
+
+// phaseOf returns the timing phase the loop's execution is attributed
+// to (default PhaseExecutor).
+func phaseOf(c *loopCore) string {
+	if c.phase == "" {
+		return PhaseExecutor
+	}
+	return c.phase
 }
 
 // validate checks a rank-1 loop specification once per Run.
@@ -694,6 +739,8 @@ func (e *Engine) schedule(c *loopCore) *Schedule {
 	e.node.StopPhase(PhaseInspector)
 	s.rank = c.rank
 	finalizePeers(s)
+	e.sidCounter++
+	s.sid = e.sidCounter
 	e.builds++
 	if shareable {
 		e.shared.Put(sk, s)

@@ -269,6 +269,88 @@ func FuzzVMDifferential(f *testing.F) {
 	})
 }
 
+// diffFusion runs src with cross-loop aggregation on and off and
+// fails unless the final arrays are bit-identical and the traffic
+// differs only in the ways fusion is allowed to change it: identical
+// byte totals, message count never larger fused, and no fused traffic
+// at all in the unfused run.  The interpreter batches adjacent
+// foralls through the sequence API, so generated programs (1–3
+// adjacent loops) exercise real fusion windows.
+func diffFusion(t *testing.T, src string, p int) {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	fused, err := prog.Run(core.Config{P: p, Params: machine.NCUBE7()})
+	if err != nil {
+		t.Fatalf("fused run: %v\n%s", err, src)
+	}
+	unfused, err := prog.Run(core.Config{P: p, Params: machine.NCUBE7(), NoFuse: true})
+	if err != nil {
+		t.Fatalf("unfused run: %v\n%s", err, src)
+	}
+	for name, want := range unfused.Arrays {
+		got := fused.Arrays[name]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %v (fused), want %v (unfused)\n%s", name, i+1, got[i], want[i], src)
+			}
+		}
+	}
+	for name, want := range unfused.IntArrays {
+		got := fused.IntArrays[name]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %d (fused), want %d (unfused)\n%s", name, i+1, got[i], want[i], src)
+			}
+		}
+	}
+	if fused.Report.BytesSent != unfused.Report.BytesSent {
+		t.Fatalf("fusion changed byte total: %d fused, %d unfused\n%s",
+			fused.Report.BytesSent, unfused.Report.BytesSent, src)
+	}
+	if fused.Report.MsgsSent > unfused.Report.MsgsSent {
+		t.Fatalf("fusion grew message count: %d fused, %d unfused\n%s",
+			fused.Report.MsgsSent, unfused.Report.MsgsSent, src)
+	}
+	if unfused.Report.FusedMsgs != 0 {
+		t.Fatalf("unfused run moved %d fused messages\n%s", unfused.Report.FusedMsgs, src)
+	}
+}
+
+// TestQuickFusionDifferential: the fixed-budget CI version of the
+// fusion property over both program generators.
+func TestQuickFusionDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genProgram(r)
+		diffFusion(t, src, 4)
+		src = genVMProgram(rand.New(rand.NewSource(seed)))
+		for _, p := range []int{1, 3, 4} {
+			diffFusion(t, src, p)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzFusionDifferential is the native-fuzzing entry point for the
+// fused-vs-unfused property; `go test -fuzz=FuzzFusionDifferential`
+// explores seeds beyond the fixed quick.Check budget.
+func FuzzFusionDifferential(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1990, 123456789} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		src := genVMProgram(r)
+		diffFusion(t, src, 4)
+	})
+}
+
 // TestQuickProgramsDeterministicTiming: generated programs also have
 // identical simulated time on repeated runs (full determinism).
 func TestQuickProgramsDeterministicTiming(t *testing.T) {

@@ -222,6 +222,11 @@ type interp struct {
 	// lowered forall loops, keyed by AST node.
 	loops  map[*Forall]*forall.Loop
 	loops2 map[*Forall]*forall.Loop2
+	// lowered forall sequences, keyed by the first AST node of a
+	// maximal run of adjacent foralls (a node starts at most one run,
+	// and the run's extent is fixed by the statement list), feeding the
+	// engine's cross-loop aggregation pipeline.
+	seqs map[*Forall][]forall.SeqLoop
 	// elaborated redistribute targets, keyed by AST node: the checker
 	// proves every dist item constant, so the Dist is elaborated once
 	// and replayed — repeated phase changes (ADI ping-pong) reuse one
@@ -243,6 +248,7 @@ func newInterp(f *File, ctx *core.Context, el *elaboration) *interp {
 		ints:     map[string]*darray.IntArray{},
 		loops:    map[*Forall]*forall.Loop{},
 		loops2:   map[*Forall]*forall.Loop2{},
+		seqs:     map[*Forall][]forall.SeqLoop{},
 		redists:  map[*Redistribute]*dist.Dist{},
 	}
 }
@@ -378,11 +384,103 @@ func (in *interp) elabDist(name string, shape []int, items []DistItem) *dist.Dis
 type scope map[string]*value
 
 // execStmts interprets a statement list.  env is non-nil inside a
-// forall body.
+// forall body.  At the top level (env == nil), maximal runs of
+// adjacent foralls are batched through the engine's sequence API so
+// independent loops aggregate their messages (§3.2 across loops); a
+// lone forall takes the ordinary path.
 func (in *interp) execStmts(ss []Stmt, sc scope, env *forall.Env) {
-	for _, s := range ss {
-		in.execStmt(s, sc, env)
+	for k := 0; k < len(ss); k++ {
+		if env == nil {
+			if _, ok := ss[k].(*Forall); ok {
+				j := k + 1
+				for j < len(ss) {
+					if _, ok := ss[j].(*Forall); !ok {
+						break
+					}
+					j++
+				}
+				if j-k >= 2 {
+					in.execForallSeq(ss[k:j])
+					k = j - 1
+					continue
+				}
+			}
+		}
+		in.execStmt(ss[k], sc, env)
 	}
+}
+
+// execForallSeq runs a maximal run of adjacent foralls through
+// Context.ForallSeq.  The lowered sequence (loops plus their declared
+// write sets) is cached by the run's first AST node; bounds and VM
+// scalar registers are refreshed per launch like execForall does.
+func (in *interp) execForallSeq(run []Stmt) {
+	first := run[0].(*Forall)
+	seq, ok := in.seqs[first]
+	if !ok {
+		seq = make([]forall.SeqLoop, len(run))
+		for k, s := range run {
+			fa := s.(*Forall)
+			sl := forall.SeqLoop{Writes: in.writeArrays(fa)}
+			if fa.Var2 != "" {
+				sl.L2 = in.loop2For(fa)
+			} else {
+				sl.L = in.loopFor(fa)
+			}
+			seq[k] = sl
+		}
+		in.seqs[first] = seq
+	}
+	for k, s := range run {
+		fa := s.(*Forall)
+		if st := in.vms[fa]; st != nil {
+			st.bindScalars(in)
+		}
+		if fa.Var2 != "" {
+			l := seq[k].L2
+			l.LoI = in.evalExpr(fa.Lo, nil, nil).i
+			l.HiI = in.evalExpr(fa.Hi, nil, nil).i
+			l.LoJ = in.evalExpr(fa.Lo2, nil, nil).i
+			l.HiJ = in.evalExpr(fa.Hi2, nil, nil).i
+		} else {
+			l := seq[k].L
+			l.Lo = in.evalExpr(fa.Lo, nil, nil).i
+			l.Hi = in.evalExpr(fa.Hi, nil, nil).i
+		}
+	}
+	in.ctx.ForallSeq(seq)
+}
+
+// writeArrays collects the distinct distributed real arrays a forall
+// body assigns to — the write set the fusion planner breaks windows
+// on.  Indexed assigns inside nested control flow count; scalar and
+// body-local assigns do not touch distributed state.
+func (in *interp) writeArrays(fa *Forall) []*darray.Array {
+	var out []*darray.Array
+	seen := map[string]bool{}
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				if len(s.Indexes) > 0 && !seen[s.Name] {
+					if a, ok := in.arrays[s.Name]; ok {
+						seen[s.Name] = true
+						out = append(out, a)
+					}
+				}
+			case *ForLoop:
+				walk(s.Body)
+			case *While:
+				walk(s.Body)
+			case *If:
+				walk(s.Then)
+				walk(s.Else)
+			}
+		}
+	}
+	walk(fa.Body)
+	return out
 }
 
 func (in *interp) execStmt(s Stmt, sc scope, env *forall.Env) {
@@ -502,11 +600,7 @@ func coerce(v value, t BaseType) value {
 // node so the engine's schedule cache applies across executions).
 func (in *interp) execForall(fa *Forall) {
 	if fa.Var2 != "" {
-		loop, ok := in.loops2[fa]
-		if !ok {
-			loop = in.buildLoop2(fa)
-			in.loops2[fa] = loop
-		}
+		loop := in.loop2For(fa)
 		if st := in.vms[fa]; st != nil {
 			st.bindScalars(in)
 		}
@@ -517,11 +611,7 @@ func (in *interp) execForall(fa *Forall) {
 		in.ctx.Eng.Run2(loop)
 		return
 	}
-	loop, ok := in.loops[fa]
-	if !ok {
-		loop = in.buildLoop(fa)
-		in.loops[fa] = loop
-	}
+	loop := in.loopFor(fa)
 	// Refresh the VM's global-scalar input registers: globals are
 	// immutable within one forall execution (checker-enforced), so one
 	// binding per launch suffices.
@@ -531,6 +621,26 @@ func (in *interp) execForall(fa *Forall) {
 	loop.Lo = in.evalExpr(fa.Lo, nil, nil).i
 	loop.Hi = in.evalExpr(fa.Hi, nil, nil).i
 	in.ctx.Forall(loop)
+}
+
+// loopFor returns the lowered rank-1 loop for fa, building it once.
+func (in *interp) loopFor(fa *Forall) *forall.Loop {
+	loop, ok := in.loops[fa]
+	if !ok {
+		loop = in.buildLoop(fa)
+		in.loops[fa] = loop
+	}
+	return loop
+}
+
+// loop2For returns the lowered rank-2 loop for fa, building it once.
+func (in *interp) loop2For(fa *Forall) *forall.Loop2 {
+	loop, ok := in.loops2[fa]
+	if !ok {
+		loop = in.buildLoop2(fa)
+		in.loops2[fa] = loop
+	}
+	return loop
 }
 
 // buildLoop2 translates a two-index Forall into a forall.Loop2.

@@ -34,8 +34,28 @@ const (
 	// under it are attributed to the Redist* columns of Stats, so loop
 	// (forall) traffic and remapping traffic stay separately countable.
 	TagRedist
+	// TagFused is the base tag of cross-loop fused traffic: a fusion
+	// window of k consecutive foralls sends loop j's section of the
+	// aggregated per-pair message under TagFused+j, so the receiver's
+	// per-loop drain matches its own section unambiguously.  Windows are
+	// capped (MaxFusedLoops) so fused tags never reach TagUser.
+	TagFused
 	TagUser Tag = 16
 )
+
+// MaxFusedLoops bounds the number of loops one fusion window may span:
+// fused section tags occupy [TagFused, TagFused+MaxFusedLoops), which
+// must stay below TagUser.
+const MaxFusedLoops = int(TagUser - TagFused)
+
+// FusedTag returns the section tag of window-loop k, panicking if k is
+// outside the reserved fused-tag range.
+func FusedTag(k int) Tag {
+	if k < 0 || k >= MaxFusedLoops {
+		panic(fmt.Sprintf("machine: fused section index %d outside [0,%d)", k, MaxFusedLoops))
+	}
+	return TagFused + Tag(k)
+}
 
 // Message is one in-flight message.
 type Message struct {
@@ -53,7 +73,10 @@ type Machine struct {
 	params Params
 	p      int
 	tr     Transport
-	nodes  []*Node
+	// fs caches the transport's optional FusedSender capability so the
+	// per-section send path skips the type assertion.
+	fs    FusedSender
+	nodes []*Node
 
 	scratchMu sync.Mutex
 	scratch   map[any]any
@@ -68,6 +91,7 @@ func NewWith(p int, params Params, tr Transport) (*Machine, error) {
 		return nil, fmt.Errorf("machine: need at least one node, got %d", p)
 	}
 	m := &Machine{params: params, p: p, tr: tr}
+	m.fs, _ = tr.(FusedSender)
 	ca, _ := tr.(ClockAddr)
 	m.nodes = make([]*Node, p)
 	for i := 0; i < p; i++ {
@@ -202,7 +226,10 @@ func (m *Machine) Reset() {
 // Redist* fields count the subset sent under TagRedist, so
 // redistribution traffic is attributed distinctly from forall
 // (executor/inspector) traffic rather than being silently absorbed
-// into the loop totals.
+// into the loop totals.  The Fused* fields count cross-loop aggregated
+// messages (first sections sent under the TagFused range): one fused
+// message replaces several per-loop messages to the same peer, so
+// MsgsSent drops while FusedMsgsSent counts what remains.
 type Stats struct {
 	MsgsSent     int
 	BytesSent    int
@@ -211,6 +238,9 @@ type Stats struct {
 
 	RedistMsgsSent  int
 	RedistBytesSent int
+
+	FusedMsgsSent  int
+	FusedBytesSent int
 }
 
 // Sub returns the field-wise difference s - o: the events that
@@ -224,6 +254,8 @@ func (s Stats) Sub(o Stats) Stats {
 		FlopCount:       s.FlopCount - o.FlopCount,
 		RedistMsgsSent:  s.RedistMsgsSent - o.RedistMsgsSent,
 		RedistBytesSent: s.RedistBytesSent - o.RedistBytesSent,
+		FusedMsgsSent:   s.FusedMsgsSent - o.FusedMsgsSent,
+		FusedBytesSent:  s.FusedBytesSent - o.FusedBytesSent,
 	}
 }
 
@@ -236,6 +268,8 @@ func (s Stats) Add(o Stats) Stats {
 		FlopCount:       s.FlopCount + o.FlopCount,
 		RedistMsgsSent:  s.RedistMsgsSent + o.RedistMsgsSent,
 		RedistBytesSent: s.RedistBytesSent + o.RedistBytesSent,
+		FusedMsgsSent:   s.FusedMsgsSent + o.FusedMsgsSent,
+		FusedBytesSent:  s.FusedBytesSent + o.FusedBytesSent,
 	}
 }
 
@@ -457,6 +491,33 @@ func (n *Node) ISend(to int, tag Tag, payload any, nbytes int) {
 	})
 }
 
+// ISendFused posts one section of a cross-loop aggregated message.
+// A fusion window sends each peer one logical message made of per-loop
+// sections; the section payloads are bit-identical to the per-loop
+// messages an unfused run would send, but only the first section is a
+// real message start: it pays the send startup and counts in MsgsSent
+// (and FusedMsgsSent).  Continuation sections extend the same transfer
+// — their bytes append to the sender's network-interface timeline with
+// no new startup and no new message count, which is exactly why the
+// fused sender's clock can only shrink relative to the unfused one.
+func (n *Node) ISendFused(to int, tag Tag, payload any, nbytes int, first bool) {
+	if to == n.id {
+		panic("machine: send to self")
+	}
+	n.stats.BytesSent += nbytes
+	n.stats.FusedBytesSent += nbytes
+	if first {
+		n.stats.MsgsSent++
+		n.stats.FusedMsgsSent++
+	}
+	msg := Message{From: n.id, Tag: tag, Payload: payload, Bytes: nbytes}
+	if n.m.fs != nil {
+		n.m.fs.ISendPart(n.id, to, msg, first)
+		return
+	}
+	n.m.tr.ISend(n.id, to, msg)
+}
+
 // Recv blocks until a message from `from` with the given tag is
 // available and returns it (advancing the virtual clock to its arrival
 // time and charging receive overhead on the simulator).
@@ -501,6 +562,18 @@ func (n *Node) Wait(r Request) Message {
 func (n *Node) WaitAny(reqs []Request, done []bool) (int, Message) {
 	i, msg := n.m.tr.WaitAny(n.id, reqs, done)
 	n.stats.MsgsReceived++
+	return i, msg
+}
+
+// WaitAnyFused is WaitAny for fused-section streams: completion order
+// and clock rules are identical, but only a fused message's first
+// section counts in MsgsReceived — continuation sections complete as
+// parts of the same logical message.  firsts must be parallel to reqs.
+func (n *Node) WaitAnyFused(reqs []Request, done []bool, firsts []bool) (int, Message) {
+	i, msg := n.m.tr.WaitAny(n.id, reqs, done)
+	if firsts[i] {
+		n.stats.MsgsReceived++
+	}
 	return i, msg
 }
 

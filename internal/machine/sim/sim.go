@@ -143,6 +143,31 @@ func (t *transport) ISend(me, to int, msg machine.Message) {
 	t.mailboxes[to] <- msg
 }
 
+// ISendPart posts one section of a cross-loop fused message
+// (machine.FusedSender).  A first section is exactly ISend; a
+// continuation section skips the startup charge and only appends its
+// wire time to the network-interface timeline.  Posting a window's
+// sections loop-major at the point the unfused run would post its
+// first loop's messages makes every section's ArriveAt ≤ the unfused
+// counterpart's: the first loop's sections get identical timestamps
+// (same clock, same NIC prefix), and later loops' sections leave a NIC
+// that never waits for intervening compute, while the unfused sender
+// posts them only after finishing the previous loop.
+func (t *transport) ISendPart(me, to int, msg machine.Message, first bool) {
+	p := &t.params
+	if first {
+		t.clocks[me] += p.MsgStartup
+	}
+	start := t.clocks[me]
+	if t.nicFree[me] > start {
+		start = t.nicFree[me]
+	}
+	end := start + float64(msg.Bytes)*p.MsgPerByte
+	t.nicFree[me] = end
+	msg.ArriveAt = end + float64(t.hops(me, to))*p.PerHop
+	t.mailboxes[to] <- msg
+}
+
 // Recv blocks until a message from `from` with the given tag is
 // available, advances the clock to its arrival time, and charges
 // receive overhead.

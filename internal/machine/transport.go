@@ -92,6 +92,21 @@ type Transport interface {
 	Reset()
 }
 
+// FusedSender is an optional Transport extension for virtual-time
+// backends that model cross-loop aggregated messages: ISendPart posts
+// one section of a fused message.  The first section of a message is
+// charged like ISend (startup, then wire time serialized on the
+// sender's network interface); continuation sections append only their
+// wire time to the interface timeline — no startup — so fusing k
+// per-loop messages into one saves k-1 startups on the sender's clock
+// while every section still arrives no later than its unfused
+// counterpart.  Backends without modeled startup costs (wall-clock)
+// need not implement it; the Machine falls back to plain ISend, which
+// has identical delivery semantics there.
+type FusedSender interface {
+	ISendPart(me, to int, msg Message, first bool)
+}
+
 // ClockAddr is an optional Transport extension for virtual-time
 // backends whose per-node clock is a plain float64 accumulator: it
 // exposes the accumulator's address so the Machine can apply

@@ -41,6 +41,9 @@ type level struct {
 type Solver struct {
 	ctx    *core.Context
 	levels []*level
+	// prolong caches each level's interpolation sequence so warm
+	// V-cycles replay it without rebuilding the loops.
+	prolong [][]forall.SeqLoop
 	// Omega is the Jacobi damping factor (2/3 is standard in 1-D).
 	Omega float64
 	// Nu1, Nu2 are pre-/post-smoothing sweep counts.
@@ -181,30 +184,38 @@ func (s *Solver) zero(l int) {
 
 // prolongAdd interpolates the coarse correction up to the fine grid:
 // even fine points coincide with coarse points; odd ones average their
-// coarse neighbors.  Two affine foralls, each owner-computed on the
-// fine points it writes.
+// coarse neighbors.  The interpolation lands in the fine residual
+// array — dead scratch here, its content already restricted — and a
+// purely local loop adds it into u.  Both interpolation loops read
+// only the coarse solution, so the sequence API fuses their messages
+// into one send per processor pair (the add loop reads what they
+// wrote and starts a new window; it moves no data anyway).
 func (s *Solver) prolongAdd(l int) {
+	if s.prolong == nil {
+		s.prolong = make([][]forall.SeqLoop, len(s.levels))
+	}
+	if s.prolong[l] != nil {
+		s.ctx.ForallSeq(s.prolong[l])
+		return
+	}
 	fine, coarse := s.levels[l], s.levels[l+1]
-	u, uc := fine.u, coarse.u
+	u, uc, r := fine.u, coarse.u, fine.r
 	// Fine point 2k gets uc[k] directly.
-	s.ctx.Forall(&forall.Loop{
+	even := &forall.Loop{
 		Name: fmt.Sprintf("mg.prolongE%d", l), Lo: 1, Hi: coarse.n,
-		On: u, OnF: analysis.Affine{A: 2, C: 0},
+		On: r, OnF: analysis.Affine{A: 2, C: 0},
 		Reads: []forall.ReadSpec{
-			{Array: u, Affine: &analysis.Affine{A: 2, C: 0}},
 			{Array: uc, Affine: &analysis.Identity},
 		},
 		Body: func(k int, e *forall.Env) {
-			e.Flops(1)
-			e.Write(u, 2*k, e.Read(u, 2*k)+e.Read(uc, k))
+			e.Write(r, 2*k, e.Read(uc, k))
 		},
-	})
+	}
 	// Fine point 2k-1 averages uc[k-1] and uc[k] (zero outside).
-	s.ctx.Forall(&forall.Loop{
+	odd := &forall.Loop{
 		Name: fmt.Sprintf("mg.prolongO%d", l), Lo: 1, Hi: coarse.n + 1,
-		On: u, OnF: analysis.Affine{A: 2, C: -1},
+		On: r, OnF: analysis.Affine{A: 2, C: -1},
 		Reads: []forall.ReadSpec{
-			{Array: u, Affine: &analysis.Affine{A: 2, C: -1}},
 			{Array: uc, Affine: &analysis.Affine{A: 1, C: -1}},
 			{Array: uc, Affine: &analysis.Identity},
 		},
@@ -217,9 +228,28 @@ func (s *Solver) prolongAdd(l int) {
 				corr += e.Read(uc, k)
 			}
 			e.Flops(3)
-			e.Write(u, 2*k-1, e.Read(u, 2*k-1)+0.5*corr)
+			e.Write(r, 2*k-1, 0.5*corr)
 		},
-	})
+	}
+	// u += r, owner-aligned on both sides: no communication.
+	add := &forall.Loop{
+		Name: fmt.Sprintf("mg.prolongA%d", l), Lo: 1, Hi: fine.n,
+		On: u, OnF: analysis.Identity,
+		Reads: []forall.ReadSpec{
+			{Array: u, Affine: &analysis.Identity},
+			{Array: r, Affine: &analysis.Identity},
+		},
+		Body: func(i int, e *forall.Env) {
+			e.Flops(1)
+			e.Write(u, i, e.Read(u, i)+e.Read(r, i))
+		},
+	}
+	s.prolong[l] = []forall.SeqLoop{
+		{L: even, Writes: []*darray.Array{r}},
+		{L: odd, Writes: []*darray.Array{r}},
+		{L: add, Writes: []*darray.Array{u}},
+	}
+	s.ctx.ForallSeq(s.prolong[l])
 }
 
 // VCycle runs one V-cycle from the finest level.

@@ -18,6 +18,7 @@ import (
 
 	"kali/internal/analysis"
 	"kali/internal/core"
+	"kali/internal/darray"
 	"kali/internal/dist"
 	"kali/internal/forall"
 	"kali/internal/machine"
@@ -54,6 +55,11 @@ type Options struct {
 	// NoOverlap runs the phase-synchronous executor instead of the
 	// default split-phase communication/computation overlap.
 	NoOverlap bool
+	// NoFuse disables cross-loop message aggregation (the sweep's
+	// copy/relax pair runs through the sequence API; its window breaks
+	// on the copy's write either way, so this is a pure oracle toggle
+	// here).
+	NoFuse bool
 	// CheckConvergence adds the while-loop convergence reduction each
 	// sweep (off in the paper's timed runs, which sweep a fixed count).
 	CheckConvergence bool
@@ -109,7 +115,7 @@ func Run(opt Options) Result {
 		nodeDim = dist.MapDim(opt.Owners)
 	}
 
-	rep := core.Run(core.Config{P: opt.P, Params: opt.Params, Backend: opt.Backend, NoOverlap: opt.NoOverlap}, func(ctx *core.Context) {
+	rep := core.Run(core.Config{P: opt.P, Params: opt.Params, Backend: opt.Backend, NoOverlap: opt.NoOverlap, NoFuse: opt.NoFuse}, func(ctx *core.Context) {
 		me := ctx.ID()
 		n := m.N
 
@@ -166,10 +172,18 @@ func Run(opt Options) Result {
 			},
 		}
 
+		// The sweep runs through the sequence API; the relaxation core
+		// reads old_a, which the copy writes, so the fusion window breaks
+		// between them and execution matches the per-loop pipeline
+		// exactly (fused or not).
+		sweep := []forall.SeqLoop{
+			{L: copyLoop, Writes: []*darray.Array{oldA}},
+			{L: relaxLoop, Writes: []*darray.Array{a}},
+		}
+
 		sweeps := 0
 		for sweeps < opt.Sweeps {
-			ctx.Forall(copyLoop)
-			ctx.Forall(relaxLoop)
+			ctx.ForallSeq(sweep)
 			sweeps++
 			if opt.CheckConvergence {
 				delta := 0.0
