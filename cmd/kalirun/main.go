@@ -30,17 +30,30 @@
 // named with -print.  -stats adds the message/traffic breakdown,
 // separating redistribute-statement traffic (and its phase time) from
 // the forall phases.
+//
+// -serve addr starts the multi-tenant schedule server instead of
+// running one program:
+//
+//	kalirun -serve :8080 [-pool N] [-cachedir DIR] [-p N] [-machine ...]
+//
+// POST a .kali program to /run (optionally ?print=a,b) to execute it
+// on a pool of -pool machines sharing one schedule store; the JSON
+// response carries the report including schedule-sharing counters.
+// GET /stats snapshots the store and pool counters.  -cachedir
+// persists compiled schedules so a restarted server warm-starts.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
 	"kali/internal/core"
 	"kali/internal/lang"
 	"kali/internal/machine"
+	"kali/internal/server"
 )
 
 func main() {
@@ -52,7 +65,42 @@ func main() {
 	noVM := flag.Bool("novm", false, "run forall bodies on the tree-walking interpreter instead of the bytecode VM")
 	overlap := flag.String("overlap", "on", "communication/computation overlap: on (split-phase executors) or off (phase-synchronous)")
 	fuse := flag.String("fuse", "on", "cross-loop message aggregation: on (adjacent foralls share sends) or off (per-loop pipeline)")
+	serve := flag.String("serve", "", "serve HTTP on this address (e.g. :8080) instead of running one program")
+	poolSize := flag.Int("pool", 4, "with -serve: number of pooled machines (max concurrent tenants)")
+	cacheDir := flag.String("cachedir", "", "with -serve: persist compiled schedules here for warm starts")
 	flag.Parse()
+
+	if *serve != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: kalirun -serve addr [flags]")
+			os.Exit(2)
+		}
+		params, ok := machine.ByName(*machineName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kalirun: unknown machine %q\n", *machineName)
+			os.Exit(2)
+		}
+		srv, err := server.New(server.Config{
+			P:         *procs,
+			Machines:  *poolSize,
+			Params:    params,
+			Backend:   *backend,
+			CacheDir:  *cacheDir,
+			NoOverlap: *overlap == "off",
+			NoFuse:    *fuse == "off",
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kalirun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kalirun: serving on %s (pool %d × P=%d %s/%s)\n",
+			*serve, *poolSize, *procs, params.Name, *backend)
+		if err := http.ListenAndServe(*serve, srv.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "kalirun:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: kalirun [flags] prog.kali")

@@ -96,6 +96,7 @@ var Registry = map[string]Generator{
 	"backend":      Backend,
 	"langvm":       LangVM,
 	"overlap":      Overlap,
+	"tenants":      Tenants,
 }
 
 // Order lists the experiments in presentation order.
@@ -103,7 +104,7 @@ var Order = []string{
 	"fig7", "fig8", "fig9", "fig10",
 	"worstcase", "unstructured", "caching", "baseline", "ctvsrt", "ctvsrt2d",
 	"distchoice", "enumeration", "enumerate2d", "commvec", "redist", "granularity",
-	"backend", "langvm", "overlap",
+	"backend", "langvm", "overlap", "tenants",
 }
 
 const sweeps = 100

@@ -52,7 +52,7 @@ func costColumn(header string) bool {
 			return false
 		}
 	}
-	for _, key := range []string{"total", "executor", "inspector", "insp", "schedule", "time", "overhead", "ovh", "bytes", "mem", "msgs", "alloc"} {
+	for _, key := range []string{"total", "executor", "inspector", "insp", "schedule", "time", "overhead", "ovh", "bytes", "mem", "msgs", "alloc", "builds"} {
 		if strings.Contains(h, key) {
 			return true
 		}

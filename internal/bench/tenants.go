@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"kali/internal/analysis"
+	"kali/internal/core"
+	"kali/internal/forall"
+	"kali/internal/machine"
+	"kali/internal/server"
+)
+
+// Tenants measures the multi-tenant schedule server: N concurrent
+// tenants running against one machine pool and shared schedule store,
+// in three regimes — cold with every tenant a distinct shape (no
+// sharing possible), cold with identical shapes (cross-tenant sharing
+// plus singleflight), and warm-started from a persisted cache
+// directory (zero builds).
+//
+// The builds / store hits / disk hits columns are exact: singleflight
+// makes the build count a function of (shapes × nodes), not of tenant
+// interleaving, so the CI baseline gates "builds" at the usual
+// tolerance.  The latency percentiles are measured wall-clock and
+// host-dependent ("wall" excludes them from the gate); allocs/run is
+// the sim backend's deterministic steady-state allocation count per
+// warm tenant run.
+func Tenants(opt Options) *Table {
+	p, tenants, n, sweeps, allocReps := 8, 16, 4096, 4, 50
+	pool := 4
+	if opt.Quick {
+		p, tenants, n, sweeps, allocReps = 4, 8, 512, 3, 20
+	}
+	t := &Table{
+		ID:    "tenants",
+		Title: "concurrent multi-tenant schedule server: sharing, persistence, latency",
+		Header: []string{"scenario", "tenants", "builds", "store hits", "disk hits",
+			"hit rate", "p50 wall ms", "p95 wall ms", "allocs/run"},
+		Notes: []string{
+			fmt.Sprintf("%d tenants on a %d-machine pool, P=%d, jacobi+copyback over n=%d (%d sweeps); hit rate = (store+disk hits)/lookups",
+				tenants, pool, p, n, sweeps),
+		},
+	}
+
+	sameShape := make([]int, tenants)
+	distinct := make([]int, tenants)
+	for k := range sameShape {
+		sameShape[k] = n
+		distinct[k] = n + 32*(k+1)
+	}
+
+	newServer := func(dir string) *server.Server {
+		srv, err := server.New(server.Config{P: p, Machines: pool, Params: machine.Ideal(), CacheDir: dir})
+		if err != nil {
+			panic(err)
+		}
+		return srv
+	}
+
+	runScenario := func(name string, srv *server.Server, ns []int) {
+		lat := make([]time.Duration, tenants)
+		var wg sync.WaitGroup
+		for k := 0; k < tenants; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				start := time.Now()
+				if _, err := srv.RunFunc(tenantsWorkload(ns[k], sweeps)); err != nil {
+					panic(err)
+				}
+				lat[k] = time.Since(start)
+			}(k)
+		}
+		wg.Wait()
+		st := srv.Stats().Store
+		lookups := st.Hits + st.DiskHits + st.Builds
+		hitRate := 0.0
+		if lookups > 0 {
+			hitRate = 100 * float64(st.Hits+st.DiskHits) / float64(lookups)
+		}
+		allocs := tenantAllocsPerRun(srv, ns[0], sweeps, allocReps)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p50 := lat[len(lat)/2]
+		p95 := lat[len(lat)*95/100]
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(tenants),
+			fmt.Sprint(st.Builds), fmt.Sprint(st.Hits), fmt.Sprint(st.DiskHits),
+			pct(hitRate),
+			fmt.Sprintf("%.2f", float64(p50.Microseconds())/1e3),
+			fmt.Sprintf("%.2f", float64(p95.Microseconds())/1e3),
+			fmt.Sprintf("%.0f", allocs),
+		})
+	}
+
+	runScenario("cold distinct", newServer(""), distinct)
+	runScenario("cold shared", newServer(""), sameShape)
+
+	// Warm start: populate a cache directory with one run, then serve
+	// the same shape from a brand-new server on that directory — every
+	// schedule revives from disk, so the warm server builds nothing.
+	dir, err := os.MkdirTemp("", "kali-tenants-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	seed := newServer(dir)
+	if _, err := seed.RunFunc(tenantsWorkload(n, sweeps)); err != nil {
+		panic(err)
+	}
+	runScenario("warm disk", newServer(dir), sameShape)
+	return t
+}
+
+// tenantsWorkload is one tenant's program: alternating Jacobi and
+// copy-back sweeps — two shareable compile-time shapes per tenant.
+func tenantsWorkload(n, sweeps int) func(*core.Context) {
+	return func(ctx *core.Context) {
+		a := ctx.BlockArray("a", n)
+		b := ctx.BlockArray("b", n)
+		a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)) })
+		b.EachLocal(func(gl int) { b.Set1(gl, 0) })
+		jac := &forall.Loop{
+			Name: "jacobi", Lo: 2, Hi: n - 1,
+			On: b, OnF: analysis.Identity,
+			Reads: []forall.ReadSpec{
+				{Array: a, Affine: &analysis.Affine{A: 1, C: -1}},
+				{Array: a, Affine: &analysis.Affine{A: 1, C: 1}},
+			},
+			Body: func(i int, e *forall.Env) {
+				e.Write(b, i, 0.5*(e.Read(a, i-1)+e.Read(a, i+1)))
+			},
+		}
+		back := &forall.Loop{
+			Name: "copyback", Lo: 1, Hi: n,
+			On: a, OnF: analysis.Identity,
+			Reads: []forall.ReadSpec{{Array: b, Affine: &analysis.Affine{A: 1, C: 0}}},
+			Body: func(i int, e *forall.Env) {
+				e.Write(a, i, e.Read(b, i))
+			},
+		}
+		for s := 0; s < sweeps; s++ {
+			ctx.Forall(jac)
+			ctx.Forall(back)
+		}
+	}
+}
+
+// tenantAllocsPerRun measures steady-state allocations of one warm
+// tenant run: sequential replays with the collector off, averaged over
+// reps so the Go runtime's occasional timing-dependent bookkeeping
+// allocations stay below rendering granularity.
+func tenantAllocsPerRun(srv *server.Server, n, sweeps, reps int) float64 {
+	prog := tenantsWorkload(n, sweeps)
+	if _, err := srv.RunFunc(prog); err != nil { // warm the caches
+		panic(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for r := 0; r < reps; r++ {
+		if _, err := srv.RunFunc(prog); err != nil {
+			panic(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(reps)
+}

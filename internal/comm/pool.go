@@ -3,6 +3,7 @@ package comm
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Payload is a recyclable message body: the executor packs a loop's
@@ -31,10 +32,29 @@ type Payload struct {
 // The pool must be shared machine-wide (not per node): a buffer is
 // acquired by the sender but released by the receiver, so per-node
 // free lists would drain on one side and pile up on the other.
+// Traffic counters (gets/puts/news) are atomics, not fields under mu:
+// the pool is shared machine-wide and multi-tenant servers read its
+// stats while node goroutines are mid-execution, so stats reads must
+// not contend with (or race against) the hot Get/Put paths.
 type BufPool struct {
 	mu       sync.Mutex
 	free     map[int][]*Payload // capacity class (power of two) -> idle buffers
 	maxClass int
+
+	gets atomic.Int64 // buffers handed out
+	puts atomic.Int64 // buffers returned
+	news atomic.Int64 // Gets served by a fresh allocation (peak demand)
+}
+
+// PoolStats is a point-in-time snapshot of pool traffic, safe to take
+// while node programs are running.  News counts the Gets no pooled
+// buffer could satisfy — a warmed pattern replays with News flat while
+// Gets keeps climbing.  Idle is the current free-list population.
+type PoolStats struct {
+	Gets int64
+	Puts int64
+	News int64
+	Idle int
 }
 
 // classFor returns the smallest power of two >= n (n >= 1 assumed;
@@ -62,7 +82,9 @@ func (p *BufPool) Get(n int) *Payload {
 		}
 	}
 	p.mu.Unlock()
+	p.gets.Add(1)
 	if b == nil {
+		p.news.Add(1)
 		return &Payload{Vals: make([]float64, n, cls)}
 	}
 	b.Vals = b.Vals[:n]
@@ -75,6 +97,7 @@ func (p *BufPool) Put(b *Payload) {
 	if b == nil {
 		return
 	}
+	p.puts.Add(1)
 	// File under the largest class the capacity fully covers, so every
 	// buffer taken from a class list satisfies that class's requests.
 	cls := 1
@@ -101,4 +124,18 @@ func (p *BufPool) Len() int {
 		n += len(list)
 	}
 	return n
+}
+
+// Stats snapshots the traffic counters.  It is safe to call from any
+// goroutine at any time, including while nodes are executing: the
+// counters are atomics and the idle count takes the free-list mutex.
+// The three counters are read individually, so a snapshot taken
+// mid-execution is not a consistent cut — but each counter is exact.
+func (p *BufPool) Stats() PoolStats {
+	return PoolStats{
+		Gets: p.gets.Load(),
+		Puts: p.puts.Load(),
+		News: p.news.Load(),
+		Idle: p.Len(),
+	}
 }

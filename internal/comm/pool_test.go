@@ -1,6 +1,9 @@
 package comm
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 // TestBufPoolRecycles: Get after Put returns the same payload with its
 // capacity retained, and Get sizes the value slice exactly.
@@ -33,5 +36,56 @@ func TestBufPoolRecycles(t *testing.T) {
 	p.Put(nil) // ignored
 	if p.Len() != 2 {
 		t.Fatalf("Put(nil) changed pool size to %d", p.Len())
+	}
+	st := p.Stats()
+	if st.Gets != 3 || st.Puts != 3 || st.News != 2 || st.Idle != 2 {
+		t.Fatalf("stats = %+v, want Gets=3 Puts=3 News=2 Idle=2 (nil Put uncounted)", st)
+	}
+}
+
+// TestBufPoolStatsMidUse: Stats is safe to read while workers hammer
+// the pool — the counters are atomic, so under -race this pins the
+// mid-execution observability the schedule server's /stats endpoint
+// relies on.
+func TestBufPoolStatsMidUse(t *testing.T) {
+	var p BufPool
+	const workers, rounds = 8, 200
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := p.Stats()
+			if st.Gets < st.News {
+				t.Errorf("gets %d < news %d", st.Gets, st.News)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p.Put(p.Get(8))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	st := p.Stats()
+	if st.Gets != workers*rounds || st.Puts != workers*rounds {
+		t.Fatalf("stats = %+v, want %d gets and puts", st, workers*rounds)
+	}
+	if st.News > workers || int64(st.Idle) != st.News {
+		t.Fatalf("stats = %+v: at most one fresh payload per worker, all idle at rest", st)
 	}
 }

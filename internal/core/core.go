@@ -51,6 +51,19 @@ type Config struct {
 	// contents are identical either way; only message counts and timing
 	// change.
 	NoFuse bool
+	// Machine, when non-nil, runs the program on this existing machine
+	// (reset first) instead of building a fresh one — the schedule
+	// server's pool-reuse path.  It is honored only when its processor
+	// count equals P; otherwise a fresh machine is built from the rest
+	// of the config (the language front end may elaborate to fewer
+	// processors than a pooled machine has).
+	Machine *machine.Machine
+	// Store, when non-nil, is a cross-tenant shared schedule store the
+	// run's engines consult before building (and publish into after):
+	// concurrently running programs adopt each other's compile-time
+	// schedules, and persisted blueprints make warm starts skip
+	// building entirely.
+	Store *forall.SharedStore
 }
 
 // NewMachine builds the machine cfg describes, choosing the backend
@@ -179,6 +192,15 @@ type Report struct {
 	// cache bounds and some replays are paying rebuild cost.
 	SchedEvictions int
 	PlanEvictions  int
+
+	// Builds counts forall schedules constructed from scratch (summed
+	// over nodes); SharedHits counts replays served by each engine's
+	// local structural cache; StoreHits counts schedules adopted from a
+	// cross-tenant SharedStore (cfg.Store) instead of built — the
+	// multi-tenant sharing benefit, zero when no store is configured.
+	Builds     int
+	SharedHits int
+	StoreHits  int
 }
 
 // OverheadPct returns the paper's "inspector overhead" column:
@@ -198,21 +220,25 @@ func (r Report) String() string {
 // Run executes prog as an SPMD program on a fresh P-node machine
 // (cfg.Backend selects the runtime) and returns the timing report.
 func Run(cfg Config, prog func(ctx *Context)) Report {
-	m, err := NewMachine(cfg)
-	if err != nil {
-		panic(err)
+	m := cfg.Machine
+	if m == nil || m.P() != cfg.P {
+		var err error
+		m, err = NewMachine(cfg)
+		if err != nil {
+			panic(err)
+		}
 	}
-	return runOn(m, cfg.NoOverlap, cfg.NoFuse, prog)
+	return runOn(m, cfg.NoOverlap, cfg.NoFuse, cfg.Store, prog)
 }
 
 // RunOn executes prog on an existing machine (reset first), allowing
 // reuse across experiments.  Engines run with default options (overlap
-// and fusion on); use Run with a Config to ablate.
+// and fusion on, no shared store); use Run with a Config to ablate.
 func RunOn(m *machine.Machine, prog func(ctx *Context)) Report {
-	return runOn(m, false, false, prog)
+	return runOn(m, false, false, nil, prog)
 }
 
-func runOn(m *machine.Machine, noOverlap, noFuse bool, prog func(ctx *Context)) Report {
+func runOn(m *machine.Machine, noOverlap, noFuse bool, store *forall.SharedStore, prog func(ctx *Context)) Report {
 	m.Reset()
 	grid := topology.MustGrid(m.P())
 	engines := make([]*forall.Engine, m.P())
@@ -220,6 +246,7 @@ func runOn(m *machine.Machine, noOverlap, noFuse bool, prog func(ctx *Context)) 
 		eng := forall.NewEngine(n)
 		eng.NoOverlap = noOverlap
 		eng.NoFuse = noFuse
+		eng.Store = store
 		ctx := &Context{
 			Node: n,
 			Eng:  eng,
@@ -250,6 +277,9 @@ func runOn(m *machine.Machine, noOverlap, noFuse bool, prog func(ctx *Context)) 
 	for _, e := range engines {
 		if e != nil {
 			rep.SchedEvictions += e.SharedEvictions()
+			rep.Builds += e.Builds()
+			rep.SharedHits += e.SharedHits()
+			rep.StoreHits += e.StoreHits()
 		}
 	}
 	rep.PlanEvictions = darray.PlanEvictions(m)

@@ -488,10 +488,19 @@ type Engine struct {
 	// (kalirun -fuse=off).  Fusion also stands down automatically under
 	// NoOverlap and NoCombine, whose oracle semantics it composes with.
 	NoFuse bool
+	// Store, when non-nil, is the cross-tenant content-addressed store
+	// (store.go): before building a shareable schedule the engine
+	// consults it (adopting blueprints other programs built, possibly
+	// revived from disk), and after building it publishes the blueprint
+	// there.  Build requests for the same shape are coalesced
+	// machine-wide (singleflight), which is deadlock-free because only
+	// communication-free compile-time builds participate.
+	Store *SharedStore
 
 	lastKind   BuildKind
 	builds     int
 	sharedHits int
+	storeHits  int
 
 	// Fusion state: the bounded fused-plan store (fuse.go), the
 	// schedule-id mint backing its keys, and the window counter tests
@@ -540,6 +549,11 @@ func (e *Engine) Builds() int { return e.builds }
 // SharedHits returns how many times a loop adopted an existing
 // schedule from the content-addressed store instead of building one.
 func (e *Engine) SharedHits() int { return e.sharedHits }
+
+// StoreHits returns how many times a loop adopted a blueprint from the
+// cross-tenant SharedStore (built by another program, or revived from
+// the persistence directory) instead of building a schedule itself.
+func (e *Engine) StoreHits() int { return e.storeHits }
 
 // SharedSchedules returns the number of distinct schedules in the
 // content-addressed store.
@@ -729,6 +743,55 @@ func (e *Engine) schedule(c *loopCore) *Schedule {
 			return s
 		}
 	}
+	var s *Schedule
+	adopted := false
+	if shareable && e.Store != nil {
+		// Cross-tenant store: adopt a blueprint some program already
+		// built (or a warm start revived from disk), else build exactly
+		// once machine-wide — concurrent tenants asking for the same
+		// shape block on the first build instead of duplicating it.
+		bp, hit := e.Store.getOrBuild(e.node.ID(), sk, func() *Blueprint {
+			s = e.build(c)
+			return blueprintOf(s)
+		})
+		if hit {
+			e.node.StartPhase(PhaseInspector)
+			s = e.instantiate(bp)
+			// Instantiation is a copy pass, not set algebra: one call's
+			// worth, like a redistribution plan hit.
+			e.node.Charge(machine.Cost{Calls: 1})
+			e.node.StopPhase(PhaseInspector)
+			adopted = true
+		}
+	} else {
+		s = e.build(c)
+	}
+	if adopted {
+		e.storeHits++
+	} else {
+		finalizePeers(s)
+		e.builds++
+	}
+	e.sidCounter++
+	s.sid = e.sidCounter
+	if shareable {
+		e.shared.Put(sk, s)
+	}
+	if !e.NoCache {
+		e.store(key, c, s)
+	}
+	if adopted {
+		e.lastKind = BuildShared
+	} else {
+		e.lastKind = s.kind
+	}
+	return s
+}
+
+// build constructs a schedule for c — compile-time when the loop is
+// analyzable (and not forced), else by the run-time inspector — timed
+// under the inspector phase.
+func (e *Engine) build(c *loopCore) *Schedule {
 	e.node.StartPhase(PhaseInspector)
 	var s *Schedule
 	if c.analyzable() && !e.ForceInspector {
@@ -738,17 +801,6 @@ func (e *Engine) schedule(c *loopCore) *Schedule {
 	}
 	e.node.StopPhase(PhaseInspector)
 	s.rank = c.rank
-	finalizePeers(s)
-	e.sidCounter++
-	s.sid = e.sidCounter
-	e.builds++
-	if shareable {
-		e.shared.Put(sk, s)
-	}
-	if !e.NoCache {
-		e.store(key, c, s)
-	}
-	e.lastKind = s.kind
 	return s
 }
 

@@ -35,6 +35,27 @@ type shareKey struct {
 
 func mixInt(h uint64, v int) uint64 { return dist.MixFingerprint(h, uint64(int64(v))) }
 
+// fingerprint condenses the key to one stable hash.  Every ingredient
+// is structural (bounds, affine coefficients, distribution
+// fingerprints — themselves content-based FNV hashes), so the value is
+// identical across processes and runs: the cross-tenant SharedStore
+// shards on it, and the disk cache names files with it, so a warm
+// start in a fresh process finds the schedules a previous one saved.
+func (k shareKey) fingerprint() uint64 {
+	h := dist.FingerprintSeed
+	h = mixInt(h, k.rank)
+	for _, b := range k.bounds {
+		h = mixInt(h, b)
+	}
+	h = mixInt(mixInt(h, k.onF.A), k.onF.C)
+	h = mixInt(mixInt(h, k.onF2.I.A), k.onF2.I.C)
+	h = mixInt(mixInt(h, k.onF2.J.A), k.onF2.J.C)
+	h = dist.MixFingerprint(h, k.onDist)
+	h = dist.MixFingerprint(h, k.reads)
+	h = mixInt(h, k.nreads)
+	return h
+}
+
 // shareKeyOf fingerprints an analyzable loop.  Each read contributes
 // its slot index (its array's position in the appendDistinct order —
 // the same order assembleArrays builds slots in and bindArrays binds

@@ -1,0 +1,262 @@
+package forall
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"kali/internal/analysis"
+	"kali/internal/darray"
+	"kali/internal/dist"
+	"kali/internal/machine"
+	"kali/internal/machine/sim"
+	"kali/internal/topology"
+)
+
+// runShiftWithStore runs the Figure 1 shift loop on a fresh P-node
+// machine whose engines consult the given shared store, returning the
+// gathered array and the builds/store-hits totals over all engines.
+func runShiftWithStore(t *testing.T, n, p int, store *SharedStore) ([]float64, int, int) {
+	t.Helper()
+	g := topology.MustGrid(p)
+	d := dist.Must([]int{n}, []dist.DimSpec{dist.BlockDim()}, g)
+	m := sim.MustNew(p, machine.Ideal())
+	result := make([]float64, n+1)
+	var mu sync.Mutex
+	builds, storeHits := 0, 0
+	m.Run(func(nd *machine.Node) {
+		a := darray.New("A", d, nd)
+		a.EachLocal(func(gl int) { a.Set1(gl, float64(gl)) })
+		eng := NewEngine(nd)
+		eng.Store = store
+		eng.Run(&Loop{
+			Name: "shift", Lo: 1, Hi: n - 1,
+			On: a, OnF: analysis.Identity,
+			Reads: []ReadSpec{{Array: a, Affine: &analysis.Affine{A: 1, C: 1}}},
+			Body: func(i int, e *Env) {
+				e.Write(a, i, e.Read(a, i+1))
+			},
+		})
+		mu.Lock()
+		builds += eng.Builds()
+		storeHits += eng.StoreHits()
+		a.EachLocal(func(gl int) { result[gl] = a.Get1(gl) })
+		mu.Unlock()
+	})
+	return result, builds, storeHits
+}
+
+func testKey(i int) shareKey {
+	return shareKey{rank: 1, bounds: [4]int{1, 10 + i}, onF: analysis.Identity, nreads: 1, reads: uint64(i)}
+}
+
+// TestStoreSingleflight: K tenants asking for one key concurrently
+// cause exactly one build; everyone else adopts.
+func TestStoreSingleflight(t *testing.T) {
+	const K = 16
+	s := NewSharedStore(64, "")
+	key := testKey(0)
+	var buildCount sync.Map
+	var calls int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < K; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bp, _ := s.getOrBuild(0, key, func() *Blueprint {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				return &Blueprint{Rank: 1}
+			})
+			if bp == nil {
+				t.Error("nil blueprint")
+			}
+			buildCount.Store(bp, true)
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("build ran %d times, want exactly 1", calls)
+	}
+	st := s.Stats()
+	if st.Builds != 1 || st.Hits != K-1 {
+		t.Fatalf("stats = %+v, want Builds=1 Hits=%d", st, K-1)
+	}
+	distinct := 0
+	buildCount.Range(func(any, any) bool { distinct++; return true })
+	if distinct != 1 {
+		t.Fatalf("tenants saw %d distinct blueprints, want 1 shared", distinct)
+	}
+}
+
+// TestStoreBuilderPanicReleasesWaiters: a failing builder must not
+// wedge the inflight entry — waiters retry and one of them builds.
+func TestStoreBuilderPanicReleasesWaiters(t *testing.T) {
+	s := NewSharedStore(64, "")
+	key := testKey(1)
+	func() {
+		defer func() { recover() }()
+		s.getOrBuild(0, key, func() *Blueprint { panic("tenant died mid-build") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bp, hit := s.getOrBuild(0, key, func() *Blueprint { return &Blueprint{Rank: 1} })
+		if bp == nil || hit {
+			t.Errorf("retry after panic: bp=%v hit=%v, want fresh build", bp, hit)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung after builder panic")
+	}
+}
+
+// TestStoreDistinctKeys: different structures never coalesce.
+func TestStoreDistinctKeys(t *testing.T) {
+	s := NewSharedStore(64, "")
+	for i := 0; i < 5; i++ {
+		s.getOrBuild(0, testKey(i), func() *Blueprint { return &Blueprint{Rank: 1} })
+	}
+	if st := s.Stats(); st.Builds != 5 || st.Hits != 0 || st.Entries != 5 {
+		t.Fatalf("stats = %+v, want 5 builds, 0 hits, 5 entries", st)
+	}
+}
+
+// TestStoreCrossTenantAdopt: a second program (fresh machine, fresh
+// engines) sharing the store adopts every schedule the first built,
+// with bit-identical results.
+func TestStoreCrossTenantAdopt(t *testing.T) {
+	const n, p = 24, 4
+	s := NewSharedStore(64, "")
+	want, builds1, _ := runShiftWithStore(t, n, p, s)
+	if builds1 != p {
+		t.Fatalf("first tenant: builds = %d, want %d", builds1, p)
+	}
+	got, builds2, hits2 := runShiftWithStore(t, n, p, s)
+	if builds2 != 0 || hits2 != p {
+		t.Fatalf("second tenant: builds=%d storeHits=%d, want 0 and %d", builds2, hits2, p)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("A[%d] = %g adopted, want %g built", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStorePersistRoundTrip: a fresh store on the same directory
+// revives every schedule from disk — the warm start builds nothing —
+// and replays bit-identically.
+func TestStorePersistRoundTrip(t *testing.T) {
+	const n, p = 24, 4
+	dir := t.TempDir()
+	want, _, _ := runShiftWithStore(t, n, p, NewSharedStore(64, dir))
+	files, err := filepath.Glob(filepath.Join(dir, "sched-*.ksched"))
+	if err != nil || len(files) != p {
+		t.Fatalf("persisted %d blueprint files (err %v), want %d", len(files), err, p)
+	}
+
+	warm := NewSharedStore(64, dir)
+	got, builds, hits := runShiftWithStore(t, n, p, warm)
+	if builds != 0 || hits != p {
+		t.Fatalf("warm start: builds=%d storeHits=%d, want 0 and %d", builds, hits, p)
+	}
+	if st := warm.Stats(); st.DiskHits != p || st.Builds != 0 {
+		t.Fatalf("warm store stats = %+v, want DiskHits=%d Builds=0", st, p)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("A[%d] = %g warm, want %g cold", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStorePersistCorruptFallback: garbage cache files are ignored and
+// rebuilt cleanly, never trusted.
+func TestStorePersistCorruptFallback(t *testing.T) {
+	const n, p = 24, 4
+	dir := t.TempDir()
+	want, _, _ := runShiftWithStore(t, n, p, NewSharedStore(64, dir))
+	files, _ := filepath.Glob(filepath.Join(dir, "sched-*.ksched"))
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("not a schedule"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewSharedStore(64, dir)
+	got, builds, _ := runShiftWithStore(t, n, p, s)
+	if builds != p {
+		t.Fatalf("corrupt cache: builds = %d, want %d (full rebuild)", builds, p)
+	}
+	if st := s.Stats(); st.DiskHits != 0 {
+		t.Fatalf("corrupt cache produced %d disk hits", st.DiskHits)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("A[%d] = %g after fallback, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStorePersistStaleVersionFallback: a structurally valid envelope
+// with the wrong format version is rejected and rebuilt.
+func TestStorePersistStaleVersionFallback(t *testing.T) {
+	const n, p = 24, 4
+	dir := t.TempDir()
+	runShiftWithStore(t, n, p, NewSharedStore(64, dir))
+	files, _ := filepath.Glob(filepath.Join(dir, "sched-*.ksched"))
+	if len(files) == 0 {
+		t.Fatal("no persisted files")
+	}
+	for _, fname := range files {
+		raw, err := os.ReadFile(fname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env diskSched
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		env.Version = schedCacheVersion + 1
+		f, err := os.Create(fname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gob.NewEncoder(f).Encode(&env); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	s := NewSharedStore(64, dir)
+	_, builds, _ := runShiftWithStore(t, n, p, s)
+	if builds != p {
+		t.Fatalf("stale version: builds = %d, want %d (full rebuild)", builds, p)
+	}
+	if st := s.Stats(); st.DiskHits != 0 {
+		t.Fatalf("stale version produced %d disk hits", st.DiskHits)
+	}
+}
+
+// TestStoreEvictionBounded: the in-memory store never exceeds its
+// capacity however many shapes pass through.
+func TestStoreEvictionBounded(t *testing.T) {
+	s := NewSharedStore(storeShards, "") // one blueprint per shard
+	for i := 0; i < 10*storeShards; i++ {
+		s.getOrBuild(0, testKey(i), func() *Blueprint { return &Blueprint{Rank: 1} })
+	}
+	st := s.Stats()
+	if st.Entries > storeShards {
+		t.Fatalf("store holds %d entries, cap %d", st.Entries, storeShards)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under churn")
+	}
+}

@@ -1,86 +1,21 @@
 package lang
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 	"testing/quick"
 
 	"kali/internal/core"
+	"kali/internal/lang/langtest"
 	"kali/internal/machine"
 )
-
-// genProgram builds a random but well-formed Kali program: a few
-// arrays under random distributions, initialization loops, and a
-// sequence of foralls mixing affine stencils and data-dependent
-// gathers.  Results must not depend on the processor count — the
-// fundamental guarantee of the global name space.
-func genProgram(r *rand.Rand) string {
-	n := 8 + r.Intn(24)
-	dists := []string{"block", "cyclic", fmt.Sprintf("block_cyclic(%d)", 1+r.Intn(4))}
-	distA := dists[r.Intn(len(dists))]
-	distB := dists[r.Intn(len(dists))]
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "processors Procs : array[1..P] with P in 1..64;\n")
-	fmt.Fprintf(&b, "const n = %d;\n", n)
-	fmt.Fprintf(&b, "var a : array[1..n] of real dist by [%s] on Procs;\n", distA)
-	fmt.Fprintf(&b, "    b : array[1..n] of real dist by [%s] on Procs;\n", distB)
-	// perm drives subscripts inside "forall ... on b[i].loc", so it
-	// must travel with b (the language's alignment rule for integer
-	// subscript arrays).
-	fmt.Fprintf(&b, "    perm : array[1..n] of integer dist by [%s] on Procs;\n", distB)
-	fmt.Fprintf(&b, "    i : integer;\n")
-	fmt.Fprintf(&b, "begin\n")
-	fmt.Fprintf(&b, "  for i in 1..n do\n")
-	fmt.Fprintf(&b, "    a[i] := float(i) * %d.0;\n", 1+r.Intn(5))
-	fmt.Fprintf(&b, "    b[i] := float(i * i);\n")
-	fmt.Fprintf(&b, "    perm[i] := (i * %d) mod n + 1;\n", 1+2*r.Intn(4)) // odd-ish stride
-	fmt.Fprintf(&b, "  end;\n")
-
-	stmts := 1 + r.Intn(3)
-	for s := 0; s < stmts; s++ {
-		switch r.Intn(3) {
-		case 0: // affine stencil a[i] := b[i+c] + a[i]
-			c := r.Intn(3) - 1
-			lo, hi := 1, n
-			if c > 0 {
-				hi = n - c
-			} else {
-				lo = 1 - c
-			}
-			sub := "i"
-			if c > 0 {
-				sub = fmt.Sprintf("i+%d", c)
-			} else if c < 0 {
-				sub = fmt.Sprintf("i-%d", -c)
-			}
-			fmt.Fprintf(&b, "  forall i in %d..%d on a[i].loc do\n", lo, hi)
-			fmt.Fprintf(&b, "    a[i] := b[%s] + a[i];\n", sub)
-			fmt.Fprintf(&b, "  end;\n")
-		case 1: // indirect gather b[i] := a[perm[i]]
-			fmt.Fprintf(&b, "  forall i in 1..n do b[i] := a[ perm[i] ]; end;\n")
-			// placeholder replaced below: lang requires on clause
-		default: // strided update on even points
-			fmt.Fprintf(&b, "  forall i in 1..n div 2 on a[2*i].loc do\n")
-			fmt.Fprintf(&b, "    a[2*i] := a[2*i] * 0.5 + b[2*i-1];\n")
-			fmt.Fprintf(&b, "  end;\n")
-		}
-	}
-	fmt.Fprintf(&b, "end.\n")
-	// Fix the on-clause-less forall emitted in case 1.
-	return strings.ReplaceAll(b.String(),
-		"forall i in 1..n do b[i] := a[ perm[i] ]; end;",
-		"forall i in 1..n on b[i].loc do b[i] := a[ perm[i] ]; end;")
-}
 
 // TestQuickProgramsProcessorIndependent: every generated program
 // yields bit-identical arrays on P = 1, 2 and 4.
 func TestQuickProgramsProcessorIndependent(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		src := genProgram(r)
+		src := langtest.GenProgram(r)
 		prog, err := Compile(src)
 		if err != nil {
 			t.Fatalf("generated program failed to compile: %v\n%s", err, src)
@@ -111,80 +46,6 @@ func TestQuickProgramsProcessorIndependent(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
-}
-
-// genVMProgram builds a random program that stresses the bytecode
-// compiler beyond the plain stencils of genProgram: forall bodies with
-// local variables, if/else with boolean connectives, inner for loops,
-// builtin calls, unary minus, and integer div/mod — every construct
-// the VM lowers.  Used by the VM-vs-walker differential tests.
-func genVMProgram(r *rand.Rand) string {
-	n := 8 + r.Intn(24)
-	k := 2 + r.Intn(4)
-	dists := []string{"block", "cyclic", fmt.Sprintf("block_cyclic(%d)", 1+r.Intn(4))}
-	distA := dists[r.Intn(len(dists))]
-	distB := dists[r.Intn(len(dists))]
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "processors Procs : array[1..P] with P in 1..64;\n")
-	fmt.Fprintf(&b, "const n = %d;\n", n)
-	fmt.Fprintf(&b, "      k = %d;\n", k)
-	fmt.Fprintf(&b, "var a : array[1..n] of real dist by [%s] on Procs;\n", distA)
-	fmt.Fprintf(&b, "    b : array[1..n] of real dist by [%s] on Procs;\n", distB)
-	fmt.Fprintf(&b, "    perm : array[1..n] of integer dist by [%s] on Procs;\n", distB)
-	fmt.Fprintf(&b, "    i : integer;\n")
-	fmt.Fprintf(&b, "begin\n")
-	fmt.Fprintf(&b, "  for i in 1..n do\n")
-	fmt.Fprintf(&b, "    a[i] := float(i) * %d.0 - %d.5;\n", 1+r.Intn(5), r.Intn(3))
-	fmt.Fprintf(&b, "    b[i] := float(i * i) / %d.0;\n", 2+r.Intn(3))
-	fmt.Fprintf(&b, "    perm[i] := (i * %d) mod n + 1;\n", 1+2*r.Intn(4))
-	fmt.Fprintf(&b, "  end;\n")
-
-	stmts := 1 + r.Intn(3)
-	for s := 0; s < stmts; s++ {
-		switch r.Intn(5) {
-		case 0: // affine stencil with a const-folded coefficient
-			c := r.Intn(3) - 1
-			lo, hi := 1, n
-			sub := "i"
-			if c > 0 {
-				hi, sub = n-c, fmt.Sprintf("i+%d", c)
-			} else if c < 0 {
-				lo, sub = 1-c, fmt.Sprintf("i-%d", -c)
-			}
-			fmt.Fprintf(&b, "  forall i in %d..%d on a[i].loc do\n", lo, hi)
-			fmt.Fprintf(&b, "    a[i] := b[%s] * (1.0 / float(k)) + a[i];\n", sub)
-			fmt.Fprintf(&b, "  end;\n")
-		case 1: // indirect gather through perm
-			fmt.Fprintf(&b, "  forall i in 1..n on b[i].loc do b[i] := a[ perm[i] ]; end;\n")
-		case 2: // locals, builtins, if/else with and/or
-			fmt.Fprintf(&b, "  forall i in 1..n on a[i].loc do\n")
-			fmt.Fprintf(&b, "    var t : real; m : integer;\n")
-			fmt.Fprintf(&b, "    t := abs(b[i]) + sqrt(abs(a[i]));\n")
-			fmt.Fprintf(&b, "    m := trunc(t) mod k + 1;\n")
-			fmt.Fprintf(&b, "    if (t > float(m)) and (i mod 2 = 0) then\n")
-			fmt.Fprintf(&b, "      a[i] := min(t, a[i]) - float(m);\n")
-			fmt.Fprintf(&b, "    else\n")
-			fmt.Fprintf(&b, "      a[i] := max(t * 0.5, -a[i]);\n")
-			fmt.Fprintf(&b, "    end;\n")
-			fmt.Fprintf(&b, "  end;\n")
-		case 3: // inner for loop accumulating into a local
-			fmt.Fprintf(&b, "  forall i in 1..n on a[i].loc do\n")
-			fmt.Fprintf(&b, "    var s2 : real; q : integer;\n")
-			fmt.Fprintf(&b, "    s2 := 0.0;\n")
-			fmt.Fprintf(&b, "    for q in 1..k do\n")
-			fmt.Fprintf(&b, "      s2 := s2 + b[i] * float(q);\n")
-			fmt.Fprintf(&b, "    end;\n")
-			fmt.Fprintf(&b, "    a[i] := s2 / float(k);\n")
-			fmt.Fprintf(&b, "  end;\n")
-		default: // strided update with integer arithmetic in subscripts
-			fmt.Fprintf(&b, "  forall i in 1..n div 2 on a[2*i].loc do\n")
-			fmt.Fprintf(&b, "    a[2*i] := a[2*i] * 0.5 + b[2*i-1];\n")
-			fmt.Fprintf(&b, "  end;\n")
-		}
-	}
-	fmt.Fprintf(&b, "end.\n")
-	return b.String()
 }
 
 // diffVMWalker runs src twice — once through the bytecode VM, once
@@ -244,7 +105,7 @@ func diffVMWalker(t *testing.T, src string, p int) {
 func TestQuickVMDifferential(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		src := genVMProgram(r)
+		src := langtest.GenVMProgram(r)
 		for _, p := range []int{1, 3, 4} {
 			diffVMWalker(t, src, p)
 		}
@@ -264,7 +125,7 @@ func FuzzVMDifferential(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		r := rand.New(rand.NewSource(seed))
-		src := genVMProgram(r)
+		src := langtest.GenVMProgram(r)
 		diffVMWalker(t, src, 4)
 	})
 }
@@ -324,9 +185,9 @@ func diffFusion(t *testing.T, src string, p int) {
 func TestQuickFusionDifferential(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		src := genProgram(r)
+		src := langtest.GenProgram(r)
 		diffFusion(t, src, 4)
-		src = genVMProgram(rand.New(rand.NewSource(seed)))
+		src = langtest.GenVMProgram(rand.New(rand.NewSource(seed)))
 		for _, p := range []int{1, 3, 4} {
 			diffFusion(t, src, p)
 		}
@@ -346,7 +207,7 @@ func FuzzFusionDifferential(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		r := rand.New(rand.NewSource(seed))
-		src := genVMProgram(r)
+		src := langtest.GenVMProgram(r)
 		diffFusion(t, src, 4)
 	})
 }
@@ -356,7 +217,7 @@ func FuzzFusionDifferential(f *testing.F) {
 func TestQuickProgramsDeterministicTiming(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		src := genProgram(r)
+		src := langtest.GenProgram(r)
 		prog, err := Compile(src)
 		if err != nil {
 			return false

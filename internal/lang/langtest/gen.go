@@ -1,0 +1,150 @@
+// Package langtest generates random well-formed Kali programs for
+// differential testing.  The generators are shared by the language
+// package's VM-vs-walker and fusion fuzzers and by the schedule
+// server's concurrency fuzzer: the same program run solo and run
+// racing other tenants must agree bit-for-bit, because a compiled
+// schedule is a pure function of loop structure and distribution
+// (paper §3.2) and sharing it across programs must be unobservable.
+// The package deliberately imports nothing from the interpreter so
+// non-test packages can use it without cycles.
+package langtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenProgram builds a random but well-formed Kali program: a few
+// arrays under random distributions, initialization loops, and a
+// sequence of foralls mixing affine stencils and data-dependent
+// gathers.  Results must not depend on the processor count — the
+// fundamental guarantee of the global name space.
+func GenProgram(r *rand.Rand) string {
+	n := 8 + r.Intn(24)
+	dists := []string{"block", "cyclic", fmt.Sprintf("block_cyclic(%d)", 1+r.Intn(4))}
+	distA := dists[r.Intn(len(dists))]
+	distB := dists[r.Intn(len(dists))]
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "processors Procs : array[1..P] with P in 1..64;\n")
+	fmt.Fprintf(&b, "const n = %d;\n", n)
+	fmt.Fprintf(&b, "var a : array[1..n] of real dist by [%s] on Procs;\n", distA)
+	fmt.Fprintf(&b, "    b : array[1..n] of real dist by [%s] on Procs;\n", distB)
+	// perm drives subscripts inside "forall ... on b[i].loc", so it
+	// must travel with b (the language's alignment rule for integer
+	// subscript arrays).
+	fmt.Fprintf(&b, "    perm : array[1..n] of integer dist by [%s] on Procs;\n", distB)
+	fmt.Fprintf(&b, "    i : integer;\n")
+	fmt.Fprintf(&b, "begin\n")
+	fmt.Fprintf(&b, "  for i in 1..n do\n")
+	fmt.Fprintf(&b, "    a[i] := float(i) * %d.0;\n", 1+r.Intn(5))
+	fmt.Fprintf(&b, "    b[i] := float(i * i);\n")
+	fmt.Fprintf(&b, "    perm[i] := (i * %d) mod n + 1;\n", 1+2*r.Intn(4)) // odd-ish stride
+	fmt.Fprintf(&b, "  end;\n")
+
+	stmts := 1 + r.Intn(3)
+	for s := 0; s < stmts; s++ {
+		switch r.Intn(3) {
+		case 0: // affine stencil a[i] := b[i+c] + a[i]
+			c := r.Intn(3) - 1
+			lo, hi := 1, n
+			if c > 0 {
+				hi = n - c
+			} else {
+				lo = 1 - c
+			}
+			sub := "i"
+			if c > 0 {
+				sub = fmt.Sprintf("i+%d", c)
+			} else if c < 0 {
+				sub = fmt.Sprintf("i-%d", -c)
+			}
+			fmt.Fprintf(&b, "  forall i in %d..%d on a[i].loc do\n", lo, hi)
+			fmt.Fprintf(&b, "    a[i] := b[%s] + a[i];\n", sub)
+			fmt.Fprintf(&b, "  end;\n")
+		case 1: // indirect gather b[i] := a[perm[i]]
+			fmt.Fprintf(&b, "  forall i in 1..n on b[i].loc do b[i] := a[ perm[i] ]; end;\n")
+		default: // strided update on even points
+			fmt.Fprintf(&b, "  forall i in 1..n div 2 on a[2*i].loc do\n")
+			fmt.Fprintf(&b, "    a[2*i] := a[2*i] * 0.5 + b[2*i-1];\n")
+			fmt.Fprintf(&b, "  end;\n")
+		}
+	}
+	fmt.Fprintf(&b, "end.\n")
+	return b.String()
+}
+
+// GenVMProgram builds a random program that stresses the bytecode
+// compiler beyond the plain stencils of GenProgram: forall bodies with
+// local variables, if/else with boolean connectives, inner for loops,
+// builtin calls, unary minus, and integer div/mod — every construct
+// the VM lowers.
+func GenVMProgram(r *rand.Rand) string {
+	n := 8 + r.Intn(24)
+	k := 2 + r.Intn(4)
+	dists := []string{"block", "cyclic", fmt.Sprintf("block_cyclic(%d)", 1+r.Intn(4))}
+	distA := dists[r.Intn(len(dists))]
+	distB := dists[r.Intn(len(dists))]
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "processors Procs : array[1..P] with P in 1..64;\n")
+	fmt.Fprintf(&b, "const n = %d;\n", n)
+	fmt.Fprintf(&b, "      k = %d;\n", k)
+	fmt.Fprintf(&b, "var a : array[1..n] of real dist by [%s] on Procs;\n", distA)
+	fmt.Fprintf(&b, "    b : array[1..n] of real dist by [%s] on Procs;\n", distB)
+	fmt.Fprintf(&b, "    perm : array[1..n] of integer dist by [%s] on Procs;\n", distB)
+	fmt.Fprintf(&b, "    i : integer;\n")
+	fmt.Fprintf(&b, "begin\n")
+	fmt.Fprintf(&b, "  for i in 1..n do\n")
+	fmt.Fprintf(&b, "    a[i] := float(i) * %d.0 - %d.5;\n", 1+r.Intn(5), r.Intn(3))
+	fmt.Fprintf(&b, "    b[i] := float(i * i) / %d.0;\n", 2+r.Intn(3))
+	fmt.Fprintf(&b, "    perm[i] := (i * %d) mod n + 1;\n", 1+2*r.Intn(4))
+	fmt.Fprintf(&b, "  end;\n")
+
+	stmts := 1 + r.Intn(3)
+	for s := 0; s < stmts; s++ {
+		switch r.Intn(5) {
+		case 0: // affine stencil with a const-folded coefficient
+			c := r.Intn(3) - 1
+			lo, hi := 1, n
+			sub := "i"
+			if c > 0 {
+				hi, sub = n-c, fmt.Sprintf("i+%d", c)
+			} else if c < 0 {
+				lo, sub = 1-c, fmt.Sprintf("i-%d", -c)
+			}
+			fmt.Fprintf(&b, "  forall i in %d..%d on a[i].loc do\n", lo, hi)
+			fmt.Fprintf(&b, "    a[i] := b[%s] * (1.0 / float(k)) + a[i];\n", sub)
+			fmt.Fprintf(&b, "  end;\n")
+		case 1: // indirect gather through perm
+			fmt.Fprintf(&b, "  forall i in 1..n on b[i].loc do b[i] := a[ perm[i] ]; end;\n")
+		case 2: // locals, builtins, if/else with and/or
+			fmt.Fprintf(&b, "  forall i in 1..n on a[i].loc do\n")
+			fmt.Fprintf(&b, "    var t : real; m : integer;\n")
+			fmt.Fprintf(&b, "    t := abs(b[i]) + sqrt(abs(a[i]));\n")
+			fmt.Fprintf(&b, "    m := trunc(t) mod k + 1;\n")
+			fmt.Fprintf(&b, "    if (t > float(m)) and (i mod 2 = 0) then\n")
+			fmt.Fprintf(&b, "      a[i] := min(t, a[i]) - float(m);\n")
+			fmt.Fprintf(&b, "    else\n")
+			fmt.Fprintf(&b, "      a[i] := max(t * 0.5, -a[i]);\n")
+			fmt.Fprintf(&b, "    end;\n")
+			fmt.Fprintf(&b, "  end;\n")
+		case 3: // inner for loop accumulating into a local
+			fmt.Fprintf(&b, "  forall i in 1..n on a[i].loc do\n")
+			fmt.Fprintf(&b, "    var s2 : real; q : integer;\n")
+			fmt.Fprintf(&b, "    s2 := 0.0;\n")
+			fmt.Fprintf(&b, "    for q in 1..k do\n")
+			fmt.Fprintf(&b, "      s2 := s2 + b[i] * float(q);\n")
+			fmt.Fprintf(&b, "    end;\n")
+			fmt.Fprintf(&b, "    a[i] := s2 / float(k);\n")
+			fmt.Fprintf(&b, "  end;\n")
+		default: // strided update with integer arithmetic in subscripts
+			fmt.Fprintf(&b, "  forall i in 1..n div 2 on a[2*i].loc do\n")
+			fmt.Fprintf(&b, "    a[2*i] := a[2*i] * 0.5 + b[2*i-1];\n")
+			fmt.Fprintf(&b, "  end;\n")
+		}
+	}
+	fmt.Fprintf(&b, "end.\n")
+	return b.String()
+}

@@ -25,6 +25,18 @@ func newBarrier(p int) *barrier {
 	return b
 }
 
+// reset clears the poison and accumulators so a pooled machine can run
+// another program after a node panic (Machine.Run has already unwound
+// every node goroutine by the time Reset is called, so no waiter can
+// be parked here).
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.poisoned = false
+	b.count = 0
+	b.maxClock = 0
+	b.mu.Unlock()
+}
+
 // poison releases all waiters after a node panic so Run can unwind.
 func (b *barrier) poison() {
 	b.mu.Lock()

@@ -262,6 +262,7 @@ func (t *transport) AllReduce(me int, x float64, op string) float64 {
 func (t *transport) Poison() { t.barrier.poison() }
 
 func (t *transport) Reset() {
+	t.barrier.reset()
 	for i := range t.clocks {
 		t.clocks[i] = 0
 		t.nicFree[i] = 0

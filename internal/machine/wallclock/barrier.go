@@ -28,6 +28,15 @@ func (b *barrier) poison() {
 	b.mu.Unlock()
 }
 
+// reset clears the poison so a pooled machine can run another program
+// after a node panic (all node goroutines have unwound by Reset time).
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.poisoned = false
+	b.count = 0
+	b.mu.Unlock()
+}
+
 // wait blocks until all p nodes arrive.
 func (b *barrier) wait() {
 	b.mu.Lock()

@@ -190,6 +190,7 @@ func (t *transport) Poison() {
 }
 
 func (t *transport) Reset() {
+	t.barrier.reset()
 	for i := range t.queues {
 		t.queues[i].reset()
 	}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"kali/internal/core"
+)
+
+// maxProgramBytes bounds a POST /run body; Kali programs are small.
+const maxProgramBytes = 1 << 20
+
+// RunResponse is the JSON body POST /run returns.
+type RunResponse struct {
+	// P is the processor count the real estate agent chose.
+	P int `json:"p"`
+	// Report is the run's timing/traffic report, including the
+	// Builds/SharedHits/StoreHits schedule-sharing counters.
+	Report core.Report `json:"report"`
+	// Arrays holds the final contents of the arrays named in the
+	// request's ?print= list (omitted otherwise).
+	Arrays map[string][]float64 `json:"arrays,omitempty"`
+	// Scalars holds final scalar values when ?print= was given.
+	Scalars map[string]float64 `json:"scalars,omitempty"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP interface:
+//
+//	POST /run?print=a,b  — body is .kali source; compiles and executes
+//	                       it on the pool and returns a RunResponse.
+//	                       Compile errors are 422, runtime errors 500.
+//	GET  /stats          — returns a Stats snapshot as JSON.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST a .kali program to /run"})
+		return
+	}
+	src, err := io.ReadAll(io.LimitReader(r.Body, maxProgramBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+	if len(src) > maxProgramBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errResponse{Error: "program too large"})
+		return
+	}
+	res, err := s.Run(string(src))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if res == nil {
+			// No result means the program never ran: a compile or
+			// elaboration failure, i.e. the client's fault.
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, errResponse{Error: err.Error()})
+		return
+	}
+	resp := RunResponse{P: res.P, Report: res.Report}
+	if names := r.URL.Query().Get("print"); names != "" {
+		resp.Arrays = map[string][]float64{}
+		resp.Scalars = map[string]float64{}
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			if a, ok := res.Arrays[name]; ok {
+				resp.Arrays[name] = a
+			}
+			if v, ok := res.Scalars[name]; ok {
+				resp.Scalars[name] = v
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
